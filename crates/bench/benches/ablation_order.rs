@@ -1,0 +1,159 @@
+//! **Ablation** — attribute ordering and §1.3 dependency pruning.
+//!
+//! The paper fixes an attribute ordering per dataset (Figure 9,
+//! left-to-right) and notes that all algorithms consume attributes in
+//! that order. This ablation quantifies how much the ordering matters for
+//! lazy-slice-cover and hybrid (ascending vs. descending domain size),
+//! and how much the §1.3 validity-oracle heuristic saves on top of the
+//! best configuration.
+
+use hdc_bench::{crawl, ShapeChecks, Table};
+use hdc_core::{DatasetOracle, Hybrid, PairRuleOracle, SliceCover};
+use hdc_data::{nsf, ops, yahoo, Dataset};
+
+const SEED: u64 = 42;
+const K: usize = 256;
+
+/// Reorders all attributes of a dataset by the given comparator on
+/// (domain-ish size, index).
+fn ordered_by_domain(ds: &Dataset, ascending: bool) -> Dataset {
+    let mut idx: Vec<usize> = (0..ds.d()).collect();
+    let size_of = |a: usize| ds.distinct_count(a);
+    idx.sort_by_key(|&a| (size_of(a), a));
+    if !ascending {
+        idx.reverse();
+    }
+    ops::project(ds, &idx)
+}
+
+fn main() {
+    let mut checks = ShapeChecks::new();
+
+    // ---- lazy-slice-cover orderings on NSF (d = 6 projection) ----------
+    let (nsf6, _) = ops::project_top_distinct(&nsf::generate(SEED), 6);
+    let mut table = Table::new(
+        "Ablation — attribute order, lazy-slice-cover (NSF d = 6, k = 256)",
+        &["ordering", "queries"],
+    );
+    let figure9 = crawl(&SliceCover::lazy(), &nsf6, K, SEED).report.queries;
+    let asc = crawl(
+        &SliceCover::lazy(),
+        &ordered_by_domain(&nsf6, true),
+        K,
+        SEED,
+    )
+    .report
+    .queries;
+    let desc = crawl(
+        &SliceCover::lazy(),
+        &ordered_by_domain(&nsf6, false),
+        K,
+        SEED,
+    )
+    .report
+    .queries;
+    table.row(&[&"Figure 9 (paper)", &figure9]);
+    table.row(&[&"ascending domain size", &asc]);
+    table.row(&[&"descending domain size", &desc]);
+    table.print();
+    table.write_csv("ablation_order_nsf");
+    // Small-domain-first keeps early tree levels narrow, so descending
+    // should be the costly direction.
+    checks.check(
+        &format!("ascending order beats descending ({asc} < {desc})"),
+        asc < desc,
+    );
+    checks.check(
+        &format!("paper order (small domains first) is near the ascending optimum ({figure9} ≤ 1.2×{asc})"),
+        (figure9 as f64) <= 1.2 * asc as f64,
+    );
+
+    // ---- §1.3 pruning where it bites: lazy-slice-cover on NSF ----------
+    // Deep categorical trees issue node queries that pin several
+    // attributes; combinations absent from the data are provably empty
+    // and an oracle answers them for free.
+    let mut table = Table::new(
+        "Ablation — §1.3 dependency pruning, lazy-slice-cover (NSF d = 6, k = 256)",
+        &["configuration", "queries", "pruned (free)"],
+    );
+    let no_oracle = crawl(&SliceCover::lazy(), &nsf6, K, SEED).report;
+    table.row(&[&"no oracle", &no_oracle.queries, &no_oracle.pruned]);
+    let nsf_oracle = DatasetOracle::new(nsf6.tuples.clone());
+    let with_oracle = {
+        let crawler = SliceCover::lazy_with_oracle(&nsf_oracle);
+        crawl(&crawler, &nsf6, K, SEED).report
+    };
+    table.row(&[&"perfect oracle", &with_oracle.queries, &with_oracle.pruned]);
+    table.print();
+    table.write_csv("ablation_oracle_nsf");
+    checks.check(
+        &format!(
+            "NSF: oracle saves queries ({} < {}, {} pruned for free)",
+            with_oracle.queries, no_oracle.queries, with_oracle.pruned
+        ),
+        with_oracle.queries < no_oracle.queries && with_oracle.pruned > 0,
+    );
+
+    // ---- hybrid orderings + dependency oracles on Yahoo ----------------
+    let yahoo_ds = yahoo::generate(SEED);
+    let mut table = Table::new(
+        "Ablation — hybrid on Yahoo (k = 256): ordering and §1.3 pruning",
+        &["configuration", "queries", "pruned (free)"],
+    );
+    let base = crawl(&Hybrid::new(), &yahoo_ds, K, SEED).report;
+    table.row(&[&"paper order, no oracle", &base.queries, &base.pruned]);
+
+    // Make → Body-style dependency rules distilled from the data
+    // (the paper's §1.3 example: "BMW does not sell trucks").
+    let make_body = PairRuleOracle::from_tuples(2, 1, &yahoo_ds.tuples);
+    let with_rules = {
+        let crawler = Hybrid::with_oracle(&make_body);
+        crawl(&crawler, &yahoo_ds, K, SEED).report
+    };
+    table.row(&[
+        &"paper order + make→body rules",
+        &with_rules.queries,
+        &with_rules.pruned,
+    ]);
+
+    // Perfect dependency knowledge: the upper bound on what §1.3 can save.
+    let perfect = DatasetOracle::new(yahoo_ds.tuples.clone());
+    let with_perfect = {
+        let crawler = Hybrid::with_oracle(&perfect);
+        crawl(&crawler, &yahoo_ds, K, SEED).report
+    };
+    table.row(&[
+        &"paper order + perfect oracle",
+        &with_perfect.queries,
+        &with_perfect.pruned,
+    ]);
+    table.print();
+    table.write_csv("ablation_order_yahoo");
+
+    checks.check(
+        &format!(
+            "pair rules never increase cost ({} ≤ {})",
+            with_rules.queries, base.queries
+        ),
+        with_rules.queries <= base.queries,
+    );
+    checks.check(
+        &format!(
+            "perfect oracle dominates pair rules ({} ≤ {})",
+            with_perfect.queries, with_rules.queries
+        ),
+        with_perfect.queries <= with_rules.queries,
+    );
+    // Honest negative result: on Yahoo's shallow 3-level categorical tree,
+    // lazy slice answers already cover every provably-empty combination,
+    // so the oracle finds nothing left to prune — §1.3 pruning matters on
+    // deep trees (see the NSF table above), not on wide shallow ones.
+    checks.check(
+        &format!(
+            "Yahoo: hybrid+lazy already avoids empty queries (pruned = {}, cost unchanged)",
+            with_perfect.pruned
+        ),
+        with_perfect.queries == base.queries,
+    );
+    checks.finish();
+}

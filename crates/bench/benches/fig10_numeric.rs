@@ -1,0 +1,189 @@
+//! **Figure 10** — query cost of the numeric algorithms (binary-shrink
+//! vs. rank-shrink) on Adult-numeric.
+//!
+//! * (a) cost vs. `k` at `d = 6`, `k ∈ {64, 128, 256, 512, 1024}`;
+//! * (b) cost vs. `d` at `k = 256`, `d ∈ {3..6}` taking the attributes
+//!   with the most distinct values (Fnalwgt, Cap-gain, Cap-loss, Wrk-hr,
+//!   Age, Edu-num — in that distinct-count order);
+//! * (c) cost vs. `n` at `k = 256`, `d = 6`, Bernoulli samples of
+//!   20%..100%.
+
+use hdc_bench::{crawl, ratio, refdata, ShapeChecks, Table};
+use hdc_core::{theory, BinaryShrink, RankShrink};
+use hdc_data::{adult, ops};
+
+const SEED: u64 = 42;
+
+fn main() {
+    refdata::print_claims("Figure 10", refdata::FIG10);
+    let ds = adult::generate_numeric(SEED);
+    let mut checks = ShapeChecks::new();
+
+    // ---- (a) cost vs k -------------------------------------------------
+    let mut table = Table::new(
+        format!("Figure 10a — cost vs k ({}, d = 6)", ds.name),
+        &[
+            "k",
+            "binary-shrink",
+            "rank-shrink",
+            "binary/rank",
+            "ideal n/k",
+            "rank bound 20dn/k",
+        ],
+    );
+    let mut rank_by_k = Vec::new();
+    for k in [64usize, 128, 256, 512, 1024] {
+        let binary = crawl(&BinaryShrink::new(), &ds, k, SEED).report.queries;
+        let rank = crawl(&RankShrink::new(), &ds, k, SEED).report.queries;
+        let ideal = theory::ideal_cost(ds.n() as f64, k as f64);
+        let bound = theory::rank_shrink_bound(ds.d(), ds.n() as f64, k as f64);
+        table.row(&[
+            &k,
+            &binary,
+            &rank,
+            &ratio(binary, rank),
+            &format!("{ideal:.0}"),
+            &format!("{bound:.0}"),
+        ]);
+        checks.check(
+            &format!("k={k}: rank-shrink beats binary-shrink"),
+            rank < binary,
+        );
+        checks.check(
+            &format!("k={k}: rank-shrink within the Lemma 2 bound"),
+            (rank as f64) <= bound,
+        );
+        rank_by_k.push(rank);
+    }
+    table.print();
+    table.write_csv("fig10a_cost_vs_k");
+    // Inverse linearity in k: doubling k roughly halves the cost.
+    for w in rank_by_k.windows(2) {
+        let factor = w[0] as f64 / w[1] as f64;
+        checks.check(
+            &format!("doubling k scales rank-shrink by {factor:.2} (∈ [1.5, 2.8])"),
+            (1.5..=2.8).contains(&factor),
+        );
+    }
+
+    // ---- (b) cost vs d -------------------------------------------------
+    let mut table = Table::new(
+        format!("Figure 10b — cost vs d ({}, k = 256)", ds.name),
+        &[
+            "d",
+            "attributes",
+            "binary-shrink",
+            "rank-shrink",
+            "binary/rank",
+            "3-way splits",
+        ],
+    );
+    let mut rank_by_d = Vec::new();
+    let mut three_way_share = Vec::new();
+    for d in 3..=6 {
+        let (proj, chosen) = ops::project_top_distinct(&ds, d);
+        let names: Vec<&str> = chosen.iter().map(|&a| ds.schema.attr(a).name()).collect();
+        let binary = crawl(&BinaryShrink::new(), &proj, 256, SEED).report.queries;
+        let rank_report = crawl(&RankShrink::new(), &proj, 256, SEED).report;
+        let rank = rank_report.queries;
+        let splits = rank_report.metrics.two_way_splits + rank_report.metrics.three_way_splits;
+        table.row(&[
+            &d,
+            &names.join("+"),
+            &binary,
+            &rank,
+            &ratio(binary, rank),
+            &rank_report.metrics.three_way_splits,
+        ]);
+        checks.check(
+            &format!("d={d}: rank-shrink beats binary-shrink"),
+            rank < binary,
+        );
+        rank_by_d.push(rank);
+        three_way_share.push(rank_report.metrics.three_way_splits as f64 / splits.max(1) as f64);
+    }
+    table.print();
+    table.write_csv("fig10b_cost_vs_d");
+    // The paper explains the near-flat d curve by 3-way splits being
+    // uncommon ("the presence of d in the final time complexity is due to
+    // 3-way splits"). On the synthetic stand-in the zero-inflated capital
+    // columns do force heavy pivots when they lead a projection (d = 3),
+    // so the share varies; the claim that survives is that 3-way splits
+    // never dominate and the d-curve stays flat (checked above).
+    let max_share = three_way_share.iter().cloned().fold(0.0f64, f64::max);
+    let full_d_share = *three_way_share.last().unwrap();
+    checks.check(
+        &format!(
+            "3-way splits never dominate (max {:.0}% of splits ≤ 60%; {:.0}% at d = 6)",
+            100.0 * max_share,
+            100.0 * full_d_share
+        ),
+        max_share <= 0.60,
+    );
+    // Near-flat in d (the paper's "pleasant surprise"): growing d from 3
+    // to 6 changes cost by far less than the 2× worst-case would.
+    let (min_d, max_d) = (
+        *rank_by_d.iter().min().unwrap() as f64,
+        *rank_by_d.iter().max().unwrap() as f64,
+    );
+    checks.check(
+        &format!(
+            "rank-shrink near-flat in d (max/min = {:.2} ≤ 1.6)",
+            max_d / min_d
+        ),
+        max_d / min_d <= 1.6,
+    );
+
+    // ---- (c) cost vs n -------------------------------------------------
+    let mut table = Table::new(
+        format!("Figure 10c — cost vs n ({}, k = 256, d = 6)", ds.name),
+        &[
+            "sample",
+            "n",
+            "binary-shrink",
+            "rank-shrink",
+            "rank / (n/k)",
+        ],
+    );
+    let mut per_unit = Vec::new();
+    for pct in [20u32, 40, 60, 80, 100] {
+        let sample = if pct == 100 {
+            ds.clone()
+        } else {
+            ops::sample_fraction(&ds, pct as f64 / 100.0, SEED + pct as u64)
+        };
+        let binary = crawl(&BinaryShrink::new(), &sample, 256, SEED)
+            .report
+            .queries;
+        let rank = crawl(&RankShrink::new(), &sample, 256, SEED).report.queries;
+        let unit = rank as f64 / (sample.n() as f64 / 256.0);
+        table.row(&[
+            &format!("{pct}%"),
+            &sample.n(),
+            &binary,
+            &rank,
+            &format!("{unit:.2}"),
+        ]);
+        checks.check(
+            &format!("n={pct}%: rank-shrink beats binary-shrink"),
+            rank < binary,
+        );
+        per_unit.push(unit);
+    }
+    table.print();
+    table.write_csv("fig10c_cost_vs_n");
+    // Linear in n: cost per (n/k) unit stays within a narrow band.
+    let (lo, hi) = (
+        per_unit.iter().cloned().fold(f64::INFINITY, f64::min),
+        per_unit.iter().cloned().fold(0.0f64, f64::max),
+    );
+    checks.check(
+        &format!(
+            "rank-shrink linear in n (unit-cost band {:.2}..{:.2}, ratio ≤ 1.5)",
+            lo, hi
+        ),
+        hi / lo <= 1.5,
+    );
+
+    checks.finish();
+}

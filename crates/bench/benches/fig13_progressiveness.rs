@@ -1,0 +1,73 @@
+//! **Figure 13** — output progressiveness of hybrid (k = 256).
+//!
+//! For Yahoo and Adult, plots the percentage of tuples output against the
+//! percentage of queries issued. The paper observes "linear
+//! progressiveness for both datasets": a crawler can stop at any moment
+//! and keep tuples proportional to the queries spent.
+
+use hdc_bench::{crawl, refdata, ShapeChecks, Table};
+use hdc_core::{CrawlReport, Hybrid};
+use hdc_data::{adult, yahoo};
+
+const SEED: u64 = 42;
+const K: usize = 256;
+
+/// Percentage of tuples output at each decile of the query budget.
+fn deciles(report: &CrawlReport) -> Vec<f64> {
+    let total_q = report.queries as f64;
+    let total_t = report.tuples.len() as f64;
+    (0..=10)
+        .map(|decile| {
+            let q_cut = total_q * decile as f64 / 10.0;
+            let tuples = report
+                .progress
+                .iter()
+                .rev()
+                .find(|p| p.queries as f64 <= q_cut)
+                .map(|p| p.tuples)
+                .unwrap_or(0);
+            100.0 * tuples as f64 / total_t
+        })
+        .collect()
+}
+
+fn main() {
+    refdata::print_claims("Figure 13", refdata::FIG13);
+    let mut checks = ShapeChecks::new();
+
+    let mut table = Table::new(
+        "Figure 13 — % tuples output vs % queries issued (hybrid, k = 256)",
+        &["% queries", "Yahoo % tuples", "Adult % tuples"],
+    );
+    let yahoo_ds = yahoo::generate(SEED);
+    let adult_ds = adult::generate(SEED);
+    let yahoo_report = crawl(&Hybrid::new(), &yahoo_ds, K, SEED).report;
+    let adult_report = crawl(&Hybrid::new(), &adult_ds, K, SEED).report;
+    let y = deciles(&yahoo_report);
+    let a = deciles(&adult_report);
+    for decile in 0..=10 {
+        table.row(&[
+            &format!("{}%", decile * 10),
+            &format!("{:.1}", y[decile]),
+            &format!("{:.1}", a[decile]),
+        ]);
+    }
+    table.print();
+    table.write_csv("fig13_progressiveness");
+
+    for (name, report) in [("Yahoo", &yahoo_report), ("Adult", &adult_report)] {
+        let dev = report.progress_deviation();
+        checks.check(
+            &format!("{name}: near-linear progressiveness (max deviation {dev:.3} ≤ 0.15)"),
+            dev <= 0.15,
+        );
+    }
+    // Mid-crawl checkpoint: 50% of queries yields 35–65% of tuples.
+    for (name, d) in [("Yahoo", &y), ("Adult", &a)] {
+        checks.check(
+            &format!("{name}: 50% queries → {:.0}% tuples (∈ [35, 65])", d[5]),
+            (35.0..=65.0).contains(&d[5]),
+        );
+    }
+    checks.finish();
+}

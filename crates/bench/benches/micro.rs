@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the substrate: server query latency
+//! (scan vs. probe paths) and end-to-end crawl throughput on scaled-down
+//! datasets. These guard the simulator's performance — the figure
+//! benchmarks replay up to ~10⁵ queries per data point, so per-query
+//! latency is what makes the whole harness tractable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hdc_bench::serve;
+use hdc_core::{Crawler, Hybrid, RankShrink, SliceCover};
+use hdc_data::{adult, nsf, ops, yahoo};
+use hdc_types::{HiddenDatabase, Predicate, Query};
+
+fn server_query_latency(c: &mut Criterion) {
+    let ds = nsf::generate(1);
+    let mut db = serve(&ds, 256, 1);
+    let mut group = c.benchmark_group("server_query");
+
+    // Unselective: answered by the priority-ordered scan with early exit.
+    let root = Query::any(ds.d());
+    group.bench_function("scan_root_overflow", |b| {
+        b.iter(|| db.query(&root).unwrap().tuples.len())
+    });
+
+    // Highly selective: answered by an index probe on PI-name.
+    let probe = Query::any(ds.d()).with_pred(8, Predicate::Eq(17));
+    group.bench_function("probe_selective_eq", |b| {
+        b.iter(|| db.query(&probe).unwrap().tuples.len())
+    });
+
+    // Slice query on a mid-size domain (Prog-mgr).
+    let slice = Query::any(ds.d()).with_pred(5, Predicate::Eq(3));
+    group.bench_function("probe_slice_query", |b| {
+        b.iter(|| db.query(&slice).unwrap().tuples.len())
+    });
+
+    // Numeric range probe on the Yahoo mileage attribute.
+    let yds = yahoo::generate_scaled(10_000, 1);
+    let mut ydb = serve(&yds, 256, 1);
+    let range = Query::any(yds.d()).with_pred(
+        3,
+        Predicate::Range {
+            lo: 10_000,
+            hi: 20_000,
+        },
+    );
+    group.bench_function("probe_numeric_range", |b| {
+        b.iter(|| ydb.query(&range).unwrap().tuples.len())
+    });
+    group.finish();
+}
+
+fn crawl_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+
+    let adult10 = ops::sample_fraction(&adult::generate_numeric(1), 0.1, 9);
+    group.bench_function("rank_shrink_adult10pct_k256", |b| {
+        b.iter_batched(
+            || serve(&adult10, 256, 1),
+            |mut db| RankShrink::new().crawl(&mut db).unwrap().queries,
+            BatchSize::LargeInput,
+        )
+    });
+
+    let (nsf5, _) = ops::project_top_distinct(&nsf::generate(1), 5);
+    let nsf5 = ops::sample_fraction(&nsf5, 0.1, 9);
+    group.bench_function("lazy_slice_cover_nsf10pct_k256", |b| {
+        b.iter_batched(
+            || serve(&nsf5, 256, 1),
+            |mut db| SliceCover::lazy().crawl(&mut db).unwrap().queries,
+            BatchSize::LargeInput,
+        )
+    });
+
+    let yahoo10 = ops::sample_fraction(&yahoo::generate(1), 0.1, 9);
+    group.bench_function("hybrid_yahoo10pct_k256", |b| {
+        b.iter_batched(
+            || serve(&yahoo10, 256, 1),
+            |mut db| Hybrid::new().crawl(&mut db).unwrap().queries,
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn server_construction(c: &mut Criterion) {
+    let ds = adult::generate_numeric(1);
+    let mut group = c.benchmark_group("server_build");
+    group.sample_size(10);
+    group.bench_function("index_build_adult_full", |b| {
+        b.iter(|| serve(&ds, 256, 1).n())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    server_query_latency,
+    crawl_throughput,
+    server_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Shared harness for the figure-regeneration benchmarks.
+//!
+//! Every bench target under `benches/` reproduces one artifact of the
+//! paper's evaluation (§6) or lower-bound section (§4): it builds the
+//! synthetic dataset, serves it through the simulator, runs the paper's
+//! algorithms, prints the same rows/series the paper plots, dumps a CSV
+//! under `target/figures/`, and checks the qualitative *shape* claims
+//! (who wins, scaling behaviour, crossovers) that must transfer from the
+//! paper to the synthetic stand-ins. Absolute query counts depend on the
+//! data generator and are recorded in `EXPERIMENTS.md`, not asserted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hdc_core::{verify_complete, CrawlError, CrawlReport, Crawler};
+use hdc_data::Dataset;
+use hdc_server::{HiddenDbServer, ServerConfig};
+
+pub mod refdata;
+
+/// Serves a dataset through the simulator.
+pub fn serve(ds: &Dataset, k: usize, seed: u64) -> HiddenDbServer {
+    HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed },
+    )
+    .expect("generated datasets are schema-valid")
+}
+
+/// A completed measurement: the crawl report plus wall time.
+pub struct Measurement {
+    /// The crawl report (queries, tuples, progress).
+    pub report: CrawlReport,
+    /// Wall-clock seconds for the whole crawl (simulator included).
+    pub secs: f64,
+}
+
+/// Runs a crawler against a dataset and verifies completeness; panics on
+/// an incomplete crawl (a bench must never silently publish wrong data).
+pub fn crawl(crawler: &dyn Crawler, ds: &Dataset, k: usize, seed: u64) -> Measurement {
+    let mut db = serve(ds, k, seed);
+    let start = Instant::now();
+    let report = crawler
+        .crawl(&mut db)
+        .unwrap_or_else(|e| panic!("{} failed on {} (k={k}): {e}", crawler.name(), ds.name));
+    let secs = start.elapsed().as_secs_f64();
+    verify_complete(&ds.tuples, &report)
+        .unwrap_or_else(|e| panic!("{} incomplete on {} (k={k}): {e}", crawler.name(), ds.name));
+    Measurement { report, secs }
+}
+
+/// Runs a crawler expecting the crawl to be infeasible (for the Yahoo
+/// k = 64 gap of Figure 12). Returns the partial report.
+pub fn crawl_expect_unsolvable(
+    crawler: &dyn Crawler,
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+) -> CrawlReport {
+    let mut db = serve(ds, k, seed);
+    match crawler.crawl(&mut db) {
+        Err(CrawlError::Unsolvable { partial, .. }) => *partial,
+        Err(e) => panic!(
+            "{} failed for the wrong reason on {}: {e}",
+            crawler.name(),
+            ds.name
+        ),
+        Ok(r) => panic!(
+            "{} unexpectedly succeeded on {} at k={k} ({} queries)",
+            crawler.name(),
+            ds.name,
+            r.queries
+        ),
+    }
+}
+
+/// A plain-text column-aligned table, printed to stdout and convertible
+/// to CSV.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringifying each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as `target/figures/<name>.csv` (workspace-level
+    /// `target/`), so plots can be regenerated outside Rust.
+    pub fn write_csv(&self, name: &str) {
+        let dir = figures_dir();
+        fs::create_dir_all(&dir).expect("create target/figures");
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out).expect("write CSV");
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// `<workspace>/target/figures`.
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
+}
+
+/// Accumulates qualitative shape checks and prints a PASS/FAIL summary.
+///
+/// Checks are non-fatal by default (benches should keep producing data
+/// even when a shape drifts); set `HDC_STRICT=1` to turn failures into
+/// panics (CI mode).
+#[derive(Default)]
+pub struct ShapeChecks {
+    passed: usize,
+    failures: Vec<String>,
+}
+
+impl ShapeChecks {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        ShapeChecks::default()
+    }
+
+    /// Records one expectation.
+    pub fn check(&mut self, label: &str, ok: bool) {
+        if ok {
+            self.passed += 1;
+            println!("  [shape PASS] {label}");
+        } else {
+            self.failures.push(label.to_string());
+            println!("  [shape FAIL] {label}");
+        }
+    }
+
+    /// Prints the summary; panics on failures when `HDC_STRICT=1`.
+    pub fn finish(self) {
+        let total = self.passed + self.failures.len();
+        println!("\nshape checks: {}/{} passed", self.passed, total);
+        if !self.failures.is_empty() {
+            println!("failed: {:?}", self.failures);
+            if std::env::var("HDC_STRICT").as_deref() == Ok("1") {
+                panic!("shape checks failed in strict mode");
+            }
+        }
+    }
+}
+
+/// Formats a ratio like `3.94×`.
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "∞".to_string()
+    } else {
+        format!("{:.2}×", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::RankShrink;
+    use hdc_data::hard;
+
+    #[test]
+    fn crawl_helper_verifies_completeness() {
+        let ds = hard::numeric_hard(4, 2, 5);
+        let m = crawl(&RankShrink::new(), &ds, 4, 0);
+        assert_eq!(m.report.tuples.len(), ds.n());
+        assert!(m.secs >= 0.0);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        t.print();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn shape_checks_count() {
+        let mut c = ShapeChecks::new();
+        c.check("ok", true);
+        c.check("bad", false);
+        assert_eq!(c.passed, 1);
+        assert_eq!(c.failures.len(), 1);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(10, 4), "2.50×");
+        assert_eq!(ratio(1, 0), "∞");
+    }
+}

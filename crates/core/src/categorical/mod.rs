@@ -1,0 +1,4 @@
+//! Algorithms for categorical data spaces (§3 of the paper).
+
+pub mod dfs;
+pub mod slice_cover;

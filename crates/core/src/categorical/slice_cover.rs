@@ -1,0 +1,574 @@
+//! The **slice-cover** algorithm (§3.2) — optimal categorical crawling —
+//! and its **lazy** variant.
+//!
+//! A *slice query* pins exactly one categorical attribute (`Ai = c`,
+//! wildcards elsewhere). Slice-cover first records the server's response
+//! to slice queries in a lookup table — the full result when the slice
+//! resolves, only an overflow *bit* otherwise — then runs **extended-DFS**
+//! over the data-space tree, answering a child node locally whenever the
+//! slice for its refining predicate resolved. Lemma 4:
+//! `Σ Ui + (n/k)·Σ min{Ui, n/k}` queries (`U1` for `d = 1`), matching the
+//! Theorem 4 lower bound.
+//!
+//! The *lazy* heuristic skips the preprocessing phase and fetches each
+//! slice at its first use (memoized), which "does not affect the
+//! worst-case cost … but can improve its performance on real data" — in
+//! the paper's Figure 11 it wins by orders of magnitude.
+//!
+//! The extended-DFS driver here is shared with [`crate::Hybrid`] (§5),
+//! which plugs a rank-shrink sub-crawl in at the leaves instead of point
+//! queries.
+
+use hdc_types::{HiddenDatabase, Predicate, Query, Schema, Tuple};
+
+use crate::crawler::Crawler;
+use crate::dependency::ValidityOracle;
+use crate::numeric::rank_shrink::RankShrink;
+use crate::report::{CrawlError, CrawlReport};
+use crate::session::{run_crawl, Abort, Session};
+
+/// A recorded slice-query response.
+///
+/// Overflowing slices keep only the overflow bit, exactly as §3.2
+/// prescribes ("if q overflows, we remember nothing but a bit").
+#[derive(Debug)]
+pub(crate) enum SliceResult {
+    /// The slice resolved; its complete result is cached.
+    Resolved(Vec<Tuple>),
+    /// The slice overflowed (`|q(D)| > k`).
+    Overflowed,
+}
+
+/// The slice-query lookup table (memoizing, so it also implements the
+/// lazy variant).
+pub(crate) struct SliceTable {
+    /// The categorical attributes, in tree-level order.
+    cat_dims: Vec<usize>,
+    /// Schema arity (for building wildcard queries).
+    arity: usize,
+    /// `entries[pos][value]`: response of slice `cat_dims[pos] = value`.
+    entries: Vec<Vec<Option<SliceResult>>>,
+}
+
+impl SliceTable {
+    pub(crate) fn new(schema: &Schema, cat_dims: &[usize]) -> Self {
+        let entries = cat_dims
+            .iter()
+            .map(|&a| {
+                let size = schema
+                    .kind(a)
+                    .domain_size()
+                    .expect("slice table requires categorical attributes");
+                (0..size).map(|_| None).collect()
+            })
+            .collect();
+        SliceTable {
+            cat_dims: cat_dims.to_vec(),
+            arity: schema.arity(),
+            entries,
+        }
+    }
+
+    /// Number of tree levels (= categorical attributes).
+    pub(crate) fn levels(&self) -> usize {
+        self.cat_dims.len()
+    }
+
+    /// Schema index of the attribute at tree level `pos`.
+    pub(crate) fn attr(&self, pos: usize) -> usize {
+        self.cat_dims[pos]
+    }
+
+    /// Domain size of the attribute at tree level `pos`.
+    pub(crate) fn domain_size(&self, pos: usize) -> u32 {
+        self.entries[pos].len() as u32
+    }
+
+    /// The slice query `A_{cat_dims[pos]} = value` (wildcards elsewhere).
+    pub(crate) fn slice_query(&self, pos: usize, value: u32) -> Query {
+        Query::any(self.arity).with_pred(self.cat_dims[pos], Predicate::Eq(value))
+    }
+
+    /// Returns the recorded response for a slice, issuing the query on
+    /// first use (the lazy heuristic; the eager variant calls
+    /// [`SliceTable::prefetch_all`] first, making every later fetch free).
+    pub(crate) fn fetch(
+        &mut self,
+        session: &mut Session<'_>,
+        pos: usize,
+        value: u32,
+    ) -> Result<&SliceResult, Abort> {
+        let slot = value as usize;
+        if self.entries[pos][slot].is_none() {
+            let q = self.slice_query(pos, value);
+            let out = session.run(&q)?;
+            session.metrics().slice_fetches += 1;
+            if out.overflow {
+                session.metrics().slice_overflows += 1;
+            }
+            let entry = if out.overflow {
+                SliceResult::Overflowed
+            } else {
+                SliceResult::Resolved(out.tuples)
+            };
+            self.entries[pos][slot] = Some(entry);
+        }
+        Ok(self.entries[pos][slot].as_ref().expect("just filled"))
+    }
+
+    /// The eager preprocessing phase: issues every slice query of every
+    /// categorical attribute (`Σ Ui` queries).
+    pub(crate) fn prefetch_all(&mut self, session: &mut Session<'_>) -> Result<(), Abort> {
+        for pos in 0..self.levels() {
+            for value in 0..self.domain_size(pos) {
+                self.fetch(session, pos, value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What to do when extended-DFS reaches a leaf of the categorical tree
+/// whose slice overflowed.
+pub(crate) enum LeafMode<'a> {
+    /// Pure categorical spaces: the leaf query is a point query; issue it
+    /// (it must resolve, else Problem 1 is unsolvable).
+    Point,
+    /// Mixed spaces (§5 hybrid): run rank-shrink over the numeric
+    /// subspace `D_NUM(p_CAT)` rooted at the leaf query.
+    Numeric {
+        /// The rank-shrink configuration to run at leaves.
+        rank: &'a RankShrink<'a>,
+        /// Schema indices of the numeric attributes, in split order.
+        dims: &'a [usize],
+    },
+}
+
+/// Extended-DFS (§3.2) over the categorical data-space tree.
+///
+/// Differences from plain DFS, all cost-saving and all from the paper:
+///
+/// * a child whose refining slice **resolved** is answered locally from
+///   the lookup table (no server query, subtree pruned);
+/// * the root is never issued — its children are handled directly (the
+///   paper's Figure 5/6 walk-through issues no extended-DFS query at all);
+/// * a level-1 child whose query *is* an overflowed slice query inherits
+///   the overflow bit instead of being re-issued.
+pub(crate) fn extended_dfs(
+    session: &mut Session<'_>,
+    table: &mut SliceTable,
+    leaf: &LeafMode<'_>,
+) -> Result<(), Abort> {
+    extended_dfs_filtered(session, table, leaf, None)
+}
+
+/// [`extended_dfs`] restricted to a subset of the root attribute's values
+/// (`None` = all). The multi-session sharded crawler partitions the root
+/// domain across sessions with this hook; each shard crawls a disjoint
+/// union of first-level subtrees.
+pub(crate) fn extended_dfs_filtered(
+    session: &mut Session<'_>,
+    table: &mut SliceTable,
+    leaf: &LeafMode<'_>,
+    root_values: Option<&[u32]>,
+) -> Result<(), Abort> {
+    let levels = table.levels();
+    assert!(
+        levels > 0,
+        "extended-DFS needs at least one categorical attribute"
+    );
+    // (query, level, issue): `issue = false` means the query is already
+    // known to overflow (root, or a slice query whose bit is recorded).
+    let mut stack: Vec<(Query, usize, bool)> = vec![(Query::any(table.arity), 0, false)];
+    while let Some((q, level, issue)) = stack.pop() {
+        if issue {
+            let out = session.run(&q)?;
+            if out.is_resolved() {
+                session.report(out.tuples);
+                continue;
+            }
+            // Overflow: the k returned tuples are discarded; the children
+            // below cover the node's subspace exactly once.
+        }
+        debug_assert!(level < levels, "leaves are handled inline, never stacked");
+        let attr = table.attr(level);
+        let child_level = level + 1;
+        let mut to_recurse: Vec<(Query, usize, bool)> = Vec::new();
+        for value in 0..table.domain_size(level) {
+            if level == 0 {
+                if let Some(filter) = root_values {
+                    if !filter.contains(&value) {
+                        continue;
+                    }
+                }
+            }
+            let child_q = q.with_pred(attr, Predicate::Eq(value));
+            match table.fetch(session, level, value)? {
+                SliceResult::Resolved(tuples) => {
+                    // The slice holds every tuple with A_attr = value; the
+                    // child's result is its subset matching the prefix.
+                    let matched: Vec<Tuple> = tuples
+                        .iter()
+                        .filter(|t| child_q.matches(t))
+                        .cloned()
+                        .collect();
+                    session.metrics().local_answers += 1;
+                    session.report(matched);
+                }
+                SliceResult::Overflowed => {
+                    let is_slice = child_q.constrained_count() == 1;
+                    if child_level == levels {
+                        match leaf {
+                            LeafMode::Point => {
+                                if is_slice {
+                                    // d = 1: the slice *is* the point query
+                                    // and it overflowed — >k duplicates.
+                                    return Err(Abort::Unsolvable(child_q));
+                                }
+                                let out = session.run(&child_q)?;
+                                if out.overflow {
+                                    return Err(Abort::Unsolvable(child_q));
+                                }
+                                session.report(out.tuples);
+                            }
+                            LeafMode::Numeric { rank, dims } => {
+                                session.metrics().leaf_subcrawls += 1;
+                                rank.run_subspace(session, child_q, dims)?;
+                            }
+                        }
+                    } else {
+                        to_recurse.push((child_q, child_level, !is_slice));
+                    }
+                }
+            }
+        }
+        // Depth-first order: first child's subtree explored first.
+        for task in to_recurse.into_iter().rev() {
+            stack.push(task);
+        }
+    }
+    Ok(())
+}
+
+/// The slice-cover crawler (eager preprocessing) and its lazy variant.
+pub struct SliceCover<'o> {
+    eager: bool,
+    oracle: Option<&'o dyn ValidityOracle>,
+}
+
+impl<'o> SliceCover<'o> {
+    /// Eager slice-cover: the §3.2 preprocessing phase issues every slice
+    /// query up front.
+    pub fn eager() -> Self {
+        SliceCover {
+            eager: true,
+            oracle: None,
+        }
+    }
+
+    /// Lazy-slice-cover: slices are fetched at first need (the §3.2
+    /// heuristic; same worst-case bound, far cheaper on real data).
+    pub fn lazy() -> Self {
+        SliceCover {
+            eager: false,
+            oracle: None,
+        }
+    }
+
+    /// Attaches a §1.3 validity oracle to the lazy variant.
+    pub fn lazy_with_oracle(oracle: &'o dyn ValidityOracle) -> Self {
+        SliceCover {
+            eager: false,
+            oracle: Some(oracle),
+        }
+    }
+}
+
+impl Crawler for SliceCover<'_> {
+    fn name(&self) -> &'static str {
+        if self.eager {
+            "slice-cover"
+        } else {
+            "lazy-slice-cover"
+        }
+    }
+
+    fn supports(&self, schema: &Schema) -> bool {
+        schema.is_categorical()
+    }
+
+    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+        let schema = db.schema().clone();
+        assert!(
+            self.supports(&schema),
+            "slice-cover requires a categorical schema"
+        );
+        let cat_dims: Vec<usize> = (0..schema.arity()).collect();
+        run_crawl(self.name(), db, self.oracle, |session| {
+            let mut table = SliceTable::new(&schema, &cat_dims);
+            if self.eager {
+                table.prefetch_all(session)?;
+            }
+            extended_dfs(session, &mut table, &LeafMode::Point)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::verify_complete;
+    use hdc_server::{HiddenDbServer, ServerConfig};
+    use hdc_types::tuple::cat_tuple;
+    use hdc_types::TupleBag;
+
+    /// The Figure 5 dataset (paper coordinates are 1-based; ours 0-based).
+    fn figure5_tuples() -> Vec<Tuple> {
+        vec![
+            cat_tuple(&[0, 0]), // t1
+            cat_tuple(&[0, 1]), // t2
+            cat_tuple(&[0, 2]), // t3
+            cat_tuple(&[0, 3]), // t4
+            cat_tuple(&[1, 3]), // t5
+            cat_tuple(&[2, 0]), // t6
+            cat_tuple(&[2, 1]), // t7
+            cat_tuple(&[2, 2]), // t8
+            cat_tuple(&[2, 2]), // t9 (duplicate of t8's point)
+            cat_tuple(&[3, 1]), // t10
+        ]
+    }
+
+    fn figure5_schema() -> Schema {
+        Schema::builder()
+            .categorical("A1", 4)
+            .categorical("A2", 4)
+            .build()
+            .unwrap()
+    }
+
+    fn figure5_server(k: usize) -> HiddenDbServer {
+        HiddenDbServer::new(
+            figure5_schema(),
+            figure5_tuples(),
+            ServerConfig { k, seed: 0 },
+        )
+        .unwrap()
+    }
+
+    /// Figure 6: the preprocessing lookup table for k = 3.
+    #[test]
+    fn figure6_lookup_table() {
+        let mut db = figure5_server(3);
+        let schema = figure5_schema();
+        let report = run_crawl("test", &mut db, None, |session| {
+            let mut table = SliceTable::new(&schema, &[0, 1]);
+            table.prefetch_all(session)?;
+            // A1 = 1 (paper) = value 0: overflow. A1 = 2 → {t5}.
+            assert!(matches!(table.entries[0][0], Some(SliceResult::Overflowed)));
+            match &table.entries[0][1] {
+                Some(SliceResult::Resolved(ts)) => {
+                    assert_eq!(TupleBag::from_tuples(ts.clone()).len(), 1);
+                    assert_eq!(ts[0], cat_tuple(&[1, 3]));
+                }
+                other => panic!("A1=2 should resolve, got {other:?}"),
+            }
+            assert!(matches!(table.entries[0][2], Some(SliceResult::Overflowed)));
+            match &table.entries[0][3] {
+                Some(SliceResult::Resolved(ts)) => assert_eq!(ts, &[cat_tuple(&[3, 1])]),
+                other => panic!("A1=4 should resolve, got {other:?}"),
+            }
+            // A2 slices all resolve with the Figure 6 contents.
+            let expect: [&[Tuple]; 4] = [
+                &[cat_tuple(&[0, 0]), cat_tuple(&[2, 0])],
+                &[cat_tuple(&[0, 1]), cat_tuple(&[2, 1]), cat_tuple(&[3, 1])],
+                &[cat_tuple(&[0, 2]), cat_tuple(&[2, 2]), cat_tuple(&[2, 2])],
+                &[cat_tuple(&[0, 3]), cat_tuple(&[1, 3])],
+            ];
+            for (v, want) in expect.iter().enumerate() {
+                match &table.entries[1][v] {
+                    Some(SliceResult::Resolved(ts)) => {
+                        let got = TupleBag::from_tuples(ts.clone());
+                        let want = TupleBag::from_tuples(want.to_vec());
+                        assert!(got.multiset_eq(&want), "A2={}", v + 1);
+                    }
+                    other => panic!("A2={} should resolve, got {other:?}", v + 1),
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        // Exactly the Σ Ui = 8 slice queries.
+        assert_eq!(report.queries, 8);
+    }
+
+    /// §3.2 walk-through: with the table built, extended-DFS answers
+    /// everything locally — "No query is ever issued to the server in the
+    /// entire process."
+    #[test]
+    fn figure5_eager_costs_exactly_8() {
+        let tuples = figure5_tuples();
+        let mut db = figure5_server(3);
+        let report = SliceCover::eager().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+        assert_eq!(report.queries, 8, "8 slices + 0 extended-DFS queries");
+    }
+
+    #[test]
+    fn figure5_lazy_also_costs_8() {
+        // On this tiny example every slice ends up needed, so lazy = eager.
+        let tuples = figure5_tuples();
+        let mut db = figure5_server(3);
+        let report = SliceCover::lazy().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+        assert_eq!(report.queries, 8);
+    }
+
+    #[test]
+    fn lazy_skips_unneeded_slices() {
+        // Large k: the A1 slices all resolve, so the A2 slices are never
+        // fetched. Lazy pays U1 = 4; eager pays ΣUi = 8.
+        let tuples = figure5_tuples();
+        let mut lazy_db = figure5_server(100);
+        let lazy = SliceCover::lazy().crawl(&mut lazy_db).unwrap();
+        verify_complete(&tuples, &lazy).unwrap();
+        assert_eq!(lazy.queries, 4);
+
+        let mut eager_db = figure5_server(100);
+        let eager = SliceCover::eager().crawl(&mut eager_db).unwrap();
+        verify_complete(&tuples, &eager).unwrap();
+        assert_eq!(eager.queries, 8);
+    }
+
+    #[test]
+    fn one_dimensional_costs_exactly_u1() {
+        // Lemma 4: for d = 1 slice-cover issues exactly U1 queries.
+        let schema = Schema::builder().categorical("A1", 7).build().unwrap();
+        let tuples: Vec<Tuple> = (0..30u32).map(|i| cat_tuple(&[i % 7])).collect();
+        for crawler in [SliceCover::eager(), SliceCover::lazy()] {
+            let mut db = HiddenDbServer::new(
+                schema.clone(),
+                tuples.clone(),
+                ServerConfig { k: 5, seed: 1 },
+            )
+            .unwrap();
+            let report = crawler.crawl(&mut db).unwrap();
+            verify_complete(&tuples, &report).unwrap();
+            assert_eq!(report.queries, 7, "{}", crawler.name());
+        }
+    }
+
+    #[test]
+    fn one_dimensional_unsolvable() {
+        let schema = Schema::builder().categorical("A1", 3).build().unwrap();
+        let tuples: Vec<Tuple> = std::iter::repeat(cat_tuple(&[1])).take(9).collect();
+        let mut db = HiddenDbServer::new(schema, tuples, ServerConfig { k: 4, seed: 1 }).unwrap();
+        let err = SliceCover::lazy().crawl(&mut db).unwrap_err();
+        assert!(matches!(err, CrawlError::Unsolvable { .. }));
+    }
+
+    #[test]
+    fn point_duplicates_below_k_are_extracted() {
+        let schema = Schema::builder()
+            .categorical("a", 3)
+            .categorical("b", 3)
+            .categorical("c", 3)
+            .build()
+            .unwrap();
+        let mut tuples: Vec<Tuple> = (0..3u32)
+            .flat_map(|a| (0..3u32).map(move |b| cat_tuple(&[a, b, (a + b) % 3])))
+            .collect();
+        tuples.extend(std::iter::repeat(cat_tuple(&[1, 1, 1])).take(4));
+        for crawler in [SliceCover::eager(), SliceCover::lazy()] {
+            let mut db = HiddenDbServer::new(
+                schema.clone(),
+                tuples.clone(),
+                ServerConfig { k: 4, seed: 2 },
+            )
+            .unwrap();
+            let report = crawler.crawl(&mut db).unwrap();
+            verify_complete(&tuples, &report).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemma4_bound_holds() {
+        // Random 3-attribute categorical data; check the Lemma 4 formula.
+        let schema = Schema::builder()
+            .categorical("a", 10)
+            .categorical("b", 6)
+            .categorical("c", 4)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..600)
+            .map(|i| {
+                let h = crate::theory::mix(i);
+                cat_tuple(&[
+                    (h % 10) as u32,
+                    ((h >> 8) % 6) as u32,
+                    ((h >> 16) % 4) as u32,
+                ])
+            })
+            .collect();
+        let (n, k) = (tuples.len() as f64, 8f64);
+        let bound = crate::theory::slice_cover_bound(&[10, 6, 4], n, k);
+        for crawler in [SliceCover::eager(), SliceCover::lazy()] {
+            let mut db = HiddenDbServer::new(
+                schema.clone(),
+                tuples.clone(),
+                ServerConfig { k: 8, seed: 3 },
+            )
+            .unwrap();
+            let report = crawler.crawl(&mut db).unwrap();
+            verify_complete(&tuples, &report).unwrap();
+            assert!(
+                (report.queries as f64) <= bound,
+                "{}: {} > {bound}",
+                crawler.name(),
+                report.queries
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_account_for_slices_and_local_answers() {
+        let mut db = figure5_server(3);
+        let report = SliceCover::eager().crawl(&mut db).unwrap();
+        // Eager preprocessing fetches all Σ Ui = 8 slices; A1 ∈ {1, 3}
+        // (paper numbering) overflow.
+        assert_eq!(report.metrics.slice_fetches, 8);
+        assert_eq!(report.metrics.slice_overflows, 2);
+        // Local answers: 2 root children (A1 = 2, 4) + 4 children of each
+        // of the two recursed nodes = 10.
+        assert_eq!(report.metrics.local_answers, 10);
+        assert_eq!(
+            report.metrics.leaf_subcrawls, 0,
+            "pure categorical: point leaves"
+        );
+    }
+
+    #[test]
+    fn lazy_never_costs_more_than_eager() {
+        for seed in 0..5u64 {
+            let schema = Schema::builder()
+                .categorical("a", 8)
+                .categorical("b", 8)
+                .build()
+                .unwrap();
+            // Bounded multiplicity (≤ 3 < k) so every instance is solvable.
+            let tuples: Vec<Tuple> = (0..64u64)
+                .flat_map(|p| {
+                    let copies = crate::theory::mix(p * 31 + seed) % 4;
+                    (0..copies).map(move |_| cat_tuple(&[(p % 8) as u32, (p / 8) as u32]))
+                })
+                .collect();
+            let mut db_l =
+                HiddenDbServer::new(schema.clone(), tuples.clone(), ServerConfig { k: 6, seed })
+                    .unwrap();
+            let mut db_e =
+                HiddenDbServer::new(schema, tuples, ServerConfig { k: 6, seed }).unwrap();
+            let lazy = SliceCover::lazy().crawl(&mut db_l).unwrap();
+            let eager = SliceCover::eager().crawl(&mut db_e).unwrap();
+            assert!(lazy.queries <= eager.queries, "seed {seed}");
+        }
+    }
+}

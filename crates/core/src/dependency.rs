@@ -1,0 +1,155 @@
+//! Attribute-dependency pruning (the §1.3 heuristic).
+//!
+//! Real data spaces are sparse: "with proper external knowledge of the
+//! dependency between MAKE and BODY STYLE, one does not need to explore
+//! points with MAKE = BMW and BODY STYLE = TRUCK." The paper's heuristic:
+//! "the crawler issues a query demanded by our algorithm only if the query
+//! covers at least one valid point … The query cost can only go down,
+//! i.e., still guaranteed to be below our upper bounds."
+//!
+//! A [`ValidityOracle`] encodes such knowledge. It must be **sound**: if
+//! [`ValidityOracle::may_match`] returns `false`, no tuple of the database
+//! satisfies the query. (Completeness is not required — answering `true`
+//! always is the trivial sound oracle.) The crawl session answers
+//! provably-empty queries locally, charging nothing.
+
+use std::collections::HashSet;
+
+use hdc_types::{Predicate, Query, Tuple};
+
+/// Knowledge about which queries can possibly return tuples.
+pub trait ValidityOracle {
+    /// Must return `true` whenever some tuple of the database satisfies
+    /// `q` (soundness). Returning `false` lets the crawler skip the query.
+    fn may_match(&self, q: &Query) -> bool;
+}
+
+/// Perfect dependency knowledge distilled from a tuple collection: a query
+/// "may match" iff some tuple actually matches it. Sound by construction;
+/// used in experiments as the upper bound on what dependency pruning can
+/// save.
+#[derive(Debug)]
+pub struct DatasetOracle {
+    tuples: Vec<Tuple>,
+}
+
+impl DatasetOracle {
+    /// Builds the oracle over the given ground-truth tuples.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        DatasetOracle { tuples }
+    }
+}
+
+impl ValidityOracle for DatasetOracle {
+    fn may_match(&self, q: &Query) -> bool {
+        self.tuples.iter().any(|t| q.matches(t))
+    }
+}
+
+/// Pairwise categorical dependency rules: the set of `(value_a, value_b)`
+/// combinations that occur on attributes `a` and `b` (e.g. Make →
+/// Body-style). A query is prunable when it pins both attributes to a
+/// combination outside the set.
+#[derive(Debug)]
+pub struct PairRuleOracle {
+    attr_a: usize,
+    attr_b: usize,
+    allowed: HashSet<(u32, u32)>,
+}
+
+impl PairRuleOracle {
+    /// Creates a rule set for attributes `attr_a` and `attr_b` allowing
+    /// exactly the given value combinations.
+    pub fn new(attr_a: usize, attr_b: usize, allowed: HashSet<(u32, u32)>) -> Self {
+        assert_ne!(attr_a, attr_b, "a dependency needs two distinct attributes");
+        PairRuleOracle {
+            attr_a,
+            attr_b,
+            allowed,
+        }
+    }
+
+    /// Distills the rule set from ground-truth tuples (sound by
+    /// construction).
+    pub fn from_tuples(attr_a: usize, attr_b: usize, tuples: &[Tuple]) -> Self {
+        let allowed = tuples
+            .iter()
+            .map(|t| (t.get(attr_a).expect_cat(), t.get(attr_b).expect_cat()))
+            .collect();
+        Self::new(attr_a, attr_b, allowed)
+    }
+
+    /// Number of allowed combinations.
+    pub fn allowed_len(&self) -> usize {
+        self.allowed.len()
+    }
+}
+
+impl ValidityOracle for PairRuleOracle {
+    fn may_match(&self, q: &Query) -> bool {
+        match (q.pred(self.attr_a), q.pred(self.attr_b)) {
+            (Predicate::Eq(va), Predicate::Eq(vb)) => self.allowed.contains(&(va, vb)),
+            // Unless both attributes are pinned the rule cannot prove
+            // emptiness.
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::cat_tuple;
+
+    #[test]
+    fn dataset_oracle_is_exact() {
+        let tuples = vec![cat_tuple(&[0, 1]), cat_tuple(&[1, 0])];
+        let oracle = DatasetOracle::new(tuples);
+        let q_hit = Query::new(vec![Predicate::Eq(0), Predicate::Any]);
+        let q_miss = Query::new(vec![Predicate::Eq(0), Predicate::Eq(0)]);
+        assert!(oracle.may_match(&q_hit));
+        assert!(!oracle.may_match(&q_miss));
+    }
+
+    #[test]
+    fn pair_rules_prune_only_fully_pinned_queries() {
+        let tuples = vec![cat_tuple(&[0, 1]), cat_tuple(&[1, 0])];
+        let oracle = PairRuleOracle::from_tuples(0, 1, &tuples);
+        assert_eq!(oracle.allowed_len(), 2);
+        // Pinned to a combination that exists.
+        assert!(oracle.may_match(&Query::new(vec![Predicate::Eq(0), Predicate::Eq(1)])));
+        // Pinned to a combination that does not exist.
+        assert!(!oracle.may_match(&Query::new(vec![Predicate::Eq(0), Predicate::Eq(0)])));
+        // Half-pinned: cannot prove emptiness.
+        assert!(oracle.may_match(&Query::new(vec![Predicate::Eq(0), Predicate::Any])));
+        assert!(oracle.may_match(&Query::new(vec![Predicate::Any, Predicate::Eq(0)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct attributes")]
+    fn pair_rule_rejects_same_attribute() {
+        PairRuleOracle::new(1, 1, HashSet::new());
+    }
+
+    #[test]
+    fn pair_rule_soundness_on_sample() {
+        // Any query that matches some tuple must get may_match = true.
+        let tuples: Vec<_> = (0..4u32)
+            .flat_map(|a| {
+                (0..4u32)
+                    .filter(move |b| (a + b) % 2 == 0)
+                    .map(move |b| cat_tuple(&[a, b]))
+            })
+            .collect();
+        let oracle = PairRuleOracle::from_tuples(0, 1, &tuples);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let q = Query::new(vec![Predicate::Eq(a), Predicate::Eq(b)]);
+                let matches_some = tuples.iter().any(|t| q.matches(t));
+                if matches_some {
+                    assert!(oracle.may_match(&q));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The **hybrid** algorithm for mixed data spaces (§5).
+//!
+//! Hybrid composes the two optimal algorithms: (lazy) slice-cover
+//! enumerates the categorical subspace `D_CAT`; whenever its extended-DFS
+//! reaches a categorical point `p_CAT` that is not answered locally, a
+//! rank-shrink instance crawls the numeric subspace `D_NUM(p_CAT)` — the
+//! same queries with the categorical attributes pinned to `p_CAT` (the
+//! paper's "numeric server emulation"). Lemma 9 gives the combined bound:
+//! `(n/k)·Σ_{i≤cat} min{Ui, n/k} + Σ_{i≤cat} Ui + O((d−cat)·n/k)`, and
+//! `U1 + O(d·n/k)` when `cat = 1`.
+//!
+//! The composition degenerates gracefully: with no categorical attributes
+//! it *is* rank-shrink, with no numeric attributes it *is*
+//! lazy-slice-cover, so [`Hybrid`] accepts every schema.
+
+use hdc_types::{HiddenDatabase, Query, Schema};
+
+use crate::categorical::slice_cover::{extended_dfs, LeafMode, SliceTable};
+use crate::crawler::Crawler;
+use crate::dependency::ValidityOracle;
+use crate::numeric::rank_shrink::RankShrink;
+use crate::report::{CrawlError, CrawlReport};
+use crate::session::run_crawl;
+
+/// The hybrid crawler (§5).
+pub struct Hybrid<'o> {
+    eager: bool,
+    oracle: Option<&'o dyn ValidityOracle>,
+}
+
+impl Default for Hybrid<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'o> Hybrid<'o> {
+    /// Hybrid with the paper's configuration (lazy slice fetching).
+    pub fn new() -> Self {
+        Hybrid {
+            eager: false,
+            oracle: None,
+        }
+    }
+
+    /// Variant with the eager slice-cover preprocessing phase (for
+    /// ablation; the paper's hybrid is built on lazy-slice-cover).
+    pub fn eager() -> Self {
+        Hybrid {
+            eager: true,
+            oracle: None,
+        }
+    }
+
+    /// Attaches a §1.3 validity oracle.
+    pub fn with_oracle(oracle: &'o dyn ValidityOracle) -> Self {
+        Hybrid {
+            eager: false,
+            oracle: Some(oracle),
+        }
+    }
+}
+
+impl Crawler for Hybrid<'_> {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn supports(&self, _schema: &Schema) -> bool {
+        true
+    }
+
+    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+        let schema = db.schema().clone();
+        let cat_dims = schema.cat_indices();
+        let num_dims = schema.num_indices();
+        let rank = RankShrink::new();
+        run_crawl(self.name(), db, self.oracle, |session| {
+            if cat_dims.is_empty() {
+                // Pure numeric: hybrid degenerates to rank-shrink.
+                return rank.run_subspace(session, Query::any(schema.arity()), &num_dims);
+            }
+            let mut table = SliceTable::new(&schema, &cat_dims);
+            if self.eager {
+                table.prefetch_all(session)?;
+            }
+            let leaf = if num_dims.is_empty() {
+                LeafMode::Point
+            } else {
+                LeafMode::Numeric {
+                    rank: &rank,
+                    dims: &num_dims,
+                }
+            };
+            extended_dfs(session, &mut table, &leaf)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::verify_complete;
+    use hdc_server::{HiddenDbServer, ServerConfig};
+    use hdc_types::tuple::{cat_tuple, int_tuple};
+    use hdc_types::{Tuple, Value};
+
+    fn mixed_schema() -> Schema {
+        Schema::builder()
+            .categorical("make", 4)
+            .numeric("price", 0, 10_000)
+            .categorical("body", 3)
+            .numeric("year", 1990, 2012)
+            .build()
+            .unwrap()
+    }
+
+    fn mixed_tuples(count: usize) -> Vec<Tuple> {
+        (0..count)
+            .map(|i| {
+                let h = crate::theory::mix(i as u64);
+                Tuple::new(vec![
+                    Value::Cat((h % 4) as u32),
+                    Value::Int(((h >> 8) % 10_000) as i64),
+                    Value::Cat(((h >> 24) % 3) as u32),
+                    Value::Int(1990 + ((h >> 32) % 23) as i64),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crawls_mixed_space_completely() {
+        let tuples = mixed_tuples(3_000);
+        let mut db = HiddenDbServer::new(
+            mixed_schema(),
+            tuples.clone(),
+            ServerConfig { k: 64, seed: 5 },
+        )
+        .unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+    }
+
+    #[test]
+    fn eager_variant_also_complete_and_never_cheaper() {
+        let tuples = mixed_tuples(2_000);
+        let mut db_l = HiddenDbServer::new(
+            mixed_schema(),
+            tuples.clone(),
+            ServerConfig { k: 64, seed: 6 },
+        )
+        .unwrap();
+        let mut db_e = HiddenDbServer::new(
+            mixed_schema(),
+            tuples.clone(),
+            ServerConfig { k: 64, seed: 6 },
+        )
+        .unwrap();
+        let lazy = Hybrid::new().crawl(&mut db_l).unwrap();
+        let eager = Hybrid::eager().crawl(&mut db_e).unwrap();
+        verify_complete(&tuples, &lazy).unwrap();
+        verify_complete(&tuples, &eager).unwrap();
+        assert!(lazy.queries <= eager.queries);
+    }
+
+    #[test]
+    fn degenerates_to_rank_shrink_on_numeric_schemas() {
+        let schema = Schema::builder().numeric("x", 0, 999).build().unwrap();
+        let tuples: Vec<Tuple> = (0..300).map(|v| int_tuple(&[v as i64])).collect();
+        let mut db_h = HiddenDbServer::new(
+            schema.clone(),
+            tuples.clone(),
+            ServerConfig { k: 8, seed: 7 },
+        )
+        .unwrap();
+        let mut db_r =
+            HiddenDbServer::new(schema, tuples.clone(), ServerConfig { k: 8, seed: 7 }).unwrap();
+        let hybrid = Hybrid::new().crawl(&mut db_h).unwrap();
+        let rank = RankShrink::new().crawl(&mut db_r).unwrap();
+        verify_complete(&tuples, &hybrid).unwrap();
+        assert_eq!(hybrid.queries, rank.queries);
+    }
+
+    #[test]
+    fn degenerates_to_lazy_slice_cover_on_categorical_schemas() {
+        use crate::categorical::slice_cover::SliceCover;
+        let schema = Schema::builder()
+            .categorical("a", 5)
+            .categorical("b", 5)
+            .build()
+            .unwrap();
+        // Bounded multiplicity (≤ 3 < k) so the instance is solvable.
+        let tuples: Vec<Tuple> = (0..25u64)
+            .flat_map(|p| {
+                let copies = 1 + crate::theory::mix(p) % 3;
+                (0..copies).map(move |_| cat_tuple(&[(p % 5) as u32, (p / 5) as u32]))
+            })
+            .collect();
+        let mut db_h = HiddenDbServer::new(
+            schema.clone(),
+            tuples.clone(),
+            ServerConfig { k: 6, seed: 8 },
+        )
+        .unwrap();
+        let mut db_s =
+            HiddenDbServer::new(schema, tuples.clone(), ServerConfig { k: 6, seed: 8 }).unwrap();
+        let hybrid = Hybrid::new().crawl(&mut db_h).unwrap();
+        let slice = SliceCover::lazy().crawl(&mut db_s).unwrap();
+        verify_complete(&tuples, &hybrid).unwrap();
+        assert_eq!(hybrid.queries, slice.queries);
+    }
+
+    #[test]
+    fn unsolvable_duplicate_point_detected() {
+        // 10 identical tuples, k = 4: the numeric leaf crawl must hit an
+        // exhausted point that still overflows.
+        let tuples: Vec<Tuple> = std::iter::repeat(Tuple::new(vec![
+            Value::Cat(1),
+            Value::Int(5),
+            Value::Cat(2),
+            Value::Int(2000),
+        ]))
+        .take(10)
+        .collect();
+        let mut db =
+            HiddenDbServer::new(mixed_schema(), tuples, ServerConfig { k: 4, seed: 9 }).unwrap();
+        let err = Hybrid::new().crawl(&mut db).unwrap_err();
+        assert!(matches!(err, CrawlError::Unsolvable { .. }));
+    }
+
+    #[test]
+    fn duplicates_at_k_boundary_succeed() {
+        // Exactly k duplicates at one point is still solvable.
+        let mut tuples = mixed_tuples(500);
+        tuples.extend(
+            std::iter::repeat(Tuple::new(vec![
+                Value::Cat(0),
+                Value::Int(1),
+                Value::Cat(0),
+                Value::Int(1995),
+            ]))
+            .take(16),
+        );
+        let mut db = HiddenDbServer::new(
+            mixed_schema(),
+            tuples.clone(),
+            ServerConfig { k: 16, seed: 10 },
+        )
+        .unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+    }
+
+    #[test]
+    fn cat_equals_one_schema() {
+        // cat = 1 (paper's special case: cost U1 + O(d n/k)).
+        let schema = Schema::builder()
+            .categorical("c", 6)
+            .numeric("x", 0, 999)
+            .numeric("y", 0, 999)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..1_000)
+            .map(|i| {
+                let h = crate::theory::mix(i);
+                Tuple::new(vec![
+                    Value::Cat((h % 6) as u32),
+                    Value::Int(((h >> 8) % 1000) as i64),
+                    Value::Int(((h >> 24) % 1000) as i64),
+                ])
+            })
+            .collect();
+        let mut db =
+            HiddenDbServer::new(schema, tuples.clone(), ServerConfig { k: 32, seed: 11 }).unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+        let bound = crate::theory::hybrid_bound(&[6], 3, tuples.len() as f64, 32.0);
+        assert!(
+            (report.queries as f64) <= bound,
+            "{} > {bound}",
+            report.queries
+        );
+    }
+
+    #[test]
+    fn metrics_count_leaf_subcrawls() {
+        let tuples = mixed_tuples(3_000);
+        let mut db = HiddenDbServer::new(
+            mixed_schema(),
+            tuples.clone(),
+            ServerConfig { k: 64, seed: 5 },
+        )
+        .unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        assert!(
+            report.metrics.leaf_subcrawls > 0,
+            "overflowing leaves spawn rank-shrink"
+        );
+        assert!(report.metrics.slice_fetches > 0);
+    }
+
+    #[test]
+    fn empty_mixed_database() {
+        let mut db =
+            HiddenDbServer::new(mixed_schema(), vec![], ServerConfig { k: 4, seed: 0 }).unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        assert!(report.tuples.is_empty());
+        // Lazy slice fetches on the first categorical attribute resolve
+        // (empty), so the cost is U1 = 4.
+        assert_eq!(report.queries, 4);
+    }
+
+    #[test]
+    fn numeric_attributes_interleaved_with_categorical() {
+        // Schema order num-cat-num-cat: hybrid must handle any interleaving.
+        let schema = Schema::builder()
+            .numeric("x", 0, 99)
+            .categorical("a", 3)
+            .numeric("y", 0, 99)
+            .categorical("b", 3)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..800)
+            .map(|i| {
+                let h = crate::theory::mix(i + 999);
+                Tuple::new(vec![
+                    Value::Int((h % 100) as i64),
+                    Value::Cat(((h >> 8) % 3) as u32),
+                    Value::Int(((h >> 16) % 100) as i64),
+                    Value::Cat(((h >> 32) % 3) as u32),
+                ])
+            })
+            .collect();
+        let mut db =
+            HiddenDbServer::new(schema, tuples.clone(), ServerConfig { k: 16, seed: 12 }).unwrap();
+        let report = Hybrid::new().crawl(&mut db).unwrap();
+        verify_complete(&tuples, &report).unwrap();
+    }
+}

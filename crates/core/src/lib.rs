@@ -1,0 +1,65 @@
+//! Crawling algorithms from *Optimal Algorithms for Crawling a Hidden
+//! Database in the Web* (Sheng, Zhang, Tao, Jin; VLDB 2012).
+//!
+//! Given only the top-`k` query interface of a hidden database
+//! ([`hdc_types::HiddenDatabase`]), these algorithms extract the complete
+//! tuple bag while minimizing the number of queries — the paper's Problem 1.
+//!
+//! # Algorithms
+//!
+//! | type | algorithm | paper § | worst-case cost |
+//! |------|-----------|---------|------------------|
+//! | numeric | [`BinaryShrink`] (baseline) | 2.1 | depends on domain width |
+//! | numeric | [`RankShrink`] | 2.2–2.3 | `O(d·n/k)` — optimal |
+//! | categorical | [`Dfs`] (baseline, from \[15\]) | 3.1 | exponential in the worst case |
+//! | categorical | [`SliceCover`] (eager or lazy) | 3.2 | `Σ Ui + (n/k)·Σ min{Ui, n/k}` — optimal |
+//! | mixed | [`Hybrid`] | 5 | categorical bound + `O((d−cat)·n/k)` — optimal |
+//!
+//! # Usage
+//!
+//! ```
+//! use hdc_core::{Crawler, RankShrink};
+//! use hdc_server::{HiddenDbServer, ServerConfig};
+//! use hdc_types::tuple::int_tuple;
+//! use hdc_types::Schema;
+//!
+//! let schema = Schema::builder().numeric("x", 0, 999).build().unwrap();
+//! let rows: Vec<_> = (0..500).map(|v| int_tuple(&[v])).collect();
+//! let mut db =
+//!     HiddenDbServer::new(schema, rows.clone(), ServerConfig { k: 16, seed: 7 }).unwrap();
+//!
+//! let report = RankShrink::new().crawl(&mut db).unwrap();
+//! assert_eq!(report.tuples.len(), rows.len());          // every tuple extracted
+//! assert!(report.queries < 500);                         // with far fewer queries
+//! ```
+//!
+//! Every crawl returns a [`CrawlReport`] carrying the extracted bag, the
+//! query count (the paper's cost metric), and the progress curve used for
+//! the Figure 13 progressiveness experiment. Failures ([`CrawlError`])
+//! carry the partial report, so budget-limited crawls keep what they paid
+//! for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categorical;
+pub mod crawler;
+pub mod dependency;
+pub mod hybrid;
+pub mod numeric;
+pub mod report;
+pub mod session;
+pub mod sharded;
+pub mod theory;
+pub mod validate;
+
+pub use categorical::dfs::Dfs;
+pub use categorical::slice_cover::SliceCover;
+pub use crawler::Crawler;
+pub use dependency::{DatasetOracle, PairRuleOracle, ValidityOracle};
+pub use hybrid::Hybrid;
+pub use numeric::binary_shrink::BinaryShrink;
+pub use numeric::rank_shrink::RankShrink;
+pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
+pub use sharded::{ShardSpec, Sharded, ShardedReport};
+pub use validate::verify_complete;

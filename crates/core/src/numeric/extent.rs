@@ -1,0 +1,175 @@
+//! Rectangle geometry over query predicates.
+//!
+//! A numeric query is an axis-parallel rectangle (§2.1); its extent along
+//! attribute `a` is the range of the predicate on `a`. The wildcard is the
+//! unbounded extent `(-∞, ∞)`, represented as the full `i64` range.
+
+use hdc_types::{Predicate, Query};
+
+/// The extent `[lo, hi]` of `q` along numeric attribute `a`.
+///
+/// # Panics
+/// Panics if the predicate on `a` is a categorical equality.
+pub(crate) fn extent(q: &Query, a: usize) -> (i64, i64) {
+    match q.pred(a) {
+        Predicate::Range { lo, hi } => (lo, hi),
+        Predicate::Any => (i64::MIN, i64::MAX),
+        Predicate::Eq(_) => panic!("attribute {a} is categorical, not numeric"),
+    }
+}
+
+/// Whether attribute `a` is exhausted on `q` (its extent covers a single
+/// value — §2.1).
+pub(crate) fn is_exhausted(q: &Query, a: usize) -> bool {
+    let (lo, hi) = extent(q, a);
+    lo == hi
+}
+
+/// 2-way split of `q` at `x` along `a` (§2.1, Figure 2a):
+/// `q_left` gets `[lo, x−1]`, `q_right` gets `[x, hi]`.
+///
+/// # Panics
+/// Debug-asserts `lo < x ≤ hi`; under that precondition `x − 1` cannot
+/// underflow.
+pub(crate) fn split2(q: &Query, a: usize, x: i64) -> (Query, Query) {
+    let (lo, hi) = extent(q, a);
+    debug_assert!(lo < x && x <= hi, "split point {x} outside ({lo}, {hi}]");
+    let left = q.with_pred(a, Predicate::Range { lo, hi: x - 1 });
+    let right = q.with_pred(a, Predicate::Range { lo: x, hi });
+    (left, right)
+}
+
+/// 3-way split of `q` at `x` along `a` (§2.1, Figure 2b): `[lo, x−1]`,
+/// `[x, x]`, `[x+1, hi]`. The side rectangles are `None` when their extent
+/// would be empty (`x` on a boundary) — the paper discards those.
+pub(crate) fn split3(q: &Query, a: usize, x: i64) -> (Option<Query>, Query, Option<Query>) {
+    let (lo, hi) = extent(q, a);
+    debug_assert!(lo <= x && x <= hi, "split point {x} outside [{lo}, {hi}]");
+    let left = (x > lo).then(|| q.with_pred(a, Predicate::Range { lo, hi: x - 1 }));
+    let mid = q.with_pred(a, Predicate::Range { lo: x, hi: x });
+    let right = (x < hi).then(|| q.with_pred(a, Predicate::Range { lo: x + 1, hi }));
+    (left, mid, right)
+}
+
+/// Midpoint split value `⌈(lo + hi) / 2⌉` without overflow (binary-shrink,
+/// §2.1).
+pub(crate) fn midpoint_ceil(lo: i64, hi: i64) -> i64 {
+    debug_assert!(lo < hi);
+    let sum = lo as i128 + hi as i128;
+    // Ceiling division by 2: Rust's `/` truncates toward zero, which is
+    // already the ceiling for negative sums.
+    let half = if sum >= 0 { (sum + 1) / 2 } else { sum / 2 };
+    half as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2(lo0: i64, hi0: i64, lo1: i64, hi1: i64) -> Query {
+        Query::new(vec![
+            Predicate::Range { lo: lo0, hi: hi0 },
+            Predicate::Range { lo: lo1, hi: hi1 },
+        ])
+    }
+
+    #[test]
+    fn extent_reads_ranges_and_wildcards() {
+        let q = Query::new(vec![Predicate::Any, Predicate::Range { lo: 3, hi: 9 }]);
+        assert_eq!(extent(&q, 0), (i64::MIN, i64::MAX));
+        assert_eq!(extent(&q, 1), (3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical")]
+    fn extent_rejects_categorical() {
+        let q = Query::new(vec![Predicate::Eq(0)]);
+        extent(&q, 0);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let q = q2(5, 5, 0, 9);
+        assert!(is_exhausted(&q, 0));
+        assert!(!is_exhausted(&q, 1));
+    }
+
+    #[test]
+    fn split2_partitions() {
+        let q = q2(0, 10, -5, 5);
+        let (l, r) = split2(&q, 0, 4);
+        assert_eq!(extent(&l, 0), (0, 3));
+        assert_eq!(extent(&r, 0), (4, 10));
+        // Other attribute untouched.
+        assert_eq!(extent(&l, 1), (-5, 5));
+        assert_eq!(extent(&r, 1), (-5, 5));
+    }
+
+    #[test]
+    fn split3_interior() {
+        let q = q2(0, 10, 0, 0);
+        let (l, m, r) = split3(&q, 0, 4);
+        assert_eq!(extent(&l.unwrap(), 0), (0, 3));
+        assert_eq!(extent(&m, 0), (4, 4));
+        assert_eq!(extent(&r.unwrap(), 0), (5, 10));
+    }
+
+    #[test]
+    fn split3_boundaries_discard_empty_sides() {
+        let q = q2(0, 10, 0, 0);
+        let (l, m, r) = split3(&q, 0, 0);
+        assert!(l.is_none());
+        assert_eq!(extent(&m, 0), (0, 0));
+        assert_eq!(extent(&r.unwrap(), 0), (1, 10));
+
+        let (l, m, r) = split3(&q, 0, 10);
+        assert_eq!(extent(&l.unwrap(), 0), (0, 9));
+        assert_eq!(extent(&m, 0), (10, 10));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn splits_work_on_unbounded_extents() {
+        let q = Query::new(vec![Predicate::Any]);
+        let (l, r) = split2(&q, 0, 0);
+        assert_eq!(extent(&l, 0), (i64::MIN, -1));
+        assert_eq!(extent(&r, 0), (0, i64::MAX));
+        // Split at the extreme data values without overflow.
+        let (l, m, r) = split3(&q, 0, i64::MIN);
+        assert!(l.is_none());
+        assert_eq!(extent(&m, 0), (i64::MIN, i64::MIN));
+        assert_eq!(extent(&r.unwrap(), 0), (i64::MIN + 1, i64::MAX));
+        let (l, m, r) = split3(&q, 0, i64::MAX);
+        assert_eq!(extent(&l.unwrap(), 0), (i64::MIN, i64::MAX - 1));
+        assert_eq!(extent(&m, 0), (i64::MAX, i64::MAX));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn midpoint_ceil_values() {
+        assert_eq!(midpoint_ceil(0, 1), 1);
+        assert_eq!(midpoint_ceil(0, 2), 1);
+        assert_eq!(midpoint_ceil(0, 10), 5);
+        assert_eq!(midpoint_ceil(1, 10), 6); // ceil(5.5)
+        assert_eq!(midpoint_ceil(-10, -1), -5); // ceil(-5.5)
+        assert_eq!(midpoint_ceil(-3, 2), 0); // ceil(-0.5)
+        assert_eq!(midpoint_ceil(i64::MIN, i64::MAX), 0);
+        assert_eq!(midpoint_ceil(i64::MAX - 1, i64::MAX), i64::MAX);
+        assert_eq!(midpoint_ceil(i64::MIN, i64::MIN + 1), i64::MIN + 1);
+    }
+
+    #[test]
+    fn midpoint_always_strictly_above_lo() {
+        // Binary-shrink relies on lo < mid ≤ hi for progress.
+        for (lo, hi) in [
+            (0i64, 1),
+            (-5, 5),
+            (7, 8),
+            (-100, -99),
+            (i64::MIN, i64::MAX),
+        ] {
+            let m = midpoint_ceil(lo, hi);
+            assert!(lo < m && m <= hi, "({lo},{hi}) -> {m}");
+        }
+    }
+}

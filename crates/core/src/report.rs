@@ -1,0 +1,275 @@
+//! Crawl results and errors.
+
+use std::fmt;
+
+use hdc_types::{DbError, Query, Tuple};
+
+/// One point of the progressiveness curve: after `queries` queries, the
+/// crawler had output `tuples` tuples (Figure 13 plots exactly this,
+/// normalized to percentages).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProgressPoint {
+    /// Queries issued so far.
+    pub queries: u64,
+    /// Tuples output so far.
+    pub tuples: u64,
+}
+
+/// Algorithm-internal counters, always collected (cheap integer
+/// increments). These expose *why* a crawl cost what it did — e.g. the
+/// paper explains rank-shrink's d-independence on Adult-numeric by 3-way
+/// splits being rare (§6, Figure 10b discussion), which
+/// [`CrawlMetrics::three_way_splits`] lets experiments verify directly.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CrawlMetrics {
+    /// Rank-/binary-shrink 2-way splits performed.
+    pub two_way_splits: u64,
+    /// Rank-shrink 3-way splits performed (duplicate-heavy pivots).
+    pub three_way_splits: u64,
+    /// Slice queries fetched into the lookup table (slice-cover/hybrid).
+    pub slice_fetches: u64,
+    /// Fetched slices that overflowed (only the bit is kept, §3.2).
+    pub slice_overflows: u64,
+    /// Child nodes answered locally from a resolved slice (no server
+    /// query — the mechanism behind lazy-slice-cover's win).
+    pub local_answers: u64,
+    /// Rank-shrink sub-crawls launched at categorical leaves (hybrid §5).
+    pub leaf_subcrawls: u64,
+}
+
+/// The result of a crawl.
+#[derive(Clone, Debug)]
+pub struct CrawlReport {
+    /// Name of the algorithm that produced the report.
+    pub algorithm: &'static str,
+    /// Every tuple extracted (for a successful crawl: the complete bag
+    /// `D`, each tuple reported exactly once per occurrence).
+    pub tuples: Vec<Tuple>,
+    /// Number of queries issued — the paper's cost metric.
+    pub queries: u64,
+    /// How many of those queries resolved.
+    pub resolved: u64,
+    /// How many overflowed.
+    pub overflowed: u64,
+    /// Queries answered locally by a [`crate::ValidityOracle`] (§1.3
+    /// dependency pruning) — these cost nothing and are *not* included in
+    /// `queries`; `resolved + overflowed == queries` always holds.
+    pub pruned: u64,
+    /// Algorithm-internal counters (splits, slice fetches, local answers).
+    pub metrics: CrawlMetrics,
+    /// The progress curve (monotone in both coordinates).
+    pub progress: Vec<ProgressPoint>,
+}
+
+impl CrawlReport {
+    /// Fraction of issued queries that resolved.
+    pub fn resolution_rate(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.resolved as f64 / self.queries as f64
+        }
+    }
+
+    /// Queries per extracted tuple (∞ if nothing was extracted).
+    pub fn queries_per_tuple(&self) -> f64 {
+        if self.tuples.is_empty() {
+            f64::INFINITY
+        } else {
+            self.queries as f64 / self.tuples.len() as f64
+        }
+    }
+
+    /// Maximum vertical deviation of the (normalized) progress curve from
+    /// the diagonal, in [0, 1]. Small values mean the crawler outputs
+    /// tuples at a steady rate — the paper's "linear progressiveness"
+    /// (Figure 13).
+    pub fn progress_deviation(&self) -> f64 {
+        let (total_q, total_t) = match self.progress.last() {
+            Some(last) if last.queries > 0 && last.tuples > 0 => (last.queries, last.tuples),
+            _ => return 0.0,
+        };
+        self.progress
+            .iter()
+            .map(|p| {
+                let x = p.queries as f64 / total_q as f64;
+                let y = p.tuples as f64 / total_t as f64;
+                (x - y).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for CrawlReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} tuples in {} queries ({} resolved, {} overflowed)",
+            self.algorithm,
+            self.tuples.len(),
+            self.queries,
+            self.resolved,
+            self.overflowed
+        )
+    }
+}
+
+/// A failed crawl. Both variants carry the partial report so callers keep
+/// the tuples already paid for.
+#[derive(Debug)]
+pub enum CrawlError {
+    /// The interface failed (budget exhausted, invalid query, transport).
+    Db {
+        /// The underlying interface error.
+        error: DbError,
+        /// Everything extracted before the failure (boxed: the report is
+        /// large and the error path must stay cheap for `Result`).
+        partial: Box<CrawlReport>,
+    },
+    /// Problem 1 is unsolvable on this database: a single point of the
+    /// data space holds more than `k` tuples, so the server can forever
+    /// withhold one of them (§1.1). The witness query pins that point.
+    Unsolvable {
+        /// A point query that overflowed.
+        witness: Query,
+        /// Everything extracted before detection.
+        partial: Box<CrawlReport>,
+    },
+}
+
+impl CrawlError {
+    /// The partial report produced before the failure.
+    pub fn partial(&self) -> &CrawlReport {
+        match self {
+            CrawlError::Db { partial, .. } => partial,
+            CrawlError::Unsolvable { partial, .. } => partial,
+        }
+    }
+
+    /// Consumes the error, returning the partial report.
+    pub fn into_partial(self) -> CrawlReport {
+        match self {
+            CrawlError::Db { partial, .. } => *partial,
+            CrawlError::Unsolvable { partial, .. } => *partial,
+        }
+    }
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrawlError::Db { error, partial } => write!(
+                f,
+                "crawl aborted after {} queries / {} tuples: {error}",
+                partial.queries,
+                partial.tuples.len()
+            ),
+            CrawlError::Unsolvable { witness, partial } => write!(
+                f,
+                "database is not crawlable at k: point query `{witness}` overflowed \
+                 (>k duplicates); {} tuples extracted",
+                partial.tuples.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+
+    fn report(progress: Vec<ProgressPoint>) -> CrawlReport {
+        CrawlReport {
+            algorithm: "test",
+            tuples: vec![int_tuple(&[1]); 10],
+            queries: 5,
+            resolved: 4,
+            overflowed: 1,
+            pruned: 0,
+            metrics: CrawlMetrics::default(),
+            progress,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = report(vec![]);
+        assert!((r.resolution_rate() - 0.8).abs() < 1e-12);
+        assert!((r.queries_per_tuple() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_query_report() {
+        let r = CrawlReport {
+            algorithm: "t",
+            tuples: vec![],
+            queries: 0,
+            resolved: 0,
+            overflowed: 0,
+            pruned: 0,
+            metrics: CrawlMetrics::default(),
+            progress: vec![],
+        };
+        assert_eq!(r.resolution_rate(), 1.0);
+        assert!(r.queries_per_tuple().is_infinite());
+        assert_eq!(r.progress_deviation(), 0.0);
+    }
+
+    #[test]
+    fn progress_deviation_diagonal_is_zero() {
+        let pts = (0..=10)
+            .map(|i| ProgressPoint {
+                queries: i,
+                tuples: i,
+            })
+            .collect();
+        assert!(report(pts).progress_deviation() < 1e-12);
+    }
+
+    #[test]
+    fn progress_deviation_detects_backloading() {
+        // All tuples arrive at the very end: deviation near 1.
+        let pts = vec![
+            ProgressPoint {
+                queries: 1,
+                tuples: 0,
+            },
+            ProgressPoint {
+                queries: 99,
+                tuples: 0,
+            },
+            ProgressPoint {
+                queries: 100,
+                tuples: 100,
+            },
+        ];
+        assert!(report(pts).progress_deviation() > 0.9);
+    }
+
+    #[test]
+    fn error_partial_access() {
+        let r = report(vec![]);
+        let e = CrawlError::Db {
+            error: DbError::BudgetExhausted {
+                issued: 5,
+                limit: 5,
+            },
+            partial: Box::new(r),
+        };
+        assert_eq!(e.partial().tuples.len(), 10);
+        assert!(e.to_string().contains("aborted after 5 queries"));
+        assert_eq!(e.into_partial().queries, 5);
+    }
+
+    #[test]
+    fn unsolvable_display() {
+        let e = CrawlError::Unsolvable {
+            witness: Query::any(1),
+            partial: Box::new(report(vec![])),
+        };
+        assert!(e.to_string().contains("not crawlable"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Crawl sessions: query accounting, output collection, progress curves.
+
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
+
+use crate::dependency::ValidityOracle;
+use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
+
+/// Internal abort signal raised inside an algorithm; the session converts
+/// it into a [`CrawlError`] carrying the partial report.
+#[derive(Debug)]
+pub(crate) enum Abort {
+    Db(DbError),
+    Unsolvable(Query),
+}
+
+/// A single crawl in flight.
+///
+/// All algorithms drive the database exclusively through a session, which
+/// centralizes the bookkeeping the paper's evaluation needs: the query
+/// count (cost metric), resolved/overflow tallies, the extracted bag, and
+/// the `(queries, tuples output)` progress curve of Figure 13.
+///
+/// A session can carry a [`ValidityOracle`] implementing the §1.3
+/// attribute-dependency heuristic: queries the oracle proves empty are
+/// answered locally (empty resolved outcome, tallied as `pruned`) without
+/// contacting — or being charged by — the server. Soundness of the oracle
+/// implies the crawl remains complete, and "the query cost can only go
+/// down".
+pub(crate) struct Session<'a> {
+    db: &'a mut dyn HiddenDatabase,
+    oracle: Option<&'a dyn ValidityOracle>,
+    algorithm: &'static str,
+    queries: u64,
+    resolved: u64,
+    overflowed: u64,
+    pruned: u64,
+    metrics: CrawlMetrics,
+    output: Vec<Tuple>,
+    progress: Vec<ProgressPoint>,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(
+        algorithm: &'static str,
+        db: &'a mut dyn HiddenDatabase,
+        oracle: Option<&'a dyn ValidityOracle>,
+    ) -> Self {
+        Session {
+            db,
+            oracle,
+            algorithm,
+            queries: 0,
+            resolved: 0,
+            overflowed: 0,
+            pruned: 0,
+            metrics: CrawlMetrics::default(),
+            output: Vec::new(),
+            progress: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the algorithm-internal counters.
+    pub(crate) fn metrics(&mut self) -> &mut CrawlMetrics {
+        &mut self.metrics
+    }
+
+    /// Issues a query (or answers it from the oracle) and updates the
+    /// accounting.
+    pub(crate) fn run(&mut self, q: &Query) -> Result<QueryOutcome, Abort> {
+        if let Some(oracle) = self.oracle {
+            if !oracle.may_match(q) {
+                // Provably empty: answered locally, free of charge.
+                self.pruned += 1;
+                return Ok(QueryOutcome::resolved(Vec::new()));
+            }
+        }
+        let out = self.db.query(q).map_err(Abort::Db)?;
+        self.queries += 1;
+        if out.overflow {
+            self.overflowed += 1;
+        } else {
+            self.resolved += 1;
+        }
+        self.push_progress();
+        Ok(out)
+    }
+
+    /// Registers extracted tuples (from a resolved query or a local
+    /// answer).
+    pub(crate) fn report(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        self.output.extend(tuples);
+        self.push_progress();
+    }
+
+    fn push_progress(&mut self) {
+        let point = ProgressPoint {
+            queries: self.queries,
+            tuples: self.output.len() as u64,
+        };
+        if self.progress.last() == Some(&point) {
+            return;
+        }
+        // Collapse consecutive points at the same query count so the curve
+        // has one point per query.
+        if let Some(last) = self.progress.last_mut() {
+            if last.queries == point.queries {
+                last.tuples = point.tuples;
+                return;
+            }
+        }
+        self.progress.push(point);
+    }
+
+    /// Finishes the session successfully.
+    pub(crate) fn finish(self) -> CrawlReport {
+        self.into_report()
+    }
+
+    /// Converts an [`Abort`] into the public error carrying the partial
+    /// report.
+    pub(crate) fn fail(self, abort: Abort) -> CrawlError {
+        let partial = Box::new(self.into_report());
+        match abort {
+            Abort::Db(error) => CrawlError::Db { error, partial },
+            Abort::Unsolvable(witness) => CrawlError::Unsolvable { witness, partial },
+        }
+    }
+
+    fn into_report(self) -> CrawlReport {
+        CrawlReport {
+            algorithm: self.algorithm,
+            tuples: self.output,
+            queries: self.queries,
+            resolved: self.resolved,
+            overflowed: self.overflowed,
+            pruned: self.pruned,
+            metrics: self.metrics,
+            progress: self.progress,
+        }
+    }
+}
+
+/// Runs `body` inside a fresh session, converting aborts into errors.
+pub(crate) fn run_crawl<'a, F>(
+    algorithm: &'static str,
+    db: &'a mut dyn HiddenDatabase,
+    oracle: Option<&'a dyn ValidityOracle>,
+    body: F,
+) -> Result<CrawlReport, CrawlError>
+where
+    F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
+{
+    let mut session = Session::new(algorithm, db, oracle);
+    match body(&mut session) {
+        Ok(()) => Ok(session.finish()),
+        Err(abort) => Err(session.fail(abort)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::{Predicate, QueryOutcome, Schema};
+
+    struct FakeDb {
+        schema: Schema,
+        fail_after: Option<u64>,
+        issued: u64,
+    }
+
+    impl HiddenDatabase for FakeDb {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn k(&self) -> usize {
+            2
+        }
+
+        fn query(&mut self, _q: &Query) -> Result<QueryOutcome, DbError> {
+            if let Some(limit) = self.fail_after {
+                if self.issued >= limit {
+                    return Err(DbError::BudgetExhausted {
+                        issued: self.issued,
+                        limit,
+                    });
+                }
+            }
+            self.issued += 1;
+            Ok(QueryOutcome::resolved(vec![int_tuple(&[1])]))
+        }
+
+        fn queries_issued(&self) -> u64 {
+            self.issued
+        }
+    }
+
+    fn fake(fail_after: Option<u64>) -> FakeDb {
+        FakeDb {
+            schema: Schema::builder().numeric("a", 0, 9).build().unwrap(),
+            fail_after,
+            issued: 0,
+        }
+    }
+
+    #[test]
+    fn accounting_and_progress() {
+        let mut db = fake(None);
+        let report = run_crawl("t", &mut db, None, |s| {
+            for _ in 0..3 {
+                let out = s.run(&Query::any(1))?;
+                s.report(out.tuples);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 3);
+        assert_eq!(report.resolved, 3);
+        assert_eq!(report.tuples.len(), 3);
+        // One merged point per query count.
+        assert_eq!(report.progress.len(), 3);
+        assert_eq!(
+            report.progress[2],
+            ProgressPoint {
+                queries: 3,
+                tuples: 3
+            }
+        );
+    }
+
+    #[test]
+    fn db_failure_preserves_partial() {
+        let mut db = fake(Some(2));
+        let err = run_crawl("t", &mut db, None, |s| loop {
+            let out = s.run(&Query::any(1))?;
+            s.report(out.tuples);
+        })
+        .unwrap_err();
+        match &err {
+            CrawlError::Db { error, partial } => {
+                assert!(matches!(error, DbError::BudgetExhausted { .. }));
+                assert_eq!(partial.queries, 2);
+                assert_eq!(partial.tuples.len(), 2);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn unsolvable_abort_maps_to_error() {
+        let mut db = fake(None);
+        let witness = Query::new(vec![Predicate::Range { lo: 1, hi: 1 }]);
+        let w = witness.clone();
+        let err = run_crawl("t", &mut db, None, move |_| Err(Abort::Unsolvable(w))).unwrap_err();
+        match err {
+            CrawlError::Unsolvable {
+                witness: got,
+                partial,
+            } => {
+                assert_eq!(got, witness);
+                assert_eq!(partial.queries, 0);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    struct NeverOracle;
+    impl ValidityOracle for NeverOracle {
+        fn may_match(&self, _q: &Query) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn oracle_answers_locally_without_charging() {
+        let mut db = fake(None);
+        let oracle = NeverOracle;
+        let report = run_crawl("t", &mut db, Some(&oracle), |s| {
+            let out = s.run(&Query::any(1))?;
+            assert!(out.is_resolved());
+            assert!(out.is_empty());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 0);
+        assert_eq!(db.issued, 0);
+    }
+}

@@ -1,0 +1,617 @@
+//! Multi-session (sharded) crawling.
+//!
+//! The paper's cost metric exists because "most systems have a control on
+//! how many queries can be submitted by the same IP address within a
+//! period of time" (§1.1). A crawler with access to several client
+//! identities can therefore *partition* the data space and crawl the
+//! parts concurrently, trading some duplicated slice work for wall-clock
+//! time and per-identity quota headroom.
+//!
+//! [`Sharded`] splits the space along one partition attribute:
+//!
+//! * schemas with **categorical** attributes partition on the one with
+//!   the largest domain (the most shards to deal out); its values are
+//!   dealt round-robin across sessions, and each session crawls its
+//!   subtrees with the hybrid machinery — the partition attribute is
+//!   promoted to the first tree level, which is legal because any
+//!   categorical attribute order is correct (the paper fixes an order
+//!   only for presentation);
+//! * **numeric-only schemas** cut the first attribute's declared range
+//!   into equal sub-ranges, one rank-shrink instance per session.
+//!
+//! Shards cover disjoint subspaces, so concatenating the per-session bags
+//! reconstructs `D` exactly. The per-session reports quantify both the
+//! balance (max session cost ≈ total/sessions when the data cooperates)
+//! and the overhead (slice queries re-issued per session instead of
+//! shared).
+
+use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, Schema};
+
+use crate::categorical::slice_cover::{extended_dfs_filtered, LeafMode, SliceTable};
+use crate::numeric::rank_shrink::RankShrink;
+use crate::report::{CrawlError, CrawlReport};
+use crate::session::run_crawl;
+
+/// How one session's share of the data space is described.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// A subset of the first categorical attribute's values.
+    CatValues {
+        /// Schema index of the partitioning attribute.
+        attr: usize,
+        /// The values this session owns.
+        values: Vec<u32>,
+    },
+    /// A sub-range of the first numeric attribute's declared bounds.
+    NumRange {
+        /// Schema index of the partitioning attribute.
+        attr: usize,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl ShardSpec {
+    /// The covering queries of this shard: one per owned categorical
+    /// value, or the single range query. Used to audit that a plan's
+    /// shards are pairwise disjoint and jointly cover the space.
+    pub fn queries(&self, schema: &Schema) -> Vec<Query> {
+        match self {
+            ShardSpec::CatValues { attr, values } => values
+                .iter()
+                .map(|&v| Query::any(schema.arity()).with_pred(*attr, Predicate::Eq(v)))
+                .collect(),
+            ShardSpec::NumRange { attr, lo, hi } => {
+                if lo > hi {
+                    Vec::new()
+                } else {
+                    vec![Query::any(schema.arity())
+                        .with_pred(*attr, Predicate::Range { lo: *lo, hi: *hi })]
+                }
+            }
+        }
+    }
+}
+
+/// Result of a sharded crawl.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// The union of all sessions' extractions (exactly `D` on success).
+    pub merged: CrawlReport,
+    /// Per-session reports, in shard order.
+    pub per_session: Vec<CrawlReport>,
+}
+
+impl ShardedReport {
+    /// The largest single-session query count — the wall-clock-limiting
+    /// session when sessions run concurrently.
+    pub fn max_session_queries(&self) -> u64 {
+        self.per_session
+            .iter()
+            .map(|r| r.queries)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A multi-session crawler over `sessions` client identities.
+#[derive(Clone, Copy, Debug)]
+pub struct Sharded {
+    sessions: usize,
+}
+
+impl Sharded {
+    /// Crawl with `sessions ≥ 1` concurrent sessions.
+    pub fn new(sessions: usize) -> Self {
+        assert!(sessions >= 1, "at least one session required");
+        Sharded { sessions }
+    }
+
+    /// Plans the disjoint covering shards for a schema.
+    ///
+    /// Schemas with categorical attributes partition on the one with the
+    /// largest domain, dealing values round-robin (value `v` → shard
+    /// `v mod sessions`) to balance skewed domains better than contiguous
+    /// chunks. Numeric-only schemas split the first attribute's declared
+    /// range evenly. Shards may be empty when `sessions` exceeds the
+    /// domain.
+    pub fn plan(schema: &Schema, sessions: usize) -> Vec<ShardSpec> {
+        assert!(sessions >= 1);
+        let widest_cat = schema
+            .cat_indices()
+            .into_iter()
+            .max_by_key(|&a| schema.kind(a).domain_size().expect("categorical"));
+        if let Some(attr) = widest_cat {
+            let size = schema.kind(attr).domain_size().expect("categorical");
+            let mut values: Vec<Vec<u32>> = vec![Vec::new(); sessions];
+            for v in 0..size {
+                values[(v as usize) % sessions].push(v);
+            }
+            values
+                .into_iter()
+                .map(|values| ShardSpec::CatValues { attr, values })
+                .collect()
+        } else {
+            let attr = 0;
+            let AttrKind::Numeric { min, max } = schema.kind(attr) else {
+                unreachable!("schemas are non-empty and all-numeric here")
+            };
+            // Evenly split [min, max] into `sessions` inclusive ranges.
+            let width = (max as i128 - min as i128 + 1) as u128;
+            let mut shards = Vec::with_capacity(sessions);
+            let mut lo = min as i128;
+            for s in 0..sessions {
+                let hi = min as i128 + (width * (s as u128 + 1) / sessions as u128) as i128 - 1;
+                if lo > hi {
+                    // Degenerate: more sessions than domain values.
+                    shards.push(ShardSpec::NumRange { attr, lo: 1, hi: 0 });
+                } else {
+                    shards.push(ShardSpec::NumRange {
+                        attr,
+                        lo: lo as i64,
+                        hi: hi as i64,
+                    });
+                }
+                lo = hi + 1;
+            }
+            shards
+        }
+    }
+
+    /// Runs the sharded crawl. `factory(s)` creates session `s`'s own
+    /// connection to the hidden database (its own identity/quota); all
+    /// connections must view the *same* logical database.
+    ///
+    /// Sessions run on OS threads; results are merged in shard order, so
+    /// the outcome is deterministic regardless of scheduling.
+    pub fn crawl<D, F>(&self, factory: F) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+    {
+        let probe = factory(0);
+        let schema = probe.schema().clone();
+        drop(probe);
+        let plan = Self::plan(&schema, self.sessions);
+
+        let results: Vec<Result<CrawlReport, CrawlError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .enumerate()
+                .map(|(s, spec)| {
+                    let factory = &factory;
+                    let schema = &schema;
+                    scope.spawn(move || {
+                        let mut db = factory(s);
+                        crawl_shard(&mut db, schema, spec)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        merge_results(results)
+    }
+}
+
+/// Crawls one shard on one session.
+fn crawl_shard(
+    db: &mut dyn HiddenDatabase,
+    schema: &Schema,
+    spec: &ShardSpec,
+) -> Result<CrawlReport, CrawlError> {
+    let cat_dims = schema.cat_indices();
+    let num_dims = schema.num_indices();
+    let rank = RankShrink::new();
+    run_crawl("sharded-hybrid", db, None, |session| match spec {
+        ShardSpec::NumRange { attr, lo, hi } => {
+            if lo > hi {
+                return Ok(()); // empty shard
+            }
+            let root =
+                Query::any(schema.arity()).with_pred(*attr, Predicate::Range { lo: *lo, hi: *hi });
+            rank.run_subspace(session, root, &num_dims)
+        }
+        ShardSpec::CatValues { attr, values } => {
+            if values.is_empty() {
+                return Ok(());
+            }
+            // Promote the partition attribute to the first tree level so
+            // the root-value filter addresses it; keep the others in
+            // schema order.
+            let mut level_order = vec![*attr];
+            level_order.extend(cat_dims.iter().copied().filter(|a| a != attr));
+            let mut table = SliceTable::new(schema, &level_order);
+            let leaf = if num_dims.is_empty() {
+                LeafMode::Point
+            } else {
+                LeafMode::Numeric {
+                    rank: &rank,
+                    dims: &num_dims,
+                }
+            };
+            extended_dfs_filtered(session, &mut table, &leaf, Some(values))
+        }
+    })
+}
+
+/// Merges per-shard outcomes into one report (or one failure carrying
+/// everything salvaged across all shards).
+fn merge_results(
+    results: Vec<Result<CrawlReport, CrawlError>>,
+) -> Result<ShardedReport, CrawlError> {
+    let mut failure: Option<CrawlError> = None;
+    let mut per_session = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(report) => per_session.push(report),
+            Err(e) => {
+                per_session.push(e.partial().clone());
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+    }
+    let merged = merge_reports(&per_session);
+    match failure {
+        None => Ok(ShardedReport {
+            merged,
+            per_session,
+        }),
+        Some(CrawlError::Db { error, .. }) => Err(CrawlError::Db {
+            error,
+            partial: Box::new(merged),
+        }),
+        Some(CrawlError::Unsolvable { witness, .. }) => Err(CrawlError::Unsolvable {
+            witness,
+            partial: Box::new(merged),
+        }),
+    }
+}
+
+fn merge_reports(reports: &[CrawlReport]) -> CrawlReport {
+    let mut merged = CrawlReport {
+        algorithm: "sharded-hybrid",
+        tuples: Vec::new(),
+        queries: 0,
+        resolved: 0,
+        overflowed: 0,
+        pruned: 0,
+        metrics: crate::report::CrawlMetrics::default(),
+        // Progress curves are per-session (sessions run concurrently, so
+        // a single interleaved curve would be fictitious).
+        progress: Vec::new(),
+    };
+    for r in reports {
+        merged.tuples.extend(r.tuples.iter().cloned());
+        merged.queries += r.queries;
+        merged.resolved += r.resolved;
+        merged.overflowed += r.overflowed;
+        merged.pruned += r.pruned;
+        merged.metrics.two_way_splits += r.metrics.two_way_splits;
+        merged.metrics.three_way_splits += r.metrics.three_way_splits;
+        merged.metrics.slice_fetches += r.metrics.slice_fetches;
+        merged.metrics.slice_overflows += r.metrics.slice_overflows;
+        merged.metrics.local_answers += r.metrics.local_answers;
+        merged.metrics.leaf_subcrawls += r.metrics.leaf_subcrawls;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::verify_complete;
+    use crate::Crawler;
+    use hdc_server::{Budgeted, HiddenDbServer, ServerConfig};
+    use hdc_types::tuple::{cat_tuple, int_tuple};
+    use hdc_types::{Tuple, Value};
+
+    fn mixed_schema() -> Schema {
+        Schema::builder()
+            .categorical("make", 7)
+            .numeric("price", 0, 9_999)
+            .build()
+            .unwrap()
+    }
+
+    fn mixed_tuples(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let h = crate::theory::mix(i as u64);
+                Tuple::new(vec![
+                    Value::Cat((h % 7) as u32),
+                    Value::Int(((h >> 8) % 10_000) as i64),
+                ])
+            })
+            .collect()
+    }
+
+    fn factory<'a>(
+        schema: &'a Schema,
+        tuples: &'a [Tuple],
+        k: usize,
+    ) -> impl Fn(usize) -> HiddenDbServer + Sync + 'a {
+        move |_s| {
+            // Same seed for every session: all sessions see the same
+            // logical server (same priorities, same responses).
+            HiddenDbServer::new(
+                schema.clone(),
+                tuples.to_vec(),
+                ServerConfig { k, seed: 17 },
+            )
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn plan_round_robins_categorical_values() {
+        let plan = Sharded::plan(&mixed_schema(), 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(
+            plan[0],
+            ShardSpec::CatValues {
+                attr: 0,
+                values: vec![0, 3, 6]
+            }
+        );
+        assert_eq!(
+            plan[1],
+            ShardSpec::CatValues {
+                attr: 0,
+                values: vec![1, 4]
+            }
+        );
+        assert_eq!(
+            plan[2],
+            ShardSpec::CatValues {
+                attr: 0,
+                values: vec![2, 5]
+            }
+        );
+    }
+
+    #[test]
+    fn plan_splits_numeric_ranges_evenly() {
+        let schema = Schema::builder().numeric("x", 0, 99).build().unwrap();
+        let plan = Sharded::plan(&schema, 4);
+        assert_eq!(
+            plan,
+            vec![
+                ShardSpec::NumRange {
+                    attr: 0,
+                    lo: 0,
+                    hi: 24
+                },
+                ShardSpec::NumRange {
+                    attr: 0,
+                    lo: 25,
+                    hi: 49
+                },
+                ShardSpec::NumRange {
+                    attr: 0,
+                    lo: 50,
+                    hi: 74
+                },
+                ShardSpec::NumRange {
+                    attr: 0,
+                    lo: 75,
+                    hi: 99
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn sharded_mixed_crawl_is_complete_for_any_session_count() {
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        for sessions in [1usize, 2, 3, 8, 16] {
+            let report = Sharded::new(sessions)
+                .crawl(factory(&schema, &tuples, 32))
+                .unwrap_or_else(|e| panic!("sessions={sessions}: {e}"));
+            verify_complete(&tuples, &report.merged)
+                .unwrap_or_else(|e| panic!("sessions={sessions}: {e}"));
+            assert_eq!(report.per_session.len(), sessions);
+        }
+    }
+
+    #[test]
+    fn single_session_matches_hybrid_cost_shape() {
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        let sharded = Sharded::new(1)
+            .crawl(factory(&schema, &tuples, 32))
+            .unwrap();
+        let mut db = HiddenDbServer::new(
+            schema.clone(),
+            tuples.clone(),
+            ServerConfig { k: 32, seed: 17 },
+        )
+        .unwrap();
+        let hybrid = crate::Hybrid::new().crawl(&mut db).unwrap();
+        assert_eq!(sharded.merged.queries, hybrid.queries);
+    }
+
+    #[test]
+    fn sharding_balances_work() {
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(4_000);
+        let single = Sharded::new(1)
+            .crawl(factory(&schema, &tuples, 32))
+            .unwrap();
+        let quad = Sharded::new(4)
+            .crawl(factory(&schema, &tuples, 32))
+            .unwrap();
+        // Concurrency wins wall-clock: the busiest session does much less
+        // than the single-session total…
+        assert!(quad.max_session_queries() < single.merged.queries);
+        // …at a bounded total overhead (re-fetched slices etc.).
+        assert!(quad.merged.queries <= 2 * single.merged.queries);
+    }
+
+    #[test]
+    fn numeric_only_sharding() {
+        let schema = Schema::builder().numeric("x", 0, 9_999).build().unwrap();
+        let tuples: Vec<Tuple> = (0..3_000)
+            .map(|i| int_tuple(&[(crate::theory::mix(i) % 10_000) as i64]))
+            .collect();
+        for sessions in [1usize, 3, 5] {
+            let report = Sharded::new(sessions)
+                .crawl(|_s| {
+                    HiddenDbServer::new(
+                        schema.clone(),
+                        tuples.clone(),
+                        ServerConfig { k: 64, seed: 3 },
+                    )
+                    .unwrap()
+                })
+                .unwrap();
+            verify_complete(&tuples, &report.merged).unwrap();
+        }
+    }
+
+    #[test]
+    fn pure_categorical_sharding() {
+        let schema = Schema::builder()
+            .categorical("a", 5)
+            .categorical("b", 6)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..30u64)
+            .flat_map(|p| {
+                let copies = 1 + crate::theory::mix(p) % 3;
+                (0..copies).map(move |_| cat_tuple(&[(p % 5) as u32, (p / 5) as u32]))
+            })
+            .collect();
+        let report = Sharded::new(2)
+            .crawl(|_s| {
+                HiddenDbServer::new(
+                    schema.clone(),
+                    tuples.clone(),
+                    ServerConfig { k: 4, seed: 5 },
+                )
+                .unwrap()
+            })
+            .unwrap();
+        verify_complete(&tuples, &report.merged).unwrap();
+    }
+
+    #[test]
+    fn more_sessions_than_domain_values() {
+        let schema = Schema::builder()
+            .categorical("tiny", 2)
+            .numeric("x", 0, 999)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..500)
+            .map(|i| {
+                let h = crate::theory::mix(i);
+                Tuple::new(vec![
+                    Value::Cat((h % 2) as u32),
+                    Value::Int(((h >> 8) % 1000) as i64),
+                ])
+            })
+            .collect();
+        let report = Sharded::new(6)
+            .crawl(|_s| {
+                HiddenDbServer::new(
+                    schema.clone(),
+                    tuples.clone(),
+                    ServerConfig { k: 16, seed: 7 },
+                )
+                .unwrap()
+            })
+            .unwrap();
+        verify_complete(&tuples, &report.merged).unwrap();
+        // 4 of the 6 sessions own no values and issue no queries.
+        let idle = report.per_session.iter().filter(|r| r.queries == 0).count();
+        assert_eq!(idle, 4);
+    }
+
+    #[test]
+    fn shard_failure_surfaces_with_merged_partial() {
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        // Session 0 gets a crippling budget; the others are unlimited.
+        let result = Sharded::new(3).crawl(|s| {
+            let server = HiddenDbServer::new(
+                schema.clone(),
+                tuples.clone(),
+                ServerConfig { k: 32, seed: 17 },
+            )
+            .unwrap();
+            Budgeted::new(server, if s == 0 { 2 } else { u64::MAX })
+        });
+        match result {
+            Err(CrawlError::Db { error, partial }) => {
+                assert!(matches!(error, hdc_types::DbError::BudgetExhausted { .. }));
+                // The healthy shards' tuples are all salvaged.
+                assert!(!partial.tuples.is_empty());
+                let truth: hdc_types::TupleBag = tuples.iter().collect();
+                let got: hdc_types::TupleBag = partial.tuples.iter().collect();
+                for (t, c) in got.iter() {
+                    assert!(c <= truth.count(t));
+                }
+            }
+            other => panic!("expected budget failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn zero_sessions_rejected() {
+        Sharded::new(0);
+    }
+
+    /// Plans must partition the space: pairwise-disjoint shard queries
+    /// whose union matches every tuple exactly once.
+    #[test]
+    fn plans_partition_the_space() {
+        let schemas = [
+            mixed_schema(),
+            Schema::builder().numeric("x", -50, 49).build().unwrap(),
+            Schema::builder()
+                .categorical("a", 4)
+                .categorical("b", 11)
+                .build()
+                .unwrap(),
+        ];
+        for schema in &schemas {
+            for sessions in [1usize, 2, 5, 13] {
+                let plan = Sharded::plan(schema, sessions);
+                let queries: Vec<Query> = plan.iter().flat_map(|s| s.queries(schema)).collect();
+                for (i, a) in queries.iter().enumerate() {
+                    for b in &queries[i + 1..] {
+                        assert!(a.is_disjoint(b), "{a} overlaps {b}");
+                    }
+                }
+                // Coverage: sample tuples all match exactly one query.
+                for i in 0..200u64 {
+                    let h = crate::theory::mix(i);
+                    let t = Tuple::new(
+                        (0..schema.arity())
+                            .map(|a| match schema.kind(a) {
+                                hdc_types::AttrKind::Categorical { size } => {
+                                    Value::Cat(((h >> (a * 8)) % u64::from(size)) as u32)
+                                }
+                                hdc_types::AttrKind::Numeric { min, max } => {
+                                    let span = (max - min + 1) as u64;
+                                    Value::Int(min + ((h >> (a * 8)) % span) as i64)
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    );
+                    let hits = queries.iter().filter(|q| q.matches(&t)).count();
+                    assert_eq!(hits, 1, "tuple {t} covered {hits} times");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Cost formulas from the paper's theorems, used by tests and the
+//! benchmark harness to check measured costs against proven bounds.
+//!
+//! Upper bounds carry the explicit constants from the proofs (not just the
+//! asymptotics), slightly relaxed where the paper's induction glosses over
+//! additive start-up terms (every crawl issues at least one query even
+//! when `n < k`). Lower bounds are exact counts from §4.
+
+/// The trivial lower bound: any algorithm needs at least `n/k` queries to
+/// ship `n` tuples `k` at a time.
+pub fn ideal_cost(n: f64, k: f64) -> f64 {
+    n / k
+}
+
+/// Upper bound for rank-shrink (Lemma 2 with the proof constant α = 20),
+/// padded with `+d + 1` for the start-up queries the induction's base case
+/// absorbs (a d-dimensional crawl issues ≥ 1 query regardless of `n`).
+pub fn rank_shrink_bound(d: usize, n: f64, k: f64) -> f64 {
+    20.0 * d as f64 * (n / k) + d as f64 + 1.0
+}
+
+/// Upper bound for slice-cover, eager or lazy (Lemma 4):
+/// `Σ Ui + (n/k)·Σ min{Ui, n/k}` for `d ≥ 2`, exactly `U1` for `d = 1`.
+pub fn slice_cover_bound(domain_sizes: &[u32], n: f64, k: f64) -> f64 {
+    if domain_sizes.len() == 1 {
+        return f64::from(domain_sizes[0]);
+    }
+    let preprocessing: f64 = domain_sizes.iter().map(|&u| f64::from(u)).sum();
+    let nk = n / k;
+    let extended: f64 = domain_sizes
+        .iter()
+        .map(|&u| nk * f64::from(u).min(nk))
+        .sum();
+    preprocessing + extended
+}
+
+/// Upper bound for hybrid (Lemma 9): the slice-cover bound over the
+/// categorical attributes plus `O((d − cat)·n/k)` for the rank-shrink
+/// leaves (constant 20 as above, plus one start-up query per leaf, which
+/// the `(n/k)·min{U,n/k}` leaf count already dominates — folded in with a
+/// `+ n/k + 1` pad).
+pub fn hybrid_bound(cat_domain_sizes: &[u32], numeric_d: usize, n: f64, k: f64) -> f64 {
+    let categorical = if cat_domain_sizes.is_empty() {
+        0.0
+    } else {
+        slice_cover_bound(cat_domain_sizes, n, k)
+    };
+    categorical + 20.0 * numeric_d as f64 * (n / k) + n / k + numeric_d as f64 + 1.0
+}
+
+/// Theorem 3: any algorithm spends ≥ `d·m` queries on the hard numeric
+/// instance with `m` groups (`n = m(k + d)`).
+pub fn numeric_lower_bound(d: usize, m: usize) -> f64 {
+    (d * m) as f64
+}
+
+/// Theorem 4: any algorithm spends `Ω(d·U²)` queries on the hard
+/// categorical instance. The proof's constant is 1/8 (it exhibits
+/// `d/8·C(U,2)` diverse queries or `2^{d/4} ≥ d·U²` monotonic ones); we
+/// report the conservative `d·U²/8` magnitude.
+pub fn categorical_lower_bound(d: usize, u: u32) -> f64 {
+    d as f64 * f64::from(u) * f64::from(u) / 8.0
+}
+
+/// SplitMix64 — shared by tests and generators that need cheap
+/// deterministic pseudo-data without threading an RNG.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal() {
+        assert_eq!(ideal_cost(1000.0, 10.0), 100.0);
+    }
+
+    #[test]
+    fn rank_shrink_scales_linearly_in_d_and_n() {
+        let base = rank_shrink_bound(1, 1000.0, 10.0);
+        assert!(rank_shrink_bound(2, 1000.0, 10.0) > 1.9 * base - 10.0);
+        assert!(rank_shrink_bound(1, 2000.0, 10.0) > 1.9 * base - 10.0);
+        // Inversely linear in k.
+        assert!(rank_shrink_bound(1, 1000.0, 20.0) < 0.6 * base);
+    }
+
+    #[test]
+    fn slice_cover_d1_is_exactly_u1() {
+        assert_eq!(slice_cover_bound(&[42], 1e6, 10.0), 42.0);
+    }
+
+    #[test]
+    fn slice_cover_min_caps_large_domains() {
+        // n/k = 10; a domain of 1000 contributes 10·10, not 10·1000.
+        let b = slice_cover_bound(&[1000, 5], 100.0, 10.0);
+        assert_eq!(b, 1005.0 + 10.0 * 10.0 + 10.0 * 5.0);
+    }
+
+    #[test]
+    fn hybrid_reduces_to_parts() {
+        // No categorical attributes: rank-shrink-like bound.
+        let h = hybrid_bound(&[], 3, 1000.0, 10.0);
+        assert!(h >= 20.0 * 3.0 * 100.0);
+        // No numeric attributes: slice-cover bound plus pad.
+        let h = hybrid_bound(&[7, 7], 0, 1000.0, 10.0);
+        assert!(h >= slice_cover_bound(&[7, 7], 1000.0, 10.0));
+    }
+
+    #[test]
+    fn lower_bounds() {
+        assert_eq!(numeric_lower_bound(4, 100), 400.0);
+        assert_eq!(categorical_lower_bound(40, 3), 45.0);
+    }
+
+    #[test]
+    fn mix_spreads() {
+        assert_ne!(mix(0), mix(1));
+        assert_eq!(mix(7), mix(7));
+    }
+}

@@ -1,0 +1,87 @@
+//! Completeness validation: did the crawl extract exactly the bag `D`?
+
+use hdc_types::{Tuple, TupleBag};
+
+use crate::report::CrawlReport;
+
+/// Checks that the crawl extracted exactly the expected bag — multiset
+/// equality, since the hidden database may contain duplicates and a
+/// correct crawl reports each occurrence exactly once.
+///
+/// On mismatch the error carries the missing/unexpected tuples (with
+/// multiplicities) for diagnosis.
+pub fn verify_complete(expected: &[Tuple], report: &CrawlReport) -> Result<(), CompletenessError> {
+    let want: TupleBag = expected.iter().collect();
+    let got: TupleBag = report.tuples.iter().collect();
+    if want.multiset_eq(&got) {
+        Ok(())
+    } else {
+        Err(CompletenessError {
+            diff: want.diff(&got),
+        })
+    }
+}
+
+/// A failed completeness check.
+#[derive(Debug)]
+pub struct CompletenessError {
+    /// Missing and unexpected tuples relative to the ground truth.
+    pub diff: hdc_types::bag::BagDiff,
+}
+
+impl std::fmt::Display for CompletenessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "crawl incomplete: {}", self.diff.summary())
+    }
+}
+
+impl std::error::Error for CompletenessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CrawlReport;
+    use hdc_types::tuple::int_tuple;
+
+    fn report(tuples: Vec<Tuple>) -> CrawlReport {
+        CrawlReport {
+            algorithm: "test",
+            tuples,
+            queries: 1,
+            resolved: 1,
+            overflowed: 0,
+            pruned: 0,
+            metrics: crate::report::CrawlMetrics::default(),
+            progress: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_exact_bag_any_order() {
+        let expected = vec![int_tuple(&[1]), int_tuple(&[1]), int_tuple(&[2])];
+        let crawled = vec![int_tuple(&[2]), int_tuple(&[1]), int_tuple(&[1])];
+        verify_complete(&expected, &report(crawled)).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_duplicate() {
+        let expected = vec![int_tuple(&[1]), int_tuple(&[1])];
+        let crawled = vec![int_tuple(&[1])];
+        let err = verify_complete(&expected, &report(crawled)).unwrap_err();
+        assert_eq!(err.diff.missing, vec![(int_tuple(&[1]), 1)]);
+        assert!(err.to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn rejects_double_reporting() {
+        let expected = vec![int_tuple(&[1])];
+        let crawled = vec![int_tuple(&[1]), int_tuple(&[1])];
+        let err = verify_complete(&expected, &report(crawled)).unwrap_err();
+        assert_eq!(err.diff.unexpected, vec![(int_tuple(&[1]), 1)]);
+    }
+
+    #[test]
+    fn empty_matches_empty() {
+        verify_complete(&[], &report(vec![])).unwrap();
+    }
+}

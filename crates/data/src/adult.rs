@@ -1,0 +1,392 @@
+//! Synthetic **Adult census** dataset (mixed attributes) and its numeric
+//! projection **Adult-numeric**.
+//!
+//! Stands in for the 45,222-tuple census extract
+//! (archive.ics.uci.edu/ml/datasets/adult) used in the paper. Schema and
+//! categorical domain sizes follow Figure 9, in the paper's attribute
+//! order:
+//!
+//! | attribute | kind | domain |
+//! |-----------|------|--------|
+//! | Sex       | cat  | 2  |
+//! | Race      | cat  | 5  |
+//! | Rel       | cat  | 6  |
+//! | Edu       | cat  | 6  |
+//! | Marital   | cat  | 7  |
+//! | Wrk-class | cat  | 8  |
+//! | Occ       | cat  | 14 |
+//! | Country   | cat  | 41 |
+//! | Edu-num   | num  | 1..16 |
+//! | Age       | num  | 17..90 |
+//! | Wrk-hr    | num  | 1..99 |
+//! | Cap-loss  | num  | 0..4356 |
+//! | Cap-gain  | num  | 0..99999 |
+//! | Fnalwgt   | num  | 12285..1484705 |
+//!
+//! The generator preserves the census signatures that matter to the
+//! numeric algorithms: zero-inflated capital gain/loss (point masses that
+//! trigger rank-shrink's 3-way splits), the 40-hour spike in work hours,
+//! and a near-unique sampling weight (`Fnalwgt`). Figure 10b requires the
+//! distinct-count ordering Fnalwgt > Cap-gain > Cap-loss > Wrk-hr > Age >
+//! Edu-num, which the generator guarantees (asserted in tests).
+
+use hdc_types::{Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::dist::{clamped_normal, force_coverage, weighted_index, Zipf};
+use crate::ops;
+
+/// Cardinality of the paper's Adult extract.
+pub const N: usize = 45_222;
+
+/// Domain sizes of the categorical attributes (Figure 9).
+pub const CAT_DOMAINS: [u32; 8] = [2, 5, 6, 6, 7, 8, 14, 41];
+
+/// Categorical attribute names in the paper's order.
+pub const CAT_NAMES: [&str; 8] = [
+    "Sex",
+    "Race",
+    "Rel",
+    "Edu",
+    "Marital",
+    "Wrk-class",
+    "Occ",
+    "Country",
+];
+
+/// Numeric attribute names in the paper's order.
+pub const NUM_NAMES: [&str; 6] = [
+    "Edu-num", "Age", "Wrk-hr", "Cap-loss", "Cap-gain", "Fnalwgt",
+];
+
+/// Number of distinct non-zero capital-gain levels (real data has ~119
+/// distinct values including 0; Figure 10b needs Cap-gain second-most
+/// distinct among the numeric attributes).
+const CAP_GAIN_LEVELS: usize = 130;
+/// Distinct non-zero capital-loss levels (> Wrk-hr's 99 per Figure 10b
+/// ordering, < Cap-gain's).
+const CAP_LOSS_LEVELS: usize = 110;
+
+/// The Adult schema.
+pub fn schema() -> Schema {
+    let mut b = Schema::builder();
+    for (name, &u) in CAT_NAMES.iter().zip(CAT_DOMAINS.iter()) {
+        b = b.categorical(*name, u);
+    }
+    b.numeric(NUM_NAMES[0], 1, 16)
+        .numeric(NUM_NAMES[1], 17, 90)
+        .numeric(NUM_NAMES[2], 1, 99)
+        .numeric(NUM_NAMES[3], 0, 4_356)
+        .numeric(NUM_NAMES[4], 0, 99_999)
+        .numeric(NUM_NAMES[5], 12_285, 1_484_705)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Generates the full-size dataset.
+pub fn generate(seed: u64) -> Dataset {
+    generate_scaled(N, seed)
+}
+
+/// Generates a scaled variant (`n ≥ 1000` so the value sets stay
+/// realizable).
+pub fn generate_scaled(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 1_000, "n too small to realize the Adult value sets");
+    // Domain-separate the stream from the other generators ("ADULT").
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x41_4455_4c54);
+
+    // Deterministic value sets for the zero-inflated attributes: distinct
+    // magic amounts, like the census codes (e.g. 1902, 1977, 2415…).
+    let gain_levels = distinct_levels(&mut rng, CAP_GAIN_LEVELS, 114, 99_999);
+    let loss_levels = distinct_levels(&mut rng, CAP_LOSS_LEVELS, 155, 4_356);
+    let occ_dist = Zipf::new(CAT_DOMAINS[6], 0.6, &mut rng);
+    let country_dist = Zipf::new(CAT_DOMAINS[7], 1.4, &mut rng);
+
+    let mut cat_cols: Vec<Vec<u32>> = (0..8).map(|_| Vec::with_capacity(n)).collect();
+    let mut num_cols: Vec<Vec<i64>> = (0..6).map(|_| Vec::with_capacity(n)).collect();
+
+    for _ in 0..n {
+        let sex = u32::from(rng.gen_bool(0.33));
+        let race = if rng.gen_bool(0.85) {
+            0
+        } else {
+            rng.gen_range(1..CAT_DOMAINS[1])
+        };
+        let marital = weighted_index(&mut rng, &[33.0, 46.0, 6.0, 10.0, 3.0, 1.0, 1.0]) as u32;
+        // Relationship correlates with marital status.
+        let rel = if marital == 1 {
+            if sex == 0 {
+                0
+            } else {
+                5
+            }
+        } else {
+            weighted_index(&mut rng, &[5.0, 1.0, 26.0, 11.0, 35.0, 2.0]) as u32
+        };
+        let edu_num = sample_edu_num(&mut rng);
+        let edu = ((edu_num - 1) / 3).min(5) as u32; // bucketed education level
+        let wrk_class = weighted_index(&mut rng, &[70.0, 8.0, 6.0, 4.0, 3.5, 3.2, 3.0, 2.3]) as u32;
+        let occ = occ_dist.sample(&mut rng);
+        let country = if rng.gen_bool(0.90) {
+            0
+        } else {
+            country_dist.sample(&mut rng)
+        };
+
+        let age = sample_age(&mut rng);
+        let wrk_hr = sample_hours(&mut rng);
+        let cap_gain = if rng.gen_bool(0.084) {
+            gain_levels[rng.gen_range(0..gain_levels.len())]
+        } else {
+            0
+        };
+        // Gains and losses are (almost) mutually exclusive in the census.
+        let cap_loss = if cap_gain == 0 && rng.gen_bool(0.047) {
+            loss_levels[rng.gen_range(0..loss_levels.len())]
+        } else {
+            0
+        };
+        let fnalwgt = rng.gen_range(12_285..=1_484_705);
+
+        cat_cols[0].push(sex);
+        cat_cols[1].push(race);
+        cat_cols[2].push(rel);
+        cat_cols[3].push(edu);
+        cat_cols[4].push(marital);
+        cat_cols[5].push(wrk_class);
+        cat_cols[6].push(occ);
+        cat_cols[7].push(country);
+        num_cols[0].push(edu_num);
+        num_cols[1].push(age);
+        num_cols[2].push(wrk_hr);
+        num_cols[3].push(cap_loss);
+        num_cols[4].push(cap_gain);
+        num_cols[5].push(fnalwgt);
+    }
+
+    for (a, col) in cat_cols.iter_mut().enumerate() {
+        force_coverage(col, CAT_DOMAINS[a], &mut rng);
+    }
+    // Realize the full value sets of the bounded numeric attributes so the
+    // distinct-count ordering of Figure 10b is deterministic.
+    cover_values(&mut num_cols[0], &(1..=16).collect::<Vec<i64>>(), &mut rng);
+    cover_values(&mut num_cols[1], &(17..=90).collect::<Vec<i64>>(), &mut rng);
+    cover_values(&mut num_cols[2], &(1..=99).collect::<Vec<i64>>(), &mut rng);
+    cover_values(&mut num_cols[3], &loss_levels, &mut rng);
+    cover_values(&mut num_cols[4], &gain_levels, &mut rng);
+
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| {
+            let mut vals: Vec<Value> = cat_cols.iter().map(|c| Value::Cat(c[i])).collect();
+            vals.extend(num_cols.iter().map(|c| Value::Int(c[i])));
+            Tuple::new(vals)
+        })
+        .collect();
+    Dataset::new("Adult", schema(), tuples)
+}
+
+/// The paper's **Adult-numeric** dataset: the projection of Adult onto its
+/// six numeric attributes ("has the same cardinality and dimensionality
+/// ordering as Adult").
+pub fn generate_numeric(seed: u64) -> Dataset {
+    let ds = generate(seed);
+    numeric_projection(&ds)
+}
+
+/// Projects any Adult(-like) dataset onto its numeric attributes.
+pub fn numeric_projection(ds: &Dataset) -> Dataset {
+    let idx = ds.schema.num_indices();
+    let mut out = ops::project(ds, &idx);
+    out.name = format!("{}-numeric", ds.name);
+    out
+}
+
+fn sample_edu_num<R: Rng>(rng: &mut R) -> i64 {
+    // Peaks at HS-grad (9) and some-college (10), thin tails.
+    let w = [
+        0.4, 0.5, 0.9, 1.5, 1.3, 2.3, 3.2, 1.2, 32.0, 22.0, 5.0, 3.3, 16.0, 5.5, 1.5, 1.2,
+    ];
+    weighted_index(rng, &w) as i64 + 1
+}
+
+fn sample_age<R: Rng>(rng: &mut R) -> i64 {
+    // Right-skewed working-age distribution.
+    let base = clamped_normal(rng, 37.0, 13.0, 17, 90);
+    if rng.gen_bool(0.06) {
+        clamped_normal(rng, 63.0, 9.0, 17, 90)
+    } else {
+        base
+    }
+}
+
+fn sample_hours<R: Rng>(rng: &mut R) -> i64 {
+    if rng.gen_bool(0.46) {
+        40
+    } else {
+        clamped_normal(rng, 41.0, 12.5, 1, 99)
+    }
+}
+
+/// `count` distinct values in `[lo, hi]`, deterministically chosen.
+fn distinct_levels<R: Rng>(rng: &mut R, count: usize, lo: i64, hi: i64) -> Vec<i64> {
+    use std::collections::BTreeSet;
+    let mut set = BTreeSet::new();
+    while set.len() < count {
+        set.insert(rng.gen_range(lo..=hi));
+    }
+    set.into_iter().collect()
+}
+
+/// Ensures every value in `values` appears in `column`, overwriting rows
+/// whose value is already represented more than once.
+fn cover_values<R: Rng>(column: &mut [i64], values: &[i64], rng: &mut R) {
+    use std::collections::HashMap;
+    let mut occurrences: HashMap<i64, usize> = HashMap::new();
+    for &v in column.iter() {
+        *occurrences.entry(v).or_insert(0) += 1;
+    }
+    let missing: Vec<i64> = values
+        .iter()
+        .copied()
+        .filter(|v| !occurrences.contains_key(v))
+        .collect();
+    let mut idx = 0;
+    while idx < missing.len() {
+        let row = rng.gen_range(0..column.len());
+        let old = column[row];
+        let occ = occurrences.get_mut(&old).expect("value present");
+        if *occ > 1 {
+            *occ -= 1;
+            column[row] = missing[idx];
+            *occurrences.entry(missing[idx]).or_insert(0) += 1;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_size_and_schema() {
+        let ds = generate(42);
+        assert_eq!(ds.n(), N);
+        assert_eq!(ds.d(), 14);
+        assert!(ds.schema.is_mixed());
+        assert_eq!(ds.schema.cat_count(), 8);
+    }
+
+    #[test]
+    fn categorical_domains_fully_realized() {
+        let ds = generate(42);
+        for (a, &u) in CAT_DOMAINS.iter().enumerate() {
+            assert_eq!(
+                ds.distinct_count(a),
+                u as usize,
+                "attribute {}",
+                CAT_NAMES[a]
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_ordering_matches_figure_10b() {
+        // "the attribute with the most distinct values is FNALWGT, the
+        // second is CAP-GAIN, followed by CAP-LOSS, WRK-HR, AGE and
+        // EDU-NUM."
+        let ds = generate_numeric(42);
+        let counts = ds.distinct_counts();
+        // Numeric order: Edu-num, Age, Wrk-hr, Cap-loss, Cap-gain, Fnalwgt.
+        let (edu, age, hr, loss, gain, wgt) = (
+            counts[0], counts[1], counts[2], counts[3], counts[4], counts[5],
+        );
+        assert!(wgt > gain, "Fnalwgt {wgt} ≤ Cap-gain {gain}");
+        assert!(gain > loss, "Cap-gain {gain} ≤ Cap-loss {loss}");
+        assert!(loss > hr, "Cap-loss {loss} ≤ Wrk-hr {hr}");
+        assert!(hr > age, "Wrk-hr {hr} ≤ Age {age}");
+        assert!(age > edu, "Age {age} ≤ Edu-num {edu}");
+        assert_eq!(edu, 16);
+        assert_eq!(age, 74);
+        assert_eq!(hr, 99);
+        assert_eq!(loss, CAP_LOSS_LEVELS + 1); // + the zero point mass
+        assert_eq!(gain, CAP_GAIN_LEVELS + 1);
+    }
+
+    #[test]
+    fn numeric_projection_shape() {
+        let ds = generate_numeric(42);
+        assert_eq!(ds.n(), N);
+        assert_eq!(ds.d(), 6);
+        assert!(ds.schema.is_numeric());
+        assert_eq!(ds.name, "Adult-numeric");
+    }
+
+    #[test]
+    fn low_duplicate_multiplicity() {
+        // Fnalwgt is near-unique, so Adult crawls even at k = 64
+        // (Figure 12 shows a value for Adult at every k).
+        let ds = generate_numeric(42);
+        assert!(ds.max_multiplicity() < 64, "got {}", ds.max_multiplicity());
+    }
+
+    #[test]
+    fn zero_inflation_present() {
+        let ds = generate_scaled(20_000, 1);
+        let zero_gain = ds
+            .tuples
+            .iter()
+            .filter(|t| t.get(12).expect_int() == 0)
+            .count();
+        let zero_loss = ds
+            .tuples
+            .iter()
+            .filter(|t| t.get(11).expect_int() == 0)
+            .count();
+        assert!(zero_gain as f64 > 0.85 * ds.n() as f64);
+        assert!(zero_loss as f64 > 0.90 * ds.n() as f64);
+    }
+
+    #[test]
+    fn hours_spike_at_40() {
+        let ds = generate_scaled(20_000, 2);
+        let at_40 = ds
+            .tuples
+            .iter()
+            .filter(|t| t.get(10).expect_int() == 40)
+            .count();
+        assert!(at_40 as f64 > 0.35 * ds.n() as f64);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_scaled(5_000, 9);
+        let b = generate_scaled(5_000, 9);
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    fn edu_bucket_tracks_edu_num() {
+        let ds = generate_scaled(5_000, 3);
+        for t in &ds.tuples {
+            let edu = t.get(3).expect_cat();
+            let edu_num = t.get(8).expect_int();
+            // Coverage passes may have disturbed a few rows; the bulk must
+            // satisfy the functional relation. Spot-check the formula on
+            // undisturbed rows by allowing a small number of exceptions.
+            let expected = (((edu_num - 1) / 3).min(5)) as u32;
+            if edu != expected {
+                // Tolerated: coverage-pass rewrite.
+            }
+        }
+        // Statistical check instead: at least 95% of rows obey the rule.
+        let obey = ds
+            .tuples
+            .iter()
+            .filter(|t| t.get(3).expect_cat() == (((t.get(8).expect_int() - 1) / 3).min(5)) as u32)
+            .count();
+        assert!(obey as f64 > 0.95 * ds.n() as f64);
+    }
+}

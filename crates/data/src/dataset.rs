@@ -1,0 +1,122 @@
+//! The `Dataset` container.
+
+use hdc_types::{Schema, Tuple, TupleBag};
+
+/// A named dataset: a schema plus the bag of tuples.
+///
+/// This is the ground truth an experiment loads into the server simulator
+/// and later compares a crawl result against.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable name used in experiment reports.
+    pub name: String,
+    /// The data-space schema.
+    pub schema: Schema,
+    /// The tuples (a bag: duplicates allowed).
+    pub tuples: Vec<Tuple>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every tuple against the schema.
+    ///
+    /// # Panics
+    /// Panics if any tuple does not match the schema; generators are
+    /// expected to produce well-formed data.
+    pub fn new(name: impl Into<String>, schema: Schema, tuples: Vec<Tuple>) -> Self {
+        let name = name.into();
+        for t in &tuples {
+            schema
+                .validate_tuple(t)
+                .unwrap_or_else(|e| panic!("dataset {name}: invalid tuple {t}: {e}"));
+        }
+        Dataset {
+            name,
+            schema,
+            tuples,
+        }
+    }
+
+    /// Number of tuples `n`.
+    pub fn n(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of attributes `d`.
+    pub fn d(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The tuples as a multiset.
+    pub fn bag(&self) -> TupleBag {
+        self.tuples.iter().collect()
+    }
+
+    /// Largest number of identical tuples at any point of the data space.
+    /// Problem 1 is solvable iff this is ≤ k (§1.1).
+    pub fn max_multiplicity(&self) -> usize {
+        self.bag().max_multiplicity()
+    }
+
+    /// Number of distinct values appearing in attribute `a`.
+    pub fn distinct_count(&self, a: usize) -> usize {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for t in &self.tuples {
+            seen.insert(t.get(a));
+        }
+        seen.len()
+    }
+
+    /// Distinct-value counts for every attribute, in schema order.
+    pub fn distinct_counts(&self) -> Vec<usize> {
+        (0..self.d()).map(|a| self.distinct_count(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::Schema;
+
+    fn small() -> Dataset {
+        let schema = Schema::builder()
+            .numeric("a", 0, 9)
+            .numeric("b", 0, 9)
+            .build()
+            .unwrap();
+        let tuples = vec![
+            int_tuple(&[1, 1]),
+            int_tuple(&[1, 1]),
+            int_tuple(&[2, 1]),
+            int_tuple(&[3, 5]),
+        ];
+        Dataset::new("small", schema, tuples)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = small();
+        assert_eq!(ds.n(), 4);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.max_multiplicity(), 2);
+        assert_eq!(ds.distinct_count(0), 3);
+        assert_eq!(ds.distinct_count(1), 2);
+        assert_eq!(ds.distinct_counts(), vec![3, 2]);
+    }
+
+    #[test]
+    fn bag_roundtrip() {
+        let ds = small();
+        let bag = ds.bag();
+        assert_eq!(bag.len(), 4);
+        assert_eq!(bag.count(&int_tuple(&[1, 1])), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tuple")]
+    fn rejects_malformed_tuples() {
+        let schema = Schema::builder().numeric("a", 0, 9).build().unwrap();
+        Dataset::new("bad", schema, vec![int_tuple(&[1, 2])]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Distribution primitives for the synthetic generators.
+//!
+//! Only `rand`'s uniform sources are available offline, so the shaped
+//! distributions the generators need (Zipf, clamped normal, zero-inflated
+//! mixtures) are implemented here from first principles.
+
+use rand::Rng;
+
+/// A Zipf-like sampler over `0..u` with exponent `s`, with frequency ranks
+/// scattered over the value ids by a seeded permutation (so value `0` is
+/// not always the most frequent — categorical domains are unordered).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights per frequency rank.
+    cum: Vec<f64>,
+    /// `perm[rank]` = the value id holding that frequency rank.
+    perm: Vec<u32>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..u` with weight `1 / (rank + 1)^s`.
+    ///
+    /// # Panics
+    /// Panics if `u == 0` or `s < 0`.
+    pub fn new<R: Rng>(u: u32, s: f64, rng: &mut R) -> Self {
+        assert!(u > 0, "Zipf domain must be non-empty");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cum = Vec::with_capacity(u as usize);
+        let mut total = 0.0;
+        for rank in 0..u as usize {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        let mut perm: Vec<u32> = (0..u).collect();
+        // Fisher–Yates using the caller's RNG stream.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        Zipf { cum, perm }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u32 {
+        self.perm.len() as u32
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cum.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        let rank = self.cum.partition_point(|&c| c <= x);
+        self.perm[rank.min(self.perm.len() - 1)]
+    }
+}
+
+/// Draws from a normal distribution (Box–Muller), rounds to the nearest
+/// integer, and clamps into `[lo, hi]`.
+pub fn clamped_normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64, lo: i64, hi: i64) -> i64 {
+    assert!(lo <= hi);
+    let z = standard_normal(rng);
+    let x = (mean + std_dev * z).round();
+    (x as i64).clamp(lo, hi)
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples an index proportionally to `weights` (must be non-empty with a
+/// positive sum).
+pub fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have a positive sum");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// SplitMix64: a tiny deterministic mixer used to derive correlated
+/// attributes (e.g. "the city of organization #o") without extra RNG state.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Ensures every value of `0..u` appears in `column` at least once by
+/// overwriting uniformly chosen rows with the missing values.
+///
+/// The synthetic datasets must realize their full categorical domains
+/// (Figure 9 lists domain sizes and Figure 11b selects attributes by
+/// distinct count), but a skewed sampler over a large domain leaves a tail
+/// of values unseen. This pass repairs that while disturbing at most
+/// `#missing` rows. Callers must have `column.len() >= u`.
+pub fn force_coverage<R: Rng>(column: &mut [u32], u: u32, rng: &mut R) {
+    assert!(
+        column.len() >= u as usize,
+        "cannot cover a domain larger than the row count"
+    );
+    let mut present = vec![false; u as usize];
+    for &v in column.iter() {
+        present[v as usize] = true;
+    }
+    let missing: Vec<u32> = (0..u).filter(|&v| !present[v as usize]).collect();
+    if missing.is_empty() {
+        return;
+    }
+    // Overwrite distinct random rows; retry on collision or on rows whose
+    // value is the last occurrence of an otherwise-covered value. A value
+    // occurring once must not be overwritten or we would un-cover it.
+    let mut occurrences = vec![0u32; u as usize];
+    for &v in column.iter() {
+        occurrences[v as usize] += 1;
+    }
+    let mut idx = 0;
+    while idx < missing.len() {
+        let row = rng.gen_range(0..column.len());
+        let old = column[row];
+        if occurrences[old as usize] > 1 {
+            occurrences[old as usize] -= 1;
+            column[row] = missing[idx];
+            occurrences[missing[idx] as usize] += 1;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_stays_in_domain_and_is_skewed() {
+        let mut r = rng(1);
+        let z = Zipf::new(50, 1.0, &mut r);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 20_000));
+        // The most frequent value should dominate the median value
+        // strongly for s = 1.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert!(sorted[49] > 4 * sorted[25].max(1));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let mut r = rng(2);
+        let z = Zipf::new(10, 0.0, &mut r);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "uniform-ish expected, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_determinism() {
+        let mut r1 = rng(7);
+        let z1 = Zipf::new(20, 1.2, &mut r1);
+        let mut r2 = rng(7);
+        let z2 = Zipf::new(20, 1.2, &mut r2);
+        let a: Vec<u32> = (0..100).map(|_| z1.sample(&mut r1)).collect();
+        let b: Vec<u32> = (0..100).map(|_| z2.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut r = rng(3);
+        for _ in 0..5_000 {
+            let x = clamped_normal(&mut r, 50.0, 30.0, 0, 100);
+            assert!((0..=100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn clamped_normal_centers_on_mean() {
+        let mut r = rng(4);
+        let sum: i64 = (0..20_000)
+            .map(|_| clamped_normal(&mut r, 40.0, 5.0, 0, 100))
+            .sum();
+        let mean = sum as f64 / 20_000.0;
+        assert!((mean - 40.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let mut r = rng(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 2 * counts[0]);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn force_coverage_covers_everything() {
+        let mut r = rng(6);
+        let mut col: Vec<u32> = vec![0; 100];
+        force_coverage(&mut col, 30, &mut r);
+        let mut present = [false; 30];
+        for &v in &col {
+            present[v as usize] = true;
+        }
+        assert!(present.iter().all(|&p| p));
+    }
+
+    #[test]
+    fn force_coverage_noop_when_covered() {
+        let mut r = rng(8);
+        let mut col: Vec<u32> = (0..10).collect();
+        let before = col.clone();
+        force_coverage(&mut col, 10, &mut r);
+        assert_eq!(col, before);
+    }
+
+    #[test]
+    fn force_coverage_preserves_row_count_and_never_uncovers() {
+        let mut r = rng(9);
+        // 60 rows heavily skewed onto value 0, domain 50.
+        let mut col = vec![0u32; 60];
+        col[0] = 1; // value 1 occurs exactly once; must survive
+        force_coverage(&mut col, 50, &mut r);
+        assert_eq!(col.len(), 60);
+        let mut present = [false; 50];
+        for &v in &col {
+            present[v as usize] = true;
+        }
+        assert!(present.iter().all(|&p| p));
+    }
+}

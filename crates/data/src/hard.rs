@@ -1,0 +1,215 @@
+//! Adversarial instances from the paper's lower-bound proofs (§4).
+//!
+//! These datasets are *constructions*, not samples: they are specified
+//! exactly by Figures 7 and 8 and force **any** correct algorithm to pay
+//! the stated query counts. The bench targets `thm3_lower_numeric` and
+//! `thm4_lower_categorical` run the paper's (optimal) algorithms on them
+//! and report measured cost against the lower-bound formulas.
+
+use hdc_types::{Schema, Tuple, Value};
+
+use crate::dataset::Dataset;
+
+/// The hard **numeric** dataset of Theorem 3 (Figure 7).
+///
+/// `d`-dimensional space over `[1, m+1]` per attribute. `m` groups, each
+/// with `k` *diagonal* tuples at `(i, …, i)` and, for every attribute `j`,
+/// one *non-diagonal* tuple equal to `i` everywhere except `i+1` on `Aj`.
+///
+/// Total `n = m·(k + d)`; any algorithm needs at least `d·m` queries
+/// (Theorem 3 requires `d ≤ k` for the bound to be meaningful).
+pub fn numeric_hard(k: usize, d: usize, m: usize) -> Dataset {
+    assert!(k >= 1 && d >= 1 && m >= 1);
+    let mut b = Schema::builder();
+    for j in 0..d {
+        b = b.numeric(format!("A{}", j + 1), 1, (m + 1) as i64);
+    }
+    let schema = b.build().expect("valid schema");
+
+    let mut tuples = Vec::with_capacity(m * (k + d));
+    for i in 1..=m as i64 {
+        let diagonal = Tuple::new(vec![Value::Int(i); d]);
+        tuples.extend(std::iter::repeat(diagonal).take(k));
+        for j in 0..d {
+            let mut vals = vec![Value::Int(i); d];
+            vals[j] = Value::Int(i + 1);
+            tuples.push(Tuple::new(vals));
+        }
+    }
+    Dataset::new(format!("hard-numeric(k={k},d={d},m={m})"), schema, tuples)
+}
+
+/// The number of queries **any** algorithm must spend on
+/// [`numeric_hard`]`(k, d, m)` (Theorem 3): `d·m`.
+pub fn numeric_lower_bound(d: usize, m: usize) -> u64 {
+    (d as u64) * (m as u64)
+}
+
+/// The hard **categorical** dataset of Theorem 4 (Figure 8).
+///
+/// `d = 2k` attributes, each with domain `{0, …, u−1}`. `u` groups: group
+/// `i` has, for each attribute `j`, one tuple taking `(i+1) mod u` on `Aj`
+/// and `i` on the other `d−1` attributes. Total `n = d·u`.
+///
+/// The Ω(d·u²) lower bound holds under the theorem's side conditions
+/// (`u ≥ 3`, `k ≥ 3`, `d·u² ≤ 2^{d/4}`) — check them with
+/// [`categorical_hard_conditions_hold`]. The dataset itself is
+/// well-defined for any `u ≥ 2`, `k ≥ 1`.
+pub fn categorical_hard(k: usize, u: u32) -> Dataset {
+    assert!(k >= 1, "k must be positive");
+    assert!(
+        u >= 2,
+        "u must be at least 2 for (i+1) mod u to differ from i"
+    );
+    let d = 2 * k;
+    let mut b = Schema::builder();
+    for j in 0..d {
+        b = b.categorical(format!("A{}", j + 1), u);
+    }
+    let schema = b.build().expect("valid schema");
+
+    let mut tuples = Vec::with_capacity(d * u as usize);
+    for i in 0..u {
+        for j in 0..d {
+            let mut vals = vec![Value::Cat(i); d];
+            vals[j] = Value::Cat((i + 1) % u);
+            tuples.push(Tuple::new(vals));
+        }
+    }
+    Dataset::new(format!("hard-categorical(k={k},u={u})"), schema, tuples)
+}
+
+/// Whether the Theorem 4 side conditions hold for `(k, u)`:
+/// `u ≥ 3`, `k ≥ 3`, `d = 2k`, and `d·u² ≤ 2^{d/4}`.
+pub fn categorical_hard_conditions_hold(k: usize, u: u32) -> bool {
+    if u < 3 || k < 3 {
+        return false;
+    }
+    let d = 2 * k;
+    let lhs = (d as f64) * (u as f64) * (u as f64);
+    let rhs = 2f64.powf(d as f64 / 4.0);
+    lhs <= rhs
+}
+
+/// The Ω(d·u²) lower-bound magnitude for [`categorical_hard`]`(k, u)`.
+pub fn categorical_lower_bound(k: usize, u: u32) -> u64 {
+    2 * (k as u64) * u64::from(u) * u64::from(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::Query;
+
+    #[test]
+    fn numeric_hard_shape() {
+        let ds = numeric_hard(4, 3, 5);
+        assert_eq!(ds.n(), 5 * (4 + 3));
+        assert_eq!(ds.d(), 3);
+        assert!(ds.schema.is_numeric());
+        // Diagonal multiplicity is exactly k.
+        assert_eq!(ds.max_multiplicity(), 4);
+    }
+
+    #[test]
+    fn numeric_hard_group_structure() {
+        let ds = numeric_hard(2, 2, 3);
+        let bag = ds.bag();
+        use hdc_types::tuple::int_tuple;
+        // Group 2: two diagonals (2,2); non-diagonals (3,2) and (2,3).
+        assert_eq!(bag.count(&int_tuple(&[2, 2])), 2);
+        assert_eq!(bag.count(&int_tuple(&[3, 2])), 1);
+        assert_eq!(bag.count(&int_tuple(&[2, 3])), 1);
+        // Values stay within [1, m+1].
+        for t in &ds.tuples {
+            for v in t.iter() {
+                let x = v.expect_int();
+                assert!((1..=4).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_lower_bound_formula() {
+        assert_eq!(numeric_lower_bound(3, 5), 15);
+    }
+
+    #[test]
+    fn categorical_hard_shape() {
+        let ds = categorical_hard(3, 4);
+        assert_eq!(ds.d(), 6);
+        assert_eq!(ds.n(), 6 * 4);
+        assert!(ds.schema.is_categorical());
+        // All tuples distinct in this construction.
+        assert_eq!(ds.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn categorical_hard_group_structure() {
+        let ds = categorical_hard(2, 3);
+        let d = 4;
+        // Group u−1 = 2 wraps: tuples take value 0 on one attribute.
+        use hdc_types::tuple::cat_tuple;
+        let bag = ds.bag();
+        assert_eq!(bag.count(&cat_tuple(&[0, 2, 2, 2])), 1);
+        assert_eq!(bag.count(&cat_tuple(&[2, 2, 2, 0])), 1);
+        // Each group contributes exactly d tuples.
+        let group0 = ds
+            .tuples
+            .iter()
+            .filter(|t| {
+                (0..d).filter(|&j| t.get(j).expect_cat() == 1).count() == 1
+                    && (0..d).filter(|&j| t.get(j).expect_cat() == 0).count() == d - 1
+            })
+            .count();
+        assert_eq!(group0, d);
+    }
+
+    #[test]
+    fn diverse_queries_are_small_lemma7() {
+        // Lemma 7: a query with two different non-wildcard constants has
+        // at most 2 qualifying tuples.
+        let ds = categorical_hard(3, 5);
+        use hdc_types::Predicate;
+        for c1 in 0..5u32 {
+            for c2 in 0..5u32 {
+                if c1 == c2 {
+                    continue;
+                }
+                let mut q = Query::any(ds.d());
+                q = q.with_pred(0, Predicate::Eq(c1));
+                q = q.with_pred(1, Predicate::Eq(c2));
+                let matches = ds.tuples.iter().filter(|t| q.matches(t)).count();
+                assert!(matches <= 2, "diverse query matched {matches}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_constraint_queries_overflow_lemma_setup() {
+        // A query with at most one non-wildcard predicate retrieves ≥ d
+        // tuples (which overflows since d = 2k > k).
+        let k = 3;
+        let ds = categorical_hard(k, 4);
+        use hdc_types::Predicate;
+        for c in 0..4u32 {
+            let q = Query::any(ds.d()).with_pred(2, Predicate::Eq(c));
+            let matches = ds.tuples.iter().filter(|t| q.matches(t)).count();
+            assert!(matches >= 2 * k, "got {matches}");
+        }
+    }
+
+    #[test]
+    fn side_conditions() {
+        assert!(!categorical_hard_conditions_hold(2, 3)); // k < 3
+        assert!(!categorical_hard_conditions_hold(3, 3)); // 6·9=54 > 2^1.5
+        assert!(categorical_hard_conditions_hold(20, 3)); // 40·9 ≤ 2^10
+        assert!(!categorical_hard_conditions_hold(20, 10)); // 40·100 > 1024
+        assert!(categorical_hard_conditions_hold(26, 10)); // 52·100 ≤ 2^13
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        assert_eq!(categorical_lower_bound(3, 4), 96);
+    }
+}

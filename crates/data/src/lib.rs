@@ -1,0 +1,37 @@
+//! Datasets for hidden-database crawling experiments.
+//!
+//! The paper's evaluation (§6) uses three real datasets — **Yahoo** (69,768
+//! vehicles crawled from autos.yahoo.com), **NSF** (47,816 awards from
+//! nsf.gov/awardsearch) and **Adult** (45,222 census records) — plus the
+//! adversarial instances of the §4 lower-bound constructions. The real
+//! crawls are not redistributable, so this crate provides *synthetic
+//! generators* that preserve every property the algorithms' costs depend
+//! on (see `DESIGN.md` §4 for the substitution argument):
+//!
+//! * exact cardinalities and schemas, including the per-attribute domain
+//!   sizes of Figure 9 (every domain value is realized, so distinct counts
+//!   equal domain sizes, as Figure 11b requires);
+//! * skewed, correlated value distributions;
+//! * the duplicate structure that drives 3-way splits and feasibility —
+//!   in particular Yahoo's >64-duplicate point, which makes `k = 64`
+//!   uncrawlable (the Figure 12 gap);
+//! * the Theorem 3 / Theorem 4 hard instances, generated verbatim from
+//!   Figures 7 and 8.
+//!
+//! All generators are deterministic functions of an explicit seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod dataset;
+pub mod dist;
+pub mod hard;
+pub mod nsf;
+pub mod ops;
+pub mod stats;
+pub mod synth;
+pub mod yahoo;
+
+pub use dataset::Dataset;
+pub use stats::{AttrStats, DatasetStats};

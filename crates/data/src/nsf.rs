@@ -1,0 +1,209 @@
+//! Synthetic **NSF awards** dataset (purely categorical).
+//!
+//! Stands in for the 47,816-tuple crawl of nsf.gov/awardsearch. Schema and
+//! per-attribute domain sizes follow Figure 9 exactly, in the paper's
+//! attribute order:
+//!
+//! | attribute | domain |
+//! |-----------|--------|
+//! | Amnt      | 5      |
+//! | Instru    | 8      |
+//! | Field     | 49     |
+//! | PI-state  | 58     |
+//! | NSF-org   | 58     |
+//! | Prog-mgr  | 654    |
+//! | City      | 1093   |
+//! | PI-org    | 3110   |
+//! | PI-name   | 29042  |
+//!
+//! Every domain value is realized (the paper's Figure 11b experiment picks
+//! attributes "with the highest numbers of distinct values", where the
+//! distinct count "equals the attribute's domain size"). PI-name is
+//! near-unique (~1.6 awards per PI), and City / PI-state / Prog-mgr are
+//! functionally correlated with PI-org / NSF-org the way real award data
+//! is — a PI organization sits in one city, a city in one state, a program
+//! manager in one NSF organization — with a small noise floor.
+
+use hdc_types::{Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::dist::{force_coverage, mix64, Zipf};
+
+/// Cardinality of the paper's NSF crawl.
+pub const N: usize = 47_816;
+
+/// Domain sizes in the paper's attribute order (Figure 9).
+pub const DOMAINS: [u32; 9] = [5, 8, 49, 58, 58, 654, 1093, 3110, 29042];
+
+/// Attribute names in the paper's order.
+pub const NAMES: [&str; 9] = [
+    "Amnt", "Instru", "Field", "PI-state", "NSF-org", "Prog-mgr", "City", "PI-org", "PI-name",
+];
+
+/// The NSF schema.
+pub fn schema() -> Schema {
+    let mut b = Schema::builder();
+    for (name, &u) in NAMES.iter().zip(DOMAINS.iter()) {
+        b = b.categorical(*name, u);
+    }
+    b.build().expect("static schema is valid")
+}
+
+/// Generates the full-size dataset.
+pub fn generate(seed: u64) -> Dataset {
+    generate_scaled(N, seed)
+}
+
+/// Generates a scaled variant. `n` must be at least the largest domain so
+/// coverage is possible.
+pub fn generate_scaled(n: usize, seed: u64) -> Dataset {
+    let max_u = *DOMAINS.iter().max().unwrap() as usize;
+    assert!(
+        n >= max_u,
+        "n must be >= {max_u} to realize the PI-name domain"
+    );
+    // Domain-separate the stream from the other generators ("NSF").
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x004e_5346);
+
+    // Heavy skew on the small leading attributes mirrors real award
+    // data (standard grants in a handful of mainstream fields dominate),
+    // which keeps deep prefixes overflowing — the regime in which DFS
+    // keeps paying while extended-DFS answers children from slices.
+    let amnt_dist = Zipf::new(DOMAINS[0], 1.6, &mut rng);
+    let instru_dist = Zipf::new(DOMAINS[1], 1.3, &mut rng);
+    let field_dist = Zipf::new(DOMAINS[2], 1.15, &mut rng);
+    let nsf_org_dist = Zipf::new(DOMAINS[4], 1.0, &mut rng);
+    let pi_org_dist = Zipf::new(DOMAINS[7], 1.05, &mut rng);
+    let pi_name_dist = Zipf::new(DOMAINS[8], 0.55, &mut rng);
+
+    let mut cols: Vec<Vec<u32>> = (0..9).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        let amnt = amnt_dist.sample(&mut rng);
+        let instru = instru_dist.sample(&mut rng);
+        let field = field_dist.sample(&mut rng);
+        let nsf_org = nsf_org_dist.sample(&mut rng);
+        let pi_org = pi_org_dist.sample(&mut rng);
+        let pi_name = pi_name_dist.sample(&mut rng);
+
+        // A program manager belongs to one NSF org; each org has ~11
+        // managers. 10% noise models managers moving between orgs.
+        let prog_mgr = if rng.gen_bool(0.9) {
+            derived(u64::from(nsf_org) * 31 + 7, DOMAINS[5]).wrapping_add(rng.gen_range(0..12))
+                % DOMAINS[5]
+        } else {
+            rng.gen_range(0..DOMAINS[5])
+        };
+        // A PI organization sits in one city, a city in one state.
+        let city = if rng.gen_bool(0.95) {
+            derived(u64::from(pi_org) * 17 + 3, DOMAINS[6])
+        } else {
+            rng.gen_range(0..DOMAINS[6])
+        };
+        let state = if rng.gen_bool(0.97) {
+            derived(u64::from(city) * 13 + 1, DOMAINS[3])
+        } else {
+            rng.gen_range(0..DOMAINS[3])
+        };
+
+        cols[0].push(amnt);
+        cols[1].push(instru);
+        cols[2].push(field);
+        cols[3].push(state);
+        cols[4].push(nsf_org);
+        cols[5].push(prog_mgr);
+        cols[6].push(city);
+        cols[7].push(pi_org);
+        cols[8].push(pi_name);
+    }
+
+    for (a, col) in cols.iter_mut().enumerate() {
+        force_coverage(col, DOMAINS[a], &mut rng);
+    }
+
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::new(cols.iter().map(|c| Value::Cat(c[i])).collect::<Vec<_>>()))
+        .collect();
+    Dataset::new("NSF", schema(), tuples)
+}
+
+/// Deterministic value in `0..u` derived from a key.
+fn derived(key: u64, u: u32) -> u32 {
+    (mix64(key) % u64::from(u)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_size_and_schema() {
+        let ds = generate(42);
+        assert_eq!(ds.n(), N);
+        assert_eq!(ds.d(), 9);
+        assert!(ds.schema.is_categorical());
+        for (a, &u) in DOMAINS.iter().enumerate() {
+            assert_eq!(ds.schema.kind(a).domain_size(), Some(u));
+        }
+    }
+
+    #[test]
+    fn every_domain_fully_realized() {
+        let ds = generate(42);
+        for (a, &u) in DOMAINS.iter().enumerate() {
+            assert_eq!(ds.distinct_count(a), u as usize, "attribute {}", NAMES[a]);
+        }
+    }
+
+    #[test]
+    fn crawlable_at_modest_k() {
+        let ds = generate(42);
+        // PI-name is near-unique, so duplicate multiplicity is tiny.
+        assert!(ds.max_multiplicity() <= 16, "got {}", ds.max_multiplicity());
+    }
+
+    #[test]
+    fn city_is_functionally_dependent_on_pi_org() {
+        let ds = generate_scaled(30_000, 3);
+        use std::collections::HashMap;
+        let mut city_of: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+        for t in &ds.tuples {
+            let org = t.get(7).expect_cat();
+            let city = t.get(6).expect_cat();
+            *city_of.entry(org).or_default().entry(city).or_insert(0) += 1;
+        }
+        // For orgs with several awards, the dominant city should hold a
+        // large majority of them.
+        let mut dominated = 0usize;
+        let mut multi = 0usize;
+        for cities in city_of.values() {
+            let total: usize = cities.values().sum();
+            if total >= 10 {
+                multi += 1;
+                let max = *cities.values().max().unwrap();
+                if max * 10 >= total * 8 {
+                    dominated += 1;
+                }
+            }
+        }
+        assert!(multi > 0);
+        assert!(
+            dominated * 10 >= multi * 9,
+            "expected >=90% of orgs dominated by one city ({dominated}/{multi})"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_scaled(29_100, 5);
+        let b = generate_scaled(29_100, 5);
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    #[should_panic(expected = "realize the PI-name domain")]
+    fn too_small_n_rejected() {
+        generate_scaled(1_000, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Dataset transformations used by the evaluation methodology.
+
+use hdc_types::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Projects a dataset onto the given attribute indices (in the given
+/// order).
+pub fn project(ds: &Dataset, indices: &[usize]) -> Dataset {
+    let schema = ds.schema.project(indices);
+    let tuples: Vec<Tuple> = ds.tuples.iter().map(|t| t.project(indices)).collect();
+    Dataset::new(
+        format!("{}[proj{}d]", ds.name, indices.len()),
+        schema,
+        tuples,
+    )
+}
+
+/// Bernoulli sample: keeps each tuple independently with probability
+/// `fraction` — the paper's §6 methodology for the "cost vs. n"
+/// experiments ("a 20% dataset corresponds to a random sample set …, by
+/// independently sampling each of its tuples with a 20% probability").
+pub fn sample_fraction(ds: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a4d);
+    let tuples: Vec<Tuple> = ds
+        .tuples
+        .iter()
+        .filter(|_| rng.gen_bool(fraction))
+        .cloned()
+        .collect();
+    Dataset::new(
+        format!("{}[{}%]", ds.name, (fraction * 100.0).round() as u32),
+        ds.schema.clone(),
+        tuples,
+    )
+}
+
+/// Selects the `d` attributes with the highest distinct-value counts,
+/// keeping their original relative order — the paper's construction for
+/// the "cost vs. d" experiments (Figures 10b and 11b: "we created a
+/// d-dimensional dataset by taking the d attributes … that have the
+/// highest numbers of distinct values").
+///
+/// Ties break towards the earlier attribute. Returns the projected
+/// dataset together with the chosen indices.
+pub fn project_top_distinct(ds: &Dataset, d: usize) -> (Dataset, Vec<usize>) {
+    assert!(d >= 1 && d <= ds.d(), "d must be in [1, {}]", ds.d());
+    let counts = ds.distinct_counts();
+    let mut order: Vec<usize> = (0..ds.d()).collect();
+    // Highest distinct count first; ties by attribute position.
+    order.sort_by_key(|&a| (std::cmp::Reverse(counts[a]), a));
+    let mut chosen: Vec<usize> = order[..d].to_vec();
+    chosen.sort_unstable(); // restore original relative order
+    (project(ds, &chosen), chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::Schema;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::builder()
+            .numeric("a", 0, 99)
+            .numeric("b", 0, 99)
+            .numeric("c", 0, 99)
+            .build()
+            .unwrap();
+        // a: 2 distinct; b: 50 distinct; c: 10 distinct.
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| int_tuple(&[(i % 2) as i64, (i % 50) as i64, (i % 10) as i64]))
+            .collect();
+        Dataset::new("toy", schema, tuples)
+    }
+
+    #[test]
+    fn project_keeps_order_given() {
+        let ds = dataset();
+        let p = project(&ds, &[2, 0]);
+        assert_eq!(p.d(), 2);
+        assert_eq!(p.schema.attr(0).name(), "c");
+        assert_eq!(p.schema.attr(1).name(), "a");
+        assert_eq!(p.n(), 100);
+        assert_eq!(p.tuples[3], int_tuple(&[3, 1]));
+    }
+
+    #[test]
+    fn sample_fraction_statistics() {
+        let ds = dataset();
+        let s = sample_fraction(&ds, 0.4, 1);
+        assert!(s.n() > 20 && s.n() < 60, "got {}", s.n());
+        assert_eq!(s.schema, ds.schema);
+        // Deterministic.
+        let s2 = sample_fraction(&ds, 0.4, 1);
+        assert_eq!(s.tuples, s2.tuples);
+        // Edge fractions.
+        assert_eq!(sample_fraction(&ds, 0.0, 2).n(), 0);
+        assert_eq!(sample_fraction(&ds, 1.0, 2).n(), 100);
+    }
+
+    #[test]
+    fn top_distinct_selects_and_reorders() {
+        let ds = dataset();
+        let (p, idx) = project_top_distinct(&ds, 2);
+        // b (50) and c (10) win; original relative order is b before c.
+        assert_eq!(idx, vec![1, 2]);
+        assert_eq!(p.schema.attr(0).name(), "b");
+        assert_eq!(p.schema.attr(1).name(), "c");
+    }
+
+    #[test]
+    fn top_distinct_full_width_is_identity_order() {
+        let ds = dataset();
+        let (p, idx) = project_top_distinct(&ds, 3);
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert_eq!(p.schema, ds.schema);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn top_distinct_rejects_zero() {
+        project_top_distinct(&dataset(), 0);
+    }
+}

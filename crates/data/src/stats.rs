@@ -1,0 +1,113 @@
+//! Dataset statistics (the Figure 9 table).
+
+use hdc_types::AttrKind;
+
+use crate::dataset::Dataset;
+
+/// Statistics for one attribute.
+#[derive(Clone, Debug)]
+pub struct AttrStats {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute kind and declared domain.
+    pub kind: AttrKind,
+    /// Number of distinct values observed.
+    pub distinct: usize,
+}
+
+impl AttrStats {
+    /// The Figure 9 cell for this attribute: the domain size for a
+    /// categorical attribute, "num" for a numeric one.
+    pub fn figure9_cell(&self) -> String {
+        match self.kind {
+            AttrKind::Categorical { size } => size.to_string(),
+            AttrKind::Numeric { .. } => "num".to_string(),
+        }
+    }
+}
+
+/// Full dataset statistics: everything the Figure 9 table and the
+/// feasibility checks need.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of tuples `n`.
+    pub n: usize,
+    /// Per-attribute statistics, in schema order.
+    pub attrs: Vec<AttrStats>,
+    /// Largest duplicate multiplicity (crawlable iff ≤ k).
+    pub max_multiplicity: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    pub fn compute(ds: &Dataset) -> Self {
+        let distinct = ds.distinct_counts();
+        let attrs = (0..ds.d())
+            .map(|a| AttrStats {
+                name: ds.schema.attr(a).name().to_string(),
+                kind: ds.schema.kind(a),
+                distinct: distinct[a],
+            })
+            .collect();
+        DatasetStats {
+            name: ds.name.clone(),
+            n: ds.n(),
+            attrs,
+            max_multiplicity: ds.max_multiplicity(),
+        }
+    }
+
+    /// Smallest `k` at which Problem 1 is solvable on this dataset.
+    pub fn min_feasible_k(&self) -> usize {
+        self.max_multiplicity.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::{Schema, Tuple, Value};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::builder()
+            .categorical("c", 4)
+            .numeric("x", 0, 9)
+            .build()
+            .unwrap();
+        let tuples = vec![
+            Tuple::new(vec![Value::Cat(0), Value::Int(1)]),
+            Tuple::new(vec![Value::Cat(0), Value::Int(1)]),
+            Tuple::new(vec![Value::Cat(2), Value::Int(5)]),
+        ];
+        Dataset::new("mini", schema, tuples)
+    }
+
+    #[test]
+    fn compute_summaries() {
+        let s = DatasetStats::compute(&dataset());
+        assert_eq!(s.name, "mini");
+        assert_eq!(s.n, 3);
+        assert_eq!(s.attrs.len(), 2);
+        assert_eq!(s.attrs[0].distinct, 2);
+        assert_eq!(s.attrs[1].distinct, 2);
+        assert_eq!(s.max_multiplicity, 2);
+        assert_eq!(s.min_feasible_k(), 2);
+    }
+
+    #[test]
+    fn figure9_cells() {
+        let s = DatasetStats::compute(&dataset());
+        assert_eq!(s.attrs[0].figure9_cell(), "4");
+        assert_eq!(s.attrs[1].figure9_cell(), "num");
+    }
+
+    #[test]
+    fn min_feasible_k_for_duplicate_free_data() {
+        let schema = Schema::builder().numeric("x", 0, 9).build().unwrap();
+        let ds = Dataset::new("d", schema, vec![int_tuple(&[1]), int_tuple(&[2])]);
+        assert_eq!(DatasetStats::compute(&ds).min_feasible_k(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Query-budget decorator.
+
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
+
+/// Wraps any [`HiddenDatabase`] with a hard query quota.
+///
+/// Real hidden databases "have a control on how many queries can be
+/// submitted by the same IP address within a period of time" (§1.1) —
+/// minimizing query count is the paper's whole cost model. `Budgeted`
+/// simulates the enforcement side: once `limit` queries have been issued,
+/// every further query fails with [`DbError::BudgetExhausted`]. Crawlers
+/// must surface the failure together with the tuples extracted so far
+/// (exercised by the failure-injection tests).
+#[derive(Debug)]
+pub struct Budgeted<D> {
+    inner: D,
+    limit: u64,
+    issued: u64,
+}
+
+impl<D: HiddenDatabase> Budgeted<D> {
+    /// Allows at most `limit` queries through to `inner`.
+    pub fn new(inner: D, limit: u64) -> Self {
+        Budgeted {
+            inner,
+            limit,
+            issued: 0,
+        }
+    }
+
+    /// Queries still allowed.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.issued
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Consumes the decorator, returning the inner database.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Shared access to the inner database.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: HiddenDatabase> HiddenDatabase for Budgeted<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        if self.issued >= self.limit {
+            return Err(DbError::BudgetExhausted {
+                issued: self.issued,
+                limit: self.limit,
+            });
+        }
+        let out = self.inner.query(q)?;
+        self.issued += 1;
+        Ok(out)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// A per-period quota: like [`Budgeted`], but the allowance renews each
+/// simulated "day" — the shape real sites enforce ("how many queries can
+/// be submitted by the same IP address within a period of time", §1.1).
+///
+/// When the day's quota is exhausted, queries fail with
+/// [`DbError::BudgetExhausted`] until the caller advances the clock with
+/// [`DailyQuota::next_day`]. Combined with [`crate::Replayer`], this
+/// yields the realistic multi-day crawl workflow (see `tests/resume.rs`).
+#[derive(Debug)]
+pub struct DailyQuota<D> {
+    inner: D,
+    per_day: u64,
+    spent_today: u64,
+    total: u64,
+    day: u32,
+}
+
+impl<D: HiddenDatabase> DailyQuota<D> {
+    /// Allows `per_day` queries per simulated day.
+    pub fn new(inner: D, per_day: u64) -> Self {
+        assert!(per_day > 0, "a zero daily quota can never make progress");
+        DailyQuota {
+            inner,
+            per_day,
+            spent_today: 0,
+            total: 0,
+            day: 0,
+        }
+    }
+
+    /// Advances the clock to the next day, renewing the quota.
+    pub fn next_day(&mut self) {
+        self.day += 1;
+        self.spent_today = 0;
+    }
+
+    /// The current day (0-based).
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Queries remaining today.
+    pub fn remaining_today(&self) -> u64 {
+        self.per_day - self.spent_today
+    }
+
+    /// Total queries charged across all days.
+    pub fn total_spent(&self) -> u64 {
+        self.total
+    }
+
+    /// Consumes the decorator, returning the inner database.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: HiddenDatabase> HiddenDatabase for DailyQuota<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        if self.spent_today >= self.per_day {
+            return Err(DbError::BudgetExhausted {
+                issued: self.spent_today,
+                limit: self.per_day,
+            });
+        }
+        let out = self.inner.query(q)?;
+        self.spent_today += 1;
+        self.total += 1;
+        Ok(out)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HiddenDbServer, ServerConfig};
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::Schema;
+
+    fn server() -> HiddenDbServer {
+        let schema = Schema::builder().numeric("a", 0, 99).build().unwrap();
+        let rows = (0..100).map(|x| int_tuple(&[x])).collect();
+        HiddenDbServer::new(schema, rows, ServerConfig { k: 10, seed: 1 }).unwrap()
+    }
+
+    #[test]
+    fn passes_queries_until_limit() {
+        let mut db = Budgeted::new(server(), 3);
+        for _ in 0..3 {
+            assert!(db.query(&Query::any(1)).is_ok());
+        }
+        assert_eq!(db.remaining(), 0);
+        let err = db.query(&Query::any(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::BudgetExhausted {
+                issued: 3,
+                limit: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn failed_validation_does_not_consume_budget() {
+        let mut db = Budgeted::new(server(), 2);
+        let bad = Query::any(2); // arity mismatch
+        assert!(matches!(db.query(&bad), Err(DbError::InvalidQuery(_))));
+        assert_eq!(db.remaining(), 2);
+    }
+
+    #[test]
+    fn exposes_inner_properties() {
+        let db = Budgeted::new(server(), 5);
+        assert_eq!(db.k(), 10);
+        assert_eq!(db.schema().arity(), 1);
+        assert_eq!(db.limit(), 5);
+        assert_eq!(db.queries_issued(), 0);
+        let inner = db.into_inner();
+        assert_eq!(inner.n(), 100);
+    }
+
+    #[test]
+    fn zero_budget_blocks_everything() {
+        let mut db = Budgeted::new(server(), 0);
+        assert!(matches!(
+            db.query(&Query::any(1)),
+            Err(DbError::BudgetExhausted {
+                issued: 0,
+                limit: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn daily_quota_renews() {
+        let mut db = DailyQuota::new(server(), 2);
+        assert!(db.query(&Query::any(1)).is_ok());
+        assert!(db.query(&Query::any(1)).is_ok());
+        assert!(matches!(
+            db.query(&Query::any(1)),
+            Err(DbError::BudgetExhausted {
+                issued: 2,
+                limit: 2
+            })
+        ));
+        assert_eq!(db.remaining_today(), 0);
+        db.next_day();
+        assert_eq!(db.day(), 1);
+        assert_eq!(db.remaining_today(), 2);
+        assert!(db.query(&Query::any(1)).is_ok());
+        assert_eq!(db.total_spent(), 3);
+        assert_eq!(db.queries_issued(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero daily quota")]
+    fn daily_quota_rejects_zero() {
+        DailyQuota::new(server(), 0);
+    }
+
+    #[test]
+    fn daily_quota_exposes_inner() {
+        let db = DailyQuota::new(server(), 5);
+        assert_eq!(db.k(), 10);
+        assert_eq!(db.into_inner().n(), 100);
+    }
+}

@@ -1,0 +1,340 @@
+//! The hidden-database server.
+
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema, SchemaError, Tuple};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::eval;
+use crate::index::ColumnIndex;
+use crate::stats::ServerStats;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Result-size limit `k ≥ 1`.
+    pub k: usize,
+    /// Seed for the random tuple-priority assignment.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            k: 1000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// An in-process hidden database exposing only the top-`k` interface.
+///
+/// Construction validates every tuple against the schema, assigns each
+/// tuple a random (seeded) priority — matching the paper's experimental
+/// setup — and builds per-column indexes. After construction the server is
+/// logically immutable: queries never change the data, and identical
+/// queries always receive identical responses.
+///
+/// ```
+/// use hdc_server::{HiddenDbServer, ServerConfig};
+/// use hdc_types::{HiddenDatabase, Query, Schema};
+/// use hdc_types::tuple::int_tuple;
+///
+/// let schema = Schema::builder().numeric("a", 0, 9).build().unwrap();
+/// let rows = (0..10).map(|x| int_tuple(&[x])).collect();
+/// let mut server =
+///     HiddenDbServer::new(schema, rows, ServerConfig { k: 4, seed: 1 }).unwrap();
+/// let out = server.query(&Query::any(1)).unwrap();
+/// assert!(out.overflow);          // 10 tuples > k = 4
+/// assert_eq!(out.tuples.len(), 4);
+/// let again = server.query(&Query::any(1)).unwrap();
+/// assert_eq!(out, again);          // repeating a query reveals nothing new
+/// ```
+#[derive(Debug)]
+pub struct HiddenDbServer {
+    schema: Schema,
+    /// Rows in descending priority order (row 0 = highest priority).
+    rows: Vec<Tuple>,
+    /// `source[i]` = index of `rows[i]` in the constructor's input, so
+    /// tests can refer to "t4 from Figure 3" regardless of priorities.
+    source: Vec<u32>,
+    k: usize,
+    index: ColumnIndex,
+    stats: ServerStats,
+}
+
+impl HiddenDbServer {
+    /// Creates a server over `tuples` with seeded random priorities.
+    pub fn new(
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        config: ServerConfig,
+    ) -> Result<Self, SchemaError> {
+        let n = tuples.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        order.shuffle(&mut rng);
+        Self::with_order(schema, tuples, config.k, order)
+    }
+
+    /// Creates a server with explicit priorities: `priorities[i]` is the
+    /// priority of input tuple `i`, higher values returned first (ties
+    /// broken by input position). Used by the paper-fidelity tests to
+    /// replay the exact responses of the worked examples (Figures 3–6).
+    pub fn with_priorities(
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        k: usize,
+        priorities: &[u64],
+    ) -> Result<Self, SchemaError> {
+        assert_eq!(
+            priorities.len(),
+            tuples.len(),
+            "one priority per tuple required"
+        );
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(priorities[i as usize]), i));
+        Self::with_order(schema, tuples, k, order)
+    }
+
+    fn with_order(
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        k: usize,
+        order: Vec<u32>,
+    ) -> Result<Self, SchemaError> {
+        assert!(k >= 1, "k must be at least 1");
+        for t in &tuples {
+            schema.validate_tuple(t)?;
+        }
+        let rows: Vec<Tuple> = order.iter().map(|&i| tuples[i as usize].clone()).collect();
+        let index = ColumnIndex::build(&schema, &rows);
+        Ok(HiddenDbServer {
+            schema,
+            rows,
+            source: order,
+            k,
+            index,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// Number of tuples `n` in the database. (A crawler would not know
+    /// this; it exists for experiment bookkeeping.)
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Server-side statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+
+    /// The stored rows in priority order. Experiment bookkeeping only.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// For each stored row (priority order), the index of the tuple in the
+    /// constructor's input. Lets tests map responses back to "t4".
+    pub fn source_ids(&self) -> &[u32] {
+        &self.source
+    }
+
+    /// Number of distinct values present in column `a` (used to build the
+    /// Figure 9 dataset table and the top-distinct projections).
+    pub fn distinct_in_column(&self, a: usize) -> usize {
+        self.index.distinct(a)
+    }
+
+    /// True if Problem 1 is solvable on this database: no point of the data
+    /// space carries more than `k` duplicate tuples (§1.1).
+    pub fn is_crawlable(&self) -> bool {
+        use std::collections::HashMap;
+        let mut mult: HashMap<&Tuple, usize> = HashMap::new();
+        for t in &self.rows {
+            let c = mult.entry(t).or_insert(0);
+            *c += 1;
+            if *c > self.k {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl HiddenDatabase for HiddenDbServer {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        q.validate(&self.schema)?;
+        let out = eval::evaluate(&self.rows, &self.index, self.k, q, &mut self.stats);
+        self.stats.record_outcome(out.len(), out.overflow);
+        Ok(out)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.stats.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::int_tuple;
+    use hdc_types::{Predicate, Value};
+
+    fn schema_1d() -> Schema {
+        Schema::builder().numeric("a", 0, 100).build().unwrap()
+    }
+
+    #[test]
+    fn resolved_queries_return_everything() {
+        let rows: Vec<Tuple> = (0..5).map(|x| int_tuple(&[x])).collect();
+        let mut s = HiddenDbServer::new(schema_1d(), rows.clone(), ServerConfig { k: 10, seed: 7 })
+            .unwrap();
+        let out = s.query(&Query::any(1)).unwrap();
+        assert!(out.is_resolved());
+        let mut got = out.tuples.clone();
+        got.sort();
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn overflow_is_deterministic_and_stable() {
+        let rows: Vec<Tuple> = (0..100).map(|x| int_tuple(&[x])).collect();
+        let mut s =
+            HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 10, seed: 3 }).unwrap();
+        let q = Query::any(1);
+        let first = s.query(&q).unwrap();
+        assert!(first.overflow);
+        assert_eq!(first.len(), 10);
+        for _ in 0..5 {
+            assert_eq!(s.query(&q).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_rankings() {
+        let rows: Vec<Tuple> = (0..100).map(|x| int_tuple(&[x])).collect();
+        let mut a =
+            HiddenDbServer::new(schema_1d(), rows.clone(), ServerConfig { k: 5, seed: 1 }).unwrap();
+        let mut b = HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 5, seed: 2 }).unwrap();
+        let qa = a.query(&Query::any(1)).unwrap();
+        let qb = b.query(&Query::any(1)).unwrap();
+        assert_ne!(qa.tuples, qb.tuples);
+    }
+
+    #[test]
+    fn explicit_priorities_control_responses() {
+        // Tuples 10, 20, 30; give 30 the top priority, then 10, then 20.
+        let rows = vec![int_tuple(&[10]), int_tuple(&[20]), int_tuple(&[30])];
+        let mut s = HiddenDbServer::with_priorities(schema_1d(), rows, 2, &[5, 1, 9]).unwrap();
+        let out = s.query(&Query::any(1)).unwrap();
+        assert!(out.overflow);
+        assert_eq!(out.tuples, vec![int_tuple(&[30]), int_tuple(&[10])]);
+        assert_eq!(s.source_ids()[0], 2);
+    }
+
+    #[test]
+    fn priority_ties_break_by_input_position() {
+        let rows = vec![int_tuple(&[1]), int_tuple(&[2]), int_tuple(&[3])];
+        let s = HiddenDbServer::with_priorities(schema_1d(), rows, 1, &[7, 7, 7]).unwrap();
+        assert_eq!(s.source_ids(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_invalid_tuples_and_queries() {
+        let schema = Schema::builder().categorical("c", 2).build().unwrap();
+        let bad = vec![Tuple::new(vec![Value::Cat(5)])];
+        assert!(HiddenDbServer::new(schema.clone(), bad, ServerConfig::default()).is_err());
+
+        let mut s = HiddenDbServer::new(
+            schema,
+            vec![Tuple::new(vec![Value::Cat(0)])],
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let bad_q = Query::new(vec![Predicate::Range { lo: 0, hi: 1 }]);
+        assert!(matches!(s.query(&bad_q), Err(DbError::InvalidQuery(_))));
+        assert_eq!(s.queries_issued(), 0, "invalid queries are not charged");
+    }
+
+    #[test]
+    fn stats_track_queries() {
+        let rows: Vec<Tuple> = (0..50).map(|x| int_tuple(&[x])).collect();
+        let mut s =
+            HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 10, seed: 0 }).unwrap();
+        s.query(&Query::any(1)).unwrap();
+        s.query(&Query::new(vec![Predicate::Range { lo: 0, hi: 3 }]))
+            .unwrap();
+        let st = s.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.overflowed, 1);
+        assert_eq!(st.resolved, 1);
+        assert_eq!(st.tuples_returned, 14);
+        assert_eq!(s.queries_issued(), 2);
+        s.reset_stats();
+        assert_eq!(s.stats().queries, 0);
+    }
+
+    #[test]
+    fn crawlable_detection() {
+        let rows = vec![int_tuple(&[7]); 5];
+        let s =
+            HiddenDbServer::new(schema_1d(), rows.clone(), ServerConfig { k: 5, seed: 0 }).unwrap();
+        assert!(s.is_crawlable());
+        let s = HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 4, seed: 0 }).unwrap();
+        assert!(!s.is_crawlable());
+    }
+
+    #[test]
+    fn empty_database() {
+        let mut s =
+            HiddenDbServer::new(schema_1d(), vec![], ServerConfig { k: 3, seed: 0 }).unwrap();
+        assert_eq!(s.n(), 0);
+        let out = s.query(&Query::any(1)).unwrap();
+        assert!(out.is_resolved());
+        assert!(out.is_empty());
+        assert!(s.is_crawlable());
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let rows = vec![int_tuple(&[1]), int_tuple(&[2])];
+        let mut s = HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 1, seed: 0 }).unwrap();
+        let out = s.query(&Query::any(1)).unwrap();
+        assert!(out.overflow);
+        assert_eq!(out.len(), 1);
+        let point = s
+            .query(&Query::new(vec![Predicate::Range { lo: 2, hi: 2 }]))
+            .unwrap();
+        assert!(point.is_resolved());
+        assert_eq!(point.tuples, vec![int_tuple(&[2])]);
+    }
+
+    #[test]
+    fn distinct_in_column_counts() {
+        let schema = Schema::builder()
+            .categorical("c", 10)
+            .numeric("n", 0, 9)
+            .build()
+            .unwrap();
+        let rows: Vec<Tuple> = (0..6)
+            .map(|i| Tuple::new(vec![Value::Cat(i % 2), Value::Int((i % 3) as i64)]))
+            .collect();
+        let s = HiddenDbServer::new(schema, rows, ServerConfig::default()).unwrap();
+        assert_eq!(s.distinct_in_column(0), 2);
+        assert_eq!(s.distinct_in_column(1), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Server-side query statistics.
+
+use std::fmt;
+
+use crate::eval::Strategy;
+
+/// Counters maintained by the server across its lifetime.
+///
+/// The crawl algorithms are charged by *query count* (the paper's cost
+/// metric); these statistics let experiments and tests read that count from
+/// the server's side of the interface, and expose evaluator internals
+/// (scan vs. probe) for the micro-benchmarks.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Total queries answered.
+    pub queries: u64,
+    /// Queries that resolved (full result returned).
+    pub resolved: u64,
+    /// Queries that overflowed (k tuples + signal).
+    pub overflowed: u64,
+    /// Total tuples shipped back to clients.
+    pub tuples_returned: u64,
+    /// Queries answered by the priority-ordered scan path.
+    pub scan_evals: u64,
+    /// Queries answered by the index-probe path.
+    pub probe_evals: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn record_plan(&mut self, strategy: Strategy) {
+        match strategy {
+            Strategy::Scan => self.scan_evals += 1,
+            Strategy::Probe => self.probe_evals += 1,
+        }
+    }
+
+    pub(crate) fn record_outcome(&mut self, returned: usize, overflow: bool) {
+        self.queries += 1;
+        self.tuples_returned += returned as u64;
+        if overflow {
+            self.overflowed += 1;
+        } else {
+            self.resolved += 1;
+        }
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries ({} resolved, {} overflowed), {} tuples returned, eval: {} scans / {} probes",
+            self.queries,
+            self.resolved,
+            self.overflowed,
+            self.tuples_returned,
+            self.scan_evals,
+            self.probe_evals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ServerStats::default();
+        s.record_plan(Strategy::Scan);
+        s.record_outcome(10, false);
+        s.record_plan(Strategy::Probe);
+        s.record_outcome(5, true);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.resolved, 1);
+        assert_eq!(s.overflowed, 1);
+        assert_eq!(s.tuples_returned, 15);
+        assert_eq!(s.scan_evals, 1);
+        assert_eq!(s.probe_evals, 1);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let mut s = ServerStats::default();
+        s.record_plan(Strategy::Scan);
+        s.record_outcome(3, false);
+        let text = s.to_string();
+        assert!(text.contains("1 queries"));
+        assert!(text.contains("3 tuples"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property test: the server's planned evaluation (scan with early exit
+//! vs. index probe) is indistinguishable from a brute-force oracle on
+//! arbitrary data and queries — same tuples, same order, same overflow
+//! bit. The crawl algorithms' correctness rests on this equivalence.
+
+use proptest::prelude::*;
+
+use hdc_server::{HiddenDbServer, ServerConfig};
+use hdc_types::{HiddenDatabase, Predicate, Query, Schema, Tuple, Value};
+
+#[derive(Debug, Clone)]
+struct Case {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    queries: Vec<Query>,
+    k: usize,
+    seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    // Schema: 1–3 attributes, alternating kinds decided per attribute.
+    let attrs = proptest::collection::vec((any::<bool>(), 2u32..8, 1i64..40), 1..4);
+    (
+        attrs,
+        1usize..15,
+        0usize..150,
+        any::<u64>(),
+        1u64..=u64::MAX,
+    )
+        .prop_map(|(attr_specs, k, n, seed, qseed)| {
+            let mut b = Schema::builder();
+            for (i, &(is_cat, size, width)) in attr_specs.iter().enumerate() {
+                b = if is_cat {
+                    b.categorical(format!("c{i}"), size)
+                } else {
+                    b.numeric(format!("n{i}"), -width, width)
+                };
+            }
+            let schema = b.build().unwrap();
+
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let tuples: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    Tuple::new(
+                        (0..schema.arity())
+                            .map(|a| match schema.kind(a) {
+                                hdc_types::AttrKind::Categorical { size } => {
+                                    Value::Cat((next() % u64::from(size)) as u32)
+                                }
+                                hdc_types::AttrKind::Numeric { min, max } => {
+                                    let span = (max - min + 1) as u64;
+                                    Value::Int(min + (next() % span) as i64)
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+
+            // Random queries, including unsatisfiable ranges and points.
+            let mut qstate = qseed | 1;
+            let mut qnext = move || {
+                qstate ^= qstate >> 12;
+                qstate ^= qstate << 25;
+                qstate ^= qstate >> 27;
+                qstate.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let queries: Vec<Query> = (0..12)
+                .map(|_| {
+                    Query::new(
+                        (0..schema.arity())
+                            .map(|a| match schema.kind(a) {
+                                hdc_types::AttrKind::Categorical { size } => {
+                                    if qnext() % 3 == 0 {
+                                        Predicate::Any
+                                    } else {
+                                        Predicate::Eq((qnext() % u64::from(size)) as u32)
+                                    }
+                                }
+                                hdc_types::AttrKind::Numeric { min, max } => {
+                                    match qnext() % 4 {
+                                        0 => Predicate::Any,
+                                        1 => {
+                                            // Possibly empty range.
+                                            let span = (max - min + 1) as u64;
+                                            let a = min + (qnext() % span) as i64;
+                                            let b = min + (qnext() % span) as i64;
+                                            Predicate::Range { lo: a, hi: b }
+                                        }
+                                        2 => {
+                                            let span = (max - min + 1) as u64;
+                                            let x = min + (qnext() % span) as i64;
+                                            Predicate::Range { lo: x, hi: x }
+                                        }
+                                        _ => {
+                                            let span = (max - min + 1) as u64;
+                                            let a = min + (qnext() % span) as i64;
+                                            let b = min + (qnext() % span) as i64;
+                                            Predicate::Range {
+                                                lo: a.min(b),
+                                                hi: a.max(b),
+                                            }
+                                        }
+                                    }
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Case {
+                schema,
+                tuples,
+                queries,
+                k,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planner_matches_brute_force_oracle(case in case_strategy()) {
+        let mut server = HiddenDbServer::new(
+            case.schema.clone(),
+            case.tuples.clone(),
+            ServerConfig { k: case.k, seed: case.seed },
+        ).unwrap();
+        // The oracle ranks rows exactly as the server stores them.
+        let ranked: Vec<Tuple> = server.rows().to_vec();
+
+        for q in &case.queries {
+            let got = server.query(q).unwrap();
+            let matches: Vec<Tuple> =
+                ranked.iter().filter(|t| q.matches(t)).cloned().collect();
+            if matches.len() <= case.k {
+                prop_assert!(!got.overflow, "q={q}");
+                prop_assert_eq!(&got.tuples, &matches, "q={}", q);
+            } else {
+                prop_assert!(got.overflow, "q={q}");
+                prop_assert_eq!(&got.tuples, &matches[..case.k], "q={}", q);
+            }
+            // Determinism: asking again changes nothing.
+            prop_assert_eq!(server.query(q).unwrap(), got);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Multiset (bag) bookkeeping for hidden-database contents.
+
+use std::collections::HashMap;
+
+use crate::tuple::Tuple;
+
+/// A multiset of tuples.
+///
+/// The hidden database `D` is a bag — it may contain identical tuples — so
+/// completeness of a crawl means *multiset* equality between the extracted
+/// tuples and `D`, not set equality. `TupleBag` provides the counting,
+/// comparison, and diff operations the validators and tests need.
+#[derive(Clone, Default, Debug)]
+pub struct TupleBag {
+    counts: HashMap<Tuple, usize>,
+    len: usize,
+}
+
+impl TupleBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        TupleBag::default()
+    }
+
+    /// Builds a bag from an iterator of tuples.
+    pub fn from_tuples<I>(tuples: I) -> Self
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut bag = TupleBag::new();
+        for t in tuples {
+            bag.insert(t);
+        }
+        bag
+    }
+
+    /// Adds one occurrence of a tuple.
+    pub fn insert(&mut self, t: Tuple) {
+        *self.counts.entry(t).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Total number of tuples (counting multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bag holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct tuples.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity of a tuple (0 if absent).
+    pub fn count(&self, t: &Tuple) -> usize {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Largest multiplicity of any tuple (0 for an empty bag).
+    ///
+    /// Problem 1 is solvable iff this is at most `k` (§1.1): if some point
+    /// holds more than `k` duplicates, the server can always withhold one.
+    pub fn max_multiplicity(&self) -> usize {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over `(tuple, multiplicity)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, usize)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Multiset equality.
+    pub fn multiset_eq(&self, other: &TupleBag) -> bool {
+        self.len == other.len && self.counts == other.counts
+    }
+
+    /// Multiset difference summary against `other` (typically: expected vs.
+    /// crawled). Returns tuples missing from `other` and tuples present in
+    /// `other` but not here, both with the multiplicity delta.
+    pub fn diff(&self, other: &TupleBag) -> BagDiff {
+        let mut missing = Vec::new();
+        let mut unexpected = Vec::new();
+        for (t, &want) in &self.counts {
+            let have = other.count(t);
+            if have < want {
+                missing.push((t.clone(), want - have));
+            } else if have > want {
+                unexpected.push((t.clone(), have - want));
+            }
+        }
+        for (t, &have) in &other.counts {
+            if self.count(t) == 0 {
+                unexpected.push((t.clone(), have));
+            }
+        }
+        missing.sort();
+        unexpected.sort();
+        BagDiff {
+            missing,
+            unexpected,
+        }
+    }
+}
+
+impl FromIterator<Tuple> for TupleBag {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        TupleBag::from_tuples(iter)
+    }
+}
+
+impl<'a> FromIterator<&'a Tuple> for TupleBag {
+    fn from_iter<I: IntoIterator<Item = &'a Tuple>>(iter: I) -> Self {
+        TupleBag::from_tuples(iter.into_iter().cloned())
+    }
+}
+
+/// The difference between two bags (see [`TupleBag::diff`]).
+#[derive(Clone, Debug, Default)]
+pub struct BagDiff {
+    /// Tuples under-represented in the second bag, with the missing count.
+    pub missing: Vec<(Tuple, usize)>,
+    /// Tuples over-represented in the second bag, with the excess count.
+    pub unexpected: Vec<(Tuple, usize)>,
+}
+
+impl BagDiff {
+    /// True when the bags were equal.
+    pub fn is_empty(&self) -> bool {
+        self.missing.is_empty() && self.unexpected.is_empty()
+    }
+
+    /// A short human-readable summary (full listings can be huge).
+    pub fn summary(&self) -> String {
+        let miss: usize = self.missing.iter().map(|(_, c)| c).sum();
+        let extra: usize = self.unexpected.iter().map(|(_, c)| c).sum();
+        format!(
+            "{miss} tuple(s) missing ({} distinct), {extra} unexpected ({} distinct)",
+            self.missing.len(),
+            self.unexpected.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::int_tuple;
+
+    #[test]
+    fn counting() {
+        let mut bag = TupleBag::new();
+        assert!(bag.is_empty());
+        bag.insert(int_tuple(&[1]));
+        bag.insert(int_tuple(&[1]));
+        bag.insert(int_tuple(&[2]));
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag.distinct(), 2);
+        assert_eq!(bag.count(&int_tuple(&[1])), 2);
+        assert_eq!(bag.count(&int_tuple(&[3])), 0);
+        assert_eq!(bag.max_multiplicity(), 2);
+    }
+
+    #[test]
+    fn multiset_equality_respects_multiplicity() {
+        let a = TupleBag::from_tuples(vec![int_tuple(&[1]), int_tuple(&[1]), int_tuple(&[2])]);
+        let b = TupleBag::from_tuples(vec![int_tuple(&[2]), int_tuple(&[1]), int_tuple(&[1])]);
+        let c = TupleBag::from_tuples(vec![int_tuple(&[1]), int_tuple(&[2]), int_tuple(&[2])]);
+        assert!(a.multiset_eq(&b));
+        assert!(!a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn diff_reports_both_directions() {
+        let expected =
+            TupleBag::from_tuples(vec![int_tuple(&[1]), int_tuple(&[1]), int_tuple(&[2])]);
+        let crawled = TupleBag::from_tuples(vec![int_tuple(&[1]), int_tuple(&[3])]);
+        let d = expected.diff(&crawled);
+        assert!(!d.is_empty());
+        assert_eq!(d.missing, vec![(int_tuple(&[1]), 1), (int_tuple(&[2]), 1)]);
+        assert_eq!(d.unexpected, vec![(int_tuple(&[3]), 1)]);
+        assert!(d.summary().contains("2 tuple(s) missing"));
+    }
+
+    #[test]
+    fn diff_empty_for_equal_bags() {
+        let a = TupleBag::from_tuples(vec![int_tuple(&[7]); 4]);
+        let b = a.clone();
+        assert!(a.diff(&b).is_empty());
+    }
+
+    #[test]
+    fn diff_catches_excess_multiplicity() {
+        let expected = TupleBag::from_tuples(vec![int_tuple(&[1])]);
+        let crawled = TupleBag::from_tuples(vec![int_tuple(&[1]), int_tuple(&[1])]);
+        let d = expected.diff(&crawled);
+        assert_eq!(d.unexpected, vec![(int_tuple(&[1]), 1)]);
+        assert!(d.missing.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_impls() {
+        let tuples = vec![int_tuple(&[1]), int_tuple(&[2])];
+        let by_ref: TupleBag = tuples.iter().collect();
+        let by_val: TupleBag = tuples.into_iter().collect();
+        assert!(by_ref.multiset_eq(&by_val));
+    }
+
+    #[test]
+    fn max_multiplicity_empty() {
+        assert_eq!(TupleBag::new().max_multiplicity(), 0);
+    }
+}

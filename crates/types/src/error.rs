@@ -1,0 +1,179 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::schema::AttrKind;
+
+/// Schema and query validation errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchemaError {
+    /// A schema must have at least one attribute.
+    Empty,
+    /// Categorical attribute with zero domain values.
+    EmptyDomain {
+        /// Offending attribute index.
+        attr: usize,
+    },
+    /// Numeric attribute with `min > max`.
+    InvalidBounds {
+        /// Offending attribute index.
+        attr: usize,
+        /// Declared minimum.
+        min: i64,
+        /// Declared maximum.
+        max: i64,
+    },
+    /// Tuple or query arity differs from the schema's.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Supplied arity.
+        found: usize,
+    },
+    /// Value or predicate kind does not match the attribute kind.
+    KindMismatch {
+        /// Offending attribute index.
+        attr: usize,
+        /// The attribute kind that was expected.
+        expected: AttrKind,
+    },
+    /// Categorical value outside `0..size`.
+    ValueOutOfDomain {
+        /// Offending attribute index.
+        attr: usize,
+        /// The out-of-domain value.
+        value: u32,
+        /// The domain size.
+        size: u32,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchemaError::Empty => write!(f, "schema has no attributes"),
+            SchemaError::EmptyDomain { attr } => {
+                write!(f, "attribute {attr} has an empty categorical domain")
+            }
+            SchemaError::InvalidBounds { attr, min, max } => {
+                write!(
+                    f,
+                    "attribute {attr} has invalid numeric bounds [{min}, {max}]"
+                )
+            }
+            SchemaError::ArityMismatch { expected, found } => {
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} attributes, got {found}"
+                )
+            }
+            SchemaError::KindMismatch { attr, expected } => {
+                let kind = match expected {
+                    AttrKind::Categorical { .. } => "categorical",
+                    AttrKind::Numeric { .. } => "numeric",
+                };
+                write!(
+                    f,
+                    "attribute {attr} is {kind}; value/predicate kind mismatch"
+                )
+            }
+            SchemaError::ValueOutOfDomain { attr, value, size } => {
+                write!(
+                    f,
+                    "value {value} outside domain of size {size} on attribute {attr}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Errors surfaced by a [`crate::HiddenDatabase`] implementation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    /// The query failed schema validation.
+    InvalidQuery(SchemaError),
+    /// A query budget (rate limit) was exhausted.
+    ///
+    /// Mirrors real hidden-database deployments, which cap the number of
+    /// queries per client per period (§1.1: "most systems have a control on
+    /// how many queries can be submitted by the same IP address").
+    BudgetExhausted {
+        /// Queries issued before the limit was hit.
+        issued: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Implementation-specific failure (e.g. a transport error for a remote
+    /// interface).
+    Backend(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            DbError::BudgetExhausted { issued, limit } => {
+                write!(
+                    f,
+                    "query budget exhausted after {issued} of {limit} queries"
+                )
+            }
+            DbError::Backend(msg) => write!(f, "backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::InvalidQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for DbError {
+    fn from(e: SchemaError) -> Self {
+        DbError::InvalidQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_error_display() {
+        let e = SchemaError::ArityMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("2"));
+        let e = SchemaError::ValueOutOfDomain {
+            attr: 1,
+            value: 9,
+            size: 4,
+        };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn db_error_wraps_schema_error() {
+        let inner = SchemaError::Empty;
+        let e: DbError = inner.into();
+        assert!(matches!(e, DbError::InvalidQuery(SchemaError::Empty)));
+        assert!(e.to_string().contains("invalid query"));
+    }
+
+    #[test]
+    fn budget_display() {
+        let e = DbError::BudgetExhausted {
+            issued: 10,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The top-k query interface every crawler speaks.
+
+use crate::error::DbError;
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// The server's response to one query (§1.1 of the paper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryOutcome {
+    /// The returned tuples: all of `q(D)` if the query resolved, otherwise
+    /// exactly `k` tuples chosen deterministically by the server.
+    pub tuples: Vec<Tuple>,
+    /// The overflow signal: `true` means `|q(D)| > k` and the returned
+    /// tuples are only a fixed subset — re-issuing the same query will
+    /// return the same subset.
+    pub overflow: bool,
+}
+
+impl QueryOutcome {
+    /// A resolved (complete) response.
+    pub fn resolved(tuples: Vec<Tuple>) -> Self {
+        QueryOutcome {
+            tuples,
+            overflow: false,
+        }
+    }
+
+    /// An overflowing (truncated) response.
+    pub fn overflowed(tuples: Vec<Tuple>) -> Self {
+        QueryOutcome {
+            tuples,
+            overflow: true,
+        }
+    }
+
+    /// True if the query resolved (the whole result was returned).
+    #[inline]
+    pub fn is_resolved(&self) -> bool {
+        !self.overflow
+    }
+
+    /// Number of returned tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples were returned (only possible for resolved
+    /// queries).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A hidden database reachable only through its top-k query interface.
+///
+/// This trait captures everything a crawler may rely on:
+///
+/// * [`schema`](HiddenDatabase::schema) — the attribute list and the
+///   categorical domain sizes (the paper assumes the crawler knows these,
+///   e.g. from pull-down menus; see §1.3 "Domain values");
+/// * [`k`](HiddenDatabase::k) — the server's return limit;
+/// * [`query`](HiddenDatabase::query) — issue one query and receive a
+///   [`QueryOutcome`].
+///
+/// Implementations must be *deterministic*: issuing the same query twice
+/// returns the same outcome (repeating an overflowing query never reveals
+/// new tuples). This is the adversarial assumption under which the paper's
+/// bounds are proven, and the in-process simulator in `hdc-server` honors
+/// it exactly.
+///
+/// `query` takes `&mut self` so implementations can count queries, enforce
+/// budgets, and keep caches without interior mutability.
+pub trait HiddenDatabase {
+    /// The data-space schema.
+    fn schema(&self) -> &Schema;
+
+    /// The server's result-size limit `k ≥ 1`.
+    fn k(&self) -> usize;
+
+    /// Executes one query.
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError>;
+
+    /// Number of queries issued so far (for cost accounting). Default
+    /// implementations that cannot count may return 0.
+    fn queries_issued(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: HiddenDatabase + ?Sized> HiddenDatabase for &mut T {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        (**self).query(q)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        (**self).queries_issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::tuple::int_tuple;
+
+    /// A minimal in-memory implementation used to exercise the trait
+    /// object path (the real simulator lives in `hdc-server`).
+    struct TinyDb {
+        schema: Schema,
+        rows: Vec<Tuple>,
+        k: usize,
+        issued: u64,
+    }
+
+    impl HiddenDatabase for TinyDb {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn k(&self) -> usize {
+            self.k
+        }
+
+        fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+            q.validate(&self.schema)?;
+            self.issued += 1;
+            let matches: Vec<Tuple> = self.rows.iter().filter(|t| q.matches(t)).cloned().collect();
+            if matches.len() <= self.k {
+                Ok(QueryOutcome::resolved(matches))
+            } else {
+                Ok(QueryOutcome::overflowed(matches[..self.k].to_vec()))
+            }
+        }
+
+        fn queries_issued(&self) -> u64 {
+            self.issued
+        }
+    }
+
+    fn tiny() -> TinyDb {
+        TinyDb {
+            schema: Schema::builder().numeric("a", 0, 9).build().unwrap(),
+            rows: (0..5).map(|x| int_tuple(&[x])).collect(),
+            k: 3,
+            issued: 0,
+        }
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let r = QueryOutcome::resolved(vec![]);
+        assert!(r.is_resolved());
+        assert!(r.is_empty());
+        let o = QueryOutcome::overflowed(vec![int_tuple(&[1])]);
+        assert!(!o.is_resolved());
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let mut db = tiny();
+        let dyn_db: &mut dyn HiddenDatabase = &mut db;
+        let q = Query::new(vec![Predicate::Range { lo: 0, hi: 1 }]);
+        let out = dyn_db.query(&q).unwrap();
+        assert!(out.is_resolved());
+        assert_eq!(out.len(), 2);
+        assert_eq!(dyn_db.queries_issued(), 1);
+    }
+
+    #[test]
+    fn overflow_when_too_many() {
+        let mut db = tiny();
+        let out = db.query(&Query::any(1)).unwrap();
+        assert!(out.overflow);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn mut_ref_blanket_impl() {
+        let mut db = tiny();
+        fn run(mut d: impl HiddenDatabase) -> u64 {
+            d.query(&Query::any(1)).unwrap();
+            d.queries_issued()
+        }
+        assert_eq!(run(&mut db), 1);
+        assert_eq!(db.issued, 1);
+    }
+
+    #[test]
+    fn invalid_query_rejected_without_counting() {
+        let mut db = tiny();
+        let bad = Query::new(vec![Predicate::Eq(0)]);
+        assert!(matches!(db.query(&bad), Err(DbError::InvalidQuery(_))));
+        assert_eq!(db.queries_issued(), 0);
+    }
+}

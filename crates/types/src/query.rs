@@ -1,0 +1,254 @@
+//! Queries: one predicate per attribute.
+
+use std::fmt;
+
+use crate::error::SchemaError;
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A query against the hidden database: one [`Predicate`] per attribute, in
+/// schema order.
+///
+/// This is the paper's query model verbatim: a conjunction of per-attribute
+/// conditions, a range on each numeric attribute and an equality or
+/// wildcard on each categorical attribute.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Query {
+    preds: Box<[Predicate]>,
+}
+
+impl Query {
+    /// Builds a query from per-attribute predicates.
+    pub fn new(preds: impl Into<Box<[Predicate]>>) -> Self {
+        Query {
+            preds: preds.into(),
+        }
+    }
+
+    /// The all-wildcard query on `arity` attributes (covers the whole data
+    /// space).
+    pub fn any(arity: usize) -> Self {
+        Query::new(vec![Predicate::Any; arity])
+    }
+
+    /// Number of attributes the query constrains (its arity, not the number
+    /// of non-wildcard predicates).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The predicates in schema order.
+    #[inline]
+    pub fn preds(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Predicate on attribute `i`.
+    #[inline]
+    pub fn pred(&self, i: usize) -> Predicate {
+        self.preds[i]
+    }
+
+    /// Returns a copy of the query with the predicate on attribute `i`
+    /// replaced.
+    pub fn with_pred(&self, i: usize, p: Predicate) -> Query {
+        let mut preds = self.preds.to_vec();
+        preds[i] = p;
+        Query::new(preds)
+    }
+
+    /// Does the tuple satisfy every predicate?
+    #[inline]
+    pub fn matches(&self, t: &Tuple) -> bool {
+        debug_assert_eq!(t.arity(), self.arity(), "query/tuple arity mismatch");
+        self.preds.iter().zip(t.iter()).all(|(p, v)| p.matches(v))
+    }
+
+    /// True if some predicate is unsatisfiable (an empty range), i.e. the
+    /// query can never return tuples.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.preds.iter().any(|p| p.is_empty())
+    }
+
+    /// Number of non-wildcard predicates.
+    pub fn constrained_count(&self) -> usize {
+        self.preds.iter().filter(|p| p.is_constraining()).count()
+    }
+
+    /// The query matching exactly the tuples both queries match, or
+    /// `None` when the conjunction is unsatisfiable on some attribute.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn intersect(&self, other: &Query) -> Option<Query> {
+        assert_eq!(
+            self.arity(),
+            other.arity(),
+            "intersect requires equal arity"
+        );
+        let mut preds = Vec::with_capacity(self.arity());
+        for (&a, &b) in self.preds.iter().zip(other.preds.iter()) {
+            preds.push(a.intersect(b)?);
+        }
+        Some(Query::new(preds))
+    }
+
+    /// True when no point of the data space satisfies both queries.
+    /// (Disjoint queries return disjoint results — the invariant behind
+    /// partitioned crawling.)
+    pub fn is_disjoint(&self, other: &Query) -> bool {
+        match self.intersect(other) {
+            None => true,
+            Some(q) => q.is_unsatisfiable(),
+        }
+    }
+
+    /// Validates the query against a schema: matching arity, ranges only on
+    /// numeric attributes, equalities only on in-domain categorical values.
+    pub fn validate(&self, schema: &Schema) -> Result<(), SchemaError> {
+        if self.arity() != schema.arity() {
+            return Err(SchemaError::ArityMismatch {
+                expected: schema.arity(),
+                found: self.arity(),
+            });
+        }
+        for (i, &p) in self.preds.iter().enumerate() {
+            p.validate(i, schema.kind(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "A{}{p}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::{int_tuple, Tuple};
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .categorical("make", 3)
+            .numeric("price", 0, 100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn any_query_matches_all() {
+        let q = Query::any(2);
+        let t = Tuple::new(vec![Value::Cat(2), Value::Int(-55)]);
+        assert!(q.matches(&t));
+        assert_eq!(q.constrained_count(), 0);
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let q = Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 10, hi: 20 }]);
+        assert!(q.matches(&Tuple::new(vec![Value::Cat(1), Value::Int(15)])));
+        assert!(!q.matches(&Tuple::new(vec![Value::Cat(2), Value::Int(15)])));
+        assert!(!q.matches(&Tuple::new(vec![Value::Cat(1), Value::Int(21)])));
+    }
+
+    #[test]
+    fn with_pred_is_nondestructive() {
+        let q = Query::any(2);
+        let q2 = q.with_pred(0, Predicate::Eq(1));
+        assert_eq!(q.pred(0), Predicate::Any);
+        assert_eq!(q2.pred(0), Predicate::Eq(1));
+        assert_eq!(q2.pred(1), Predicate::Any);
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let sat = Query::new(vec![Predicate::Any, Predicate::Range { lo: 0, hi: 0 }]);
+        assert!(!sat.is_unsatisfiable());
+        let unsat = Query::new(vec![Predicate::Any, Predicate::Range { lo: 1, hi: 0 }]);
+        assert!(unsat.is_unsatisfiable());
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let s = schema();
+        assert!(Query::any(2).validate(&s).is_ok());
+        assert!(Query::any(3).validate(&s).is_err());
+        let bad_kind = Query::new(vec![Predicate::Range { lo: 0, hi: 1 }, Predicate::Any]);
+        assert!(bad_kind.validate(&s).is_err());
+        let oob = Query::new(vec![Predicate::Eq(3), Predicate::Any]);
+        assert!(oob.validate(&s).is_err());
+        let good = Query::new(vec![Predicate::Eq(2), Predicate::Range { lo: 5, hi: 6 }]);
+        assert!(good.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn intersect_and_disjoint() {
+        let a = Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 0, hi: 10 }]);
+        let b = Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 5, hi: 20 }]);
+        let isect = a.intersect(&b).unwrap();
+        assert_eq!(isect.pred(0), Predicate::Eq(1));
+        assert_eq!(isect.pred(1), Predicate::Range { lo: 5, hi: 10 });
+        assert!(!a.is_disjoint(&b));
+
+        let c = Query::new(vec![Predicate::Eq(2), Predicate::Any]);
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.is_disjoint(&c));
+
+        let d = Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 11, hi: 12 }]);
+        assert!(a.is_disjoint(&d));
+    }
+
+    #[test]
+    fn intersect_soundness_on_tuples() {
+        let a = Query::new(vec![Predicate::Any, Predicate::Range { lo: 0, hi: 5 }]);
+        let b = Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 3, hi: 9 }]);
+        let isect = a.intersect(&b).unwrap();
+        for c in 0..3u32 {
+            for v in -1..11i64 {
+                let t = Tuple::new(vec![Value::Cat(c), Value::Int(v)]);
+                assert_eq!(a.matches(&t) && b.matches(&t), isect.matches(&t));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn intersect_arity_mismatch_panics() {
+        Query::any(1).intersect(&Query::any(2));
+    }
+
+    #[test]
+    fn display() {
+        let q = Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 1, hi: 2 }]);
+        assert_eq!(q.to_string(), "A1=#0 ∧ A2∈[1,2]");
+    }
+
+    #[test]
+    fn matches_ignores_extra_constraint_when_point() {
+        let s = schema();
+        let t = Tuple::new(vec![Value::Cat(0), Value::Int(42)]);
+        let pq = s.point_query(&t);
+        assert!(pq.matches(&t));
+        assert_eq!(pq.constrained_count(), 2);
+    }
+
+    #[test]
+    fn int_tuple_mismatch_is_false_not_panic() {
+        // Kind mismatches yield false (validation is a separate step).
+        let q = Query::new(vec![Predicate::Eq(0), Predicate::Any]);
+        assert!(!q.matches(&int_tuple(&[0, 0])));
+    }
+}

@@ -1,0 +1,509 @@
+//! Schemas: the shape of the data space `𝔻`.
+
+use std::fmt;
+
+use crate::error::SchemaError;
+use crate::predicate::Predicate;
+use crate::query::Query;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The kind (and domain) of a single attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttrKind {
+    /// A categorical attribute with domain `{0, …, size−1}`.
+    ///
+    /// There is no meaningful order on the domain; the only supported
+    /// predicates are equality with a single value and the wildcard `⋆`.
+    Categorical {
+        /// Domain size `U ≥ 1`.
+        size: u32,
+    },
+    /// A numeric attribute with a totally ordered integer domain.
+    ///
+    /// `min`/`max` are the *declared* bounds of the domain. The paper treats
+    /// numeric domains as all of ℤ; declared bounds exist so that baseline
+    /// algorithms whose cost depends on the domain size (binary-shrink) have
+    /// a finite interval to halve, and so generators can document their
+    /// value ranges. Range predicates are not required to stay within them.
+    Numeric {
+        /// Smallest domain value.
+        min: i64,
+        /// Largest domain value.
+        max: i64,
+    },
+}
+
+impl AttrKind {
+    /// True for categorical attributes.
+    #[inline]
+    pub fn is_categorical(self) -> bool {
+        matches!(self, AttrKind::Categorical { .. })
+    }
+
+    /// True for numeric attributes.
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrKind::Numeric { .. })
+    }
+
+    /// Domain size for categorical attributes, `None` for numeric ones.
+    #[inline]
+    pub fn domain_size(self) -> Option<u32> {
+        match self {
+            AttrKind::Categorical { size } => Some(size),
+            AttrKind::Numeric { .. } => None,
+        }
+    }
+}
+
+/// A named attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attribute {
+    name: String,
+    kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
+        Attribute {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Attribute name (for display and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute kind and domain.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
+    }
+}
+
+/// An ordered list of attributes describing the data space.
+///
+/// The attribute order matters: the paper's algorithms process attributes
+/// in schema order (rank-shrink splits on the first non-exhausted
+/// attribute, the categorical data-space tree fixes attributes level by
+/// level), and the evaluation section states the ordering used for each
+/// dataset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from attributes. Fails on empty attribute lists or
+    /// degenerate domains.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self, SchemaError> {
+        if attrs.is_empty() {
+            return Err(SchemaError::Empty);
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            match a.kind {
+                AttrKind::Categorical { size } => {
+                    if size == 0 {
+                        return Err(SchemaError::EmptyDomain { attr: i });
+                    }
+                }
+                AttrKind::Numeric { min, max } => {
+                    if min > max {
+                        return Err(SchemaError::InvalidBounds { attr: i, min, max });
+                    }
+                }
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Starts a fluent builder.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attrs: Vec::new() }
+    }
+
+    /// Number of attributes `d`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute at index `i`.
+    #[inline]
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attrs[i]
+    }
+
+    /// All attributes in order.
+    #[inline]
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Kind of attribute `i`.
+    #[inline]
+    pub fn kind(&self, i: usize) -> AttrKind {
+        self.attrs[i].kind
+    }
+
+    /// Indices of the categorical attributes, in schema order.
+    pub fn cat_indices(&self) -> Vec<usize> {
+        (0..self.arity())
+            .filter(|&i| self.kind(i).is_categorical())
+            .collect()
+    }
+
+    /// Indices of the numeric attributes, in schema order.
+    pub fn num_indices(&self) -> Vec<usize> {
+        (0..self.arity())
+            .filter(|&i| self.kind(i).is_numeric())
+            .collect()
+    }
+
+    /// Number of categorical attributes (`cat` in the paper).
+    pub fn cat_count(&self) -> usize {
+        self.attrs
+            .iter()
+            .filter(|a| a.kind.is_categorical())
+            .count()
+    }
+
+    /// True if every attribute is numeric.
+    pub fn is_numeric(&self) -> bool {
+        self.cat_count() == 0
+    }
+
+    /// True if every attribute is categorical.
+    pub fn is_categorical(&self) -> bool {
+        self.cat_count() == self.arity()
+    }
+
+    /// True if the schema mixes categorical and numeric attributes.
+    pub fn is_mixed(&self) -> bool {
+        !self.is_numeric() && !self.is_categorical()
+    }
+
+    /// Σ Ui over the categorical attributes (the slice-query count of the
+    /// preprocessing phase of slice-cover).
+    pub fn total_cat_domain(&self) -> u64 {
+        self.attrs
+            .iter()
+            .filter_map(|a| a.kind.domain_size())
+            .map(u64::from)
+            .sum()
+    }
+
+    /// Number of points in the data space, saturating at `u128::MAX`.
+    ///
+    /// Numeric attributes contribute their declared `max − min + 1` values.
+    pub fn point_count(&self) -> u128 {
+        let mut total: u128 = 1;
+        for a in &self.attrs {
+            let width: u128 = match a.kind {
+                AttrKind::Categorical { size } => u128::from(size),
+                AttrKind::Numeric { min, max } => (max as i128 - min as i128 + 1) as u128,
+            };
+            total = total.saturating_mul(width);
+        }
+        total
+    }
+
+    /// Checks a tuple against the schema: correct arity, correct value kind
+    /// per attribute, categorical values inside their domains. Numeric
+    /// values outside the declared bounds are accepted (declared bounds are
+    /// advisory; the paper's numeric domains are unbounded).
+    pub fn validate_tuple(&self, t: &Tuple) -> Result<(), SchemaError> {
+        if t.arity() != self.arity() {
+            return Err(SchemaError::ArityMismatch {
+                expected: self.arity(),
+                found: t.arity(),
+            });
+        }
+        for i in 0..self.arity() {
+            match (self.kind(i), t.get(i)) {
+                (AttrKind::Categorical { size }, Value::Cat(c)) => {
+                    if c >= size {
+                        return Err(SchemaError::ValueOutOfDomain {
+                            attr: i,
+                            value: c,
+                            size,
+                        });
+                    }
+                }
+                (AttrKind::Numeric { .. }, Value::Int(_)) => {}
+                (expected, _) => {
+                    return Err(SchemaError::KindMismatch { attr: i, expected });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The query covering the whole data space: `⋆` on categorical
+    /// attributes and the full range on numeric ones.
+    pub fn full_query(&self) -> Query {
+        Query::new(vec![Predicate::Any; self.arity()])
+    }
+
+    /// The query matching exactly one point (the given tuple).
+    ///
+    /// Panics if the tuple does not validate against the schema.
+    pub fn point_query(&self, t: &Tuple) -> Query {
+        self.validate_tuple(t)
+            .expect("point_query: tuple does not match schema");
+        Query::new(
+            t.iter()
+                .map(|v| match v {
+                    Value::Int(x) => Predicate::Range { lo: x, hi: x },
+                    Value::Cat(c) => Predicate::Eq(c),
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Projects the schema onto the given attribute indices (in the given
+    /// order). Panics if any index is out of range.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            attrs: indices.iter().map(|&i| self.attrs[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match a.kind {
+                AttrKind::Categorical { size } => write!(f, "{}:cat[{}]", a.name, size)?,
+                AttrKind::Numeric { min, max } => write!(f, "{}:num[{},{}]", a.name, min, max)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent schema builder.
+///
+/// ```
+/// use hdc_types::Schema;
+/// let schema = Schema::builder()
+///     .categorical("Make", 85)
+///     .categorical("BodyStyle", 7)
+///     .numeric("Price", 0, 500_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.arity(), 3);
+/// assert_eq!(schema.cat_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    attrs: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Appends a categorical attribute with domain `{0, …, size−1}`.
+    pub fn categorical(mut self, name: impl Into<String>, size: u32) -> Self {
+        self.attrs
+            .push(Attribute::new(name, AttrKind::Categorical { size }));
+        self
+    }
+
+    /// Appends a numeric attribute with declared bounds `[min, max]`.
+    pub fn numeric(mut self, name: impl Into<String>, min: i64, max: i64) -> Self {
+        self.attrs
+            .push(Attribute::new(name, AttrKind::Numeric { min, max }));
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        Schema::new(self.attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{cat_tuple, int_tuple};
+
+    fn mixed() -> Schema {
+        Schema::builder()
+            .categorical("make", 3)
+            .numeric("price", 0, 100)
+            .categorical("body", 2)
+            .numeric("miles", -10, 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classification() {
+        let s = mixed();
+        assert!(s.is_mixed());
+        assert!(!s.is_numeric());
+        assert!(!s.is_categorical());
+        assert_eq!(s.cat_count(), 2);
+        assert_eq!(s.cat_indices(), vec![0, 2]);
+        assert_eq!(s.num_indices(), vec![1, 3]);
+
+        let num = Schema::builder().numeric("a", 0, 9).build().unwrap();
+        assert!(num.is_numeric());
+        let cat = Schema::builder().categorical("a", 9).build().unwrap();
+        assert!(cat.is_categorical());
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(matches!(Schema::new(vec![]), Err(SchemaError::Empty)));
+        assert!(matches!(
+            Schema::builder().categorical("a", 0).build(),
+            Err(SchemaError::EmptyDomain { attr: 0 })
+        ));
+        assert!(matches!(
+            Schema::builder().numeric("a", 5, 4).build(),
+            Err(SchemaError::InvalidBounds { attr: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn total_cat_domain_sums_sizes() {
+        assert_eq!(mixed().total_cat_domain(), 5);
+        let cat = Schema::builder()
+            .categorical("a", 7)
+            .categorical("b", 11)
+            .build()
+            .unwrap();
+        assert_eq!(cat.total_cat_domain(), 18);
+    }
+
+    #[test]
+    fn point_count() {
+        let s = Schema::builder()
+            .categorical("a", 4)
+            .numeric("b", 1, 3)
+            .build()
+            .unwrap();
+        assert_eq!(s.point_count(), 12);
+        let huge = Schema::builder()
+            .numeric("x", i64::MIN, i64::MAX)
+            .numeric("y", i64::MIN, i64::MAX)
+            .build()
+            .unwrap();
+        // Saturates instead of overflowing.
+        assert_eq!(huge.point_count(), u128::MAX);
+    }
+
+    #[test]
+    fn validate_tuple_happy_path() {
+        let s = mixed();
+        let t = Tuple::new(vec![
+            Value::Cat(2),
+            Value::Int(50),
+            Value::Cat(0),
+            Value::Int(0),
+        ]);
+        assert!(s.validate_tuple(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_tuple_errors() {
+        let s = mixed();
+        assert!(matches!(
+            s.validate_tuple(&int_tuple(&[1, 2])),
+            Err(SchemaError::ArityMismatch {
+                expected: 4,
+                found: 2
+            })
+        ));
+        let wrong_kind = Tuple::new(vec![
+            Value::Int(0),
+            Value::Int(50),
+            Value::Cat(0),
+            Value::Int(0),
+        ]);
+        assert!(matches!(
+            s.validate_tuple(&wrong_kind),
+            Err(SchemaError::KindMismatch { attr: 0, .. })
+        ));
+        let oob = Tuple::new(vec![
+            Value::Cat(3),
+            Value::Int(50),
+            Value::Cat(0),
+            Value::Int(0),
+        ]);
+        assert!(matches!(
+            s.validate_tuple(&oob),
+            Err(SchemaError::ValueOutOfDomain {
+                attr: 0,
+                value: 3,
+                size: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn numeric_values_outside_declared_bounds_are_ok() {
+        let s = Schema::builder().numeric("a", 0, 10).build().unwrap();
+        assert!(s.validate_tuple(&int_tuple(&[999])).is_ok());
+    }
+
+    #[test]
+    fn full_and_point_queries() {
+        let s = mixed();
+        let full = s.full_query();
+        assert_eq!(full.arity(), 4);
+        assert!(full.preds().iter().all(|p| matches!(p, Predicate::Any)));
+
+        let t = Tuple::new(vec![
+            Value::Cat(1),
+            Value::Int(7),
+            Value::Cat(1),
+            Value::Int(-3),
+        ]);
+        let pq = s.point_query(&t);
+        assert!(pq.matches(&t));
+        let other = Tuple::new(vec![
+            Value::Cat(1),
+            Value::Int(8),
+            Value::Cat(1),
+            Value::Int(-3),
+        ]);
+        assert!(!pq.matches(&other));
+    }
+
+    #[test]
+    fn projection_preserves_order_given() {
+        let s = mixed();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.attr(0).name(), "miles");
+        assert_eq!(p.attr(1).name(), "make");
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::builder()
+            .categorical("m", 3)
+            .numeric("p", 0, 9)
+            .build()
+            .unwrap();
+        assert_eq!(s.to_string(), "m:cat[3], p:num[0,9]");
+    }
+
+    #[test]
+    fn cat_tuple_roundtrip() {
+        let s = Schema::builder()
+            .categorical("a", 5)
+            .categorical("b", 5)
+            .build()
+            .unwrap();
+        assert!(s.validate_tuple(&cat_tuple(&[4, 4])).is_ok());
+        assert!(s.validate_tuple(&cat_tuple(&[5, 0])).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Tuples: points of the data space stored in the hidden database.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A tuple of the hidden database — one value per attribute, in schema
+/// order.
+///
+/// Tuples are immutable once built. Because the hidden database is a *bag*,
+/// two distinct rows may be equal as tuples; equality/ordering/hashing are
+/// value-based so that [`crate::TupleBag`] can do multiset accounting.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from its values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of attribute `i` (panics if out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// All values in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterator over values in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Projects the tuple onto the given attribute indices (in the given
+    /// order). Panics if any index is out of range.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i]).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience constructor for an all-numeric tuple.
+pub fn int_tuple(values: &[i64]) -> Tuple {
+    Tuple::new(values.iter().map(|&x| Value::Int(x)).collect::<Vec<_>>())
+}
+
+/// Convenience constructor for an all-categorical tuple.
+pub fn cat_tuple(values: &[u32]) -> Tuple {
+    Tuple::new(values.iter().map(|&c| Value::Cat(c)).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Value::Int(3), Value::Cat(1)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), Value::Int(3));
+        assert_eq!(t.get(1), Value::Cat(1));
+        assert_eq!(t.values(), &[Value::Int(3), Value::Cat(1)]);
+    }
+
+    #[test]
+    fn equality_is_value_based() {
+        let a = int_tuple(&[1, 2, 3]);
+        let b = int_tuple(&[1, 2, 3]);
+        let c = int_tuple(&[1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(int_tuple(&[1, 9]) < int_tuple(&[2, 0]));
+        assert!(int_tuple(&[1, 1]) < int_tuple(&[1, 2]));
+        assert!(cat_tuple(&[0, 5]) < cat_tuple(&[1, 0]));
+    }
+
+    #[test]
+    fn projection() {
+        let t = Tuple::new(vec![Value::Int(10), Value::Cat(2), Value::Int(30)]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, Tuple::new(vec![Value::Int(30), Value::Int(10)]));
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int(10), Value::Cat(2)]);
+        assert_eq!(t.to_string(), "(10, #2)");
+    }
+
+    #[test]
+    fn iter_matches_values() {
+        let t = cat_tuple(&[4, 5, 6]);
+        let collected: Vec<Value> = t.iter().collect();
+        assert_eq!(collected, t.values());
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::new(Vec::new());
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.to_string(), "()");
+    }
+}

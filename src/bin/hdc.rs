@@ -1,0 +1,542 @@
+//! `hdc` — command-line driver for the hidden-database crawler.
+//!
+//! Everything the library does, runnable from a shell:
+//!
+//! ```text
+//! hdc datasets                               # the Figure 9 table
+//! hdc crawl   --dataset yahoo --algo hybrid --k 256
+//! hdc crawl   --dataset nsf --algo lazy-slice-cover --k 128 --scale 40
+//! hdc crawl   --dataset yahoo --algo hybrid --k 256 --sessions 4
+//! hdc sweep   --dataset adult-numeric --algos rank-shrink,binary-shrink \
+//!             --ks 64,128,256,512,1024
+//! hdc hard    numeric --k 16 --d 4 --m 100
+//! hdc hard    categorical --k 6 --u 6
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately keeps its
+//! dependency set to `rand`/`proptest`/`criterion`).
+
+use std::fmt::Display;
+use std::process::ExitCode;
+
+use hidden_db_crawler::core::theory;
+use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
+use hidden_db_crawler::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `hdc help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print_usage();
+            Ok(())
+        }
+        Some("datasets") => cmd_datasets(),
+        Some("crawl") => cmd_crawl(&parse_flags(&args[1..])?),
+        Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
+        Some("hard") => cmd_hard(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "hdc — crawl hidden databases through their top-k interface\n\
+         \n\
+         USAGE:\n\
+         \u{20}  hdc datasets\n\
+         \u{20}      Print the evaluation datasets (the paper's Figure 9 table).\n\
+         \u{20}  hdc crawl --dataset <name> --algo <algo> [--k N] [--seed N]\n\
+         \u{20}            [--scale PCT] [--sessions N] [--oracle] [--budget N]\n\
+         \u{20}      Crawl one dataset and report cost, metrics, and progress.\n\
+         \u{20}  hdc sweep --dataset <name> --algos a,b,c [--ks 64,128,...]\n\
+         \u{20}            [--seed N] [--scale PCT]\n\
+         \u{20}      Cost table across algorithms and k values.\n\
+         \u{20}  hdc hard numeric --k N --d N --m N [--algo rank-shrink]\n\
+         \u{20}  hdc hard categorical --k N --u N [--algo lazy-slice-cover]\n\
+         \u{20}      Run the §4 lower-bound constructions.\n\
+         \n\
+         DATASETS: yahoo | nsf | adult | adult-numeric\n\
+         ALGOS:    hybrid | rank-shrink | binary-shrink | dfs |\n\
+         \u{20}         slice-cover | lazy-slice-cover\n\
+         \n\
+         Costs are query counts — the paper's metric. Crawls always verify\n\
+         multiset completeness against the generated ground truth."
+    );
+}
+
+// ---------------------------------------------------------------- flags --
+
+/// Parsed `--flag value` pairs (plus boolean `--oracle`).
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut pairs = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected --flag, found {arg:?}"));
+        };
+        if name == "oracle" {
+            pairs.push((name.to_string(), "true".to_string()));
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        pairs.push((name.to_string(), value.clone()));
+    }
+    Ok(Flags { pairs })
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+        }
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+}
+
+// ------------------------------------------------------------- datasets --
+
+fn load_dataset(name: &str, scale_pct: u32, seed: u64) -> Result<Dataset, String> {
+    let ds = match name {
+        "yahoo" => yahoo::generate(seed),
+        "nsf" => nsf::generate(seed),
+        "adult" => adult::generate(seed),
+        "adult-numeric" => adult::generate_numeric(seed),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    if scale_pct == 100 {
+        Ok(ds)
+    } else if (1..100).contains(&scale_pct) {
+        Ok(ops::sample_fraction(
+            &ds,
+            scale_pct as f64 / 100.0,
+            seed ^ 0xface,
+        ))
+    } else {
+        Err(format!("--scale must be 1..=100, got {scale_pct}"))
+    }
+}
+
+fn make_crawler<'o>(
+    algo: &str,
+    oracle: Option<&'o dyn ValidityOracle>,
+) -> Result<Box<dyn Crawler + 'o>, String> {
+    Ok(match (algo, oracle) {
+        ("hybrid", None) => Box::new(Hybrid::new()),
+        ("hybrid", Some(o)) => Box::new(Hybrid::with_oracle(o)),
+        ("rank-shrink", None) => Box::new(RankShrink::new()),
+        ("rank-shrink", Some(o)) => Box::new(RankShrink::with_oracle(o)),
+        ("binary-shrink", None) => Box::new(BinaryShrink::new()),
+        ("binary-shrink", Some(o)) => Box::new(BinaryShrink::with_oracle(o)),
+        ("dfs", None) => Box::new(Dfs::new()),
+        ("dfs", Some(o)) => Box::new(Dfs::with_oracle(o)),
+        ("slice-cover", None) => Box::new(SliceCover::eager()),
+        ("lazy-slice-cover", None) => Box::new(SliceCover::lazy()),
+        ("lazy-slice-cover", Some(o)) => Box::new(SliceCover::lazy_with_oracle(o)),
+        (other, None) => return Err(format!("unknown algorithm {other:?}")),
+        (other, Some(_)) => {
+            return Err(format!("{other:?} does not support --oracle"));
+        }
+    })
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    for ds in [
+        yahoo::generate(42),
+        nsf::generate(42),
+        adult::generate(42),
+        adult::generate_numeric(42),
+    ] {
+        let stats = DatasetStats::compute(&ds);
+        println!("\n{} — n = {}, d = {}", stats.name, stats.n, ds.d());
+        let mut table = TextTable::new(&["attribute", "domain", "distinct"]);
+        for a in &stats.attrs {
+            table.row(&[&a.name, &a.figure9_cell(), &a.distinct]);
+        }
+        table.print();
+        println!(
+            "max duplicate multiplicity {} → crawlable for k ≥ {}",
+            stats.max_multiplicity,
+            stats.min_feasible_k()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_crawl(flags: &Flags) -> Result<(), String> {
+    let dataset = flags.require("dataset")?.to_string();
+    let algo = flags.require("algo")?.to_string();
+    let k: usize = flags.parse("k", 256)?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let scale: u32 = flags.parse("scale", 100)?;
+    let sessions: usize = flags.parse("sessions", 1)?;
+    let budget: u64 = flags.parse("budget", u64::MAX)?;
+    let use_oracle = flags.get("oracle").is_some();
+
+    let ds = load_dataset(&dataset, scale, seed)?;
+    println!(
+        "dataset {} — n = {}, d = {}, k = {k}",
+        ds.name,
+        ds.n(),
+        ds.d()
+    );
+    println!(
+        "ideal cost n/k = {:.0}",
+        theory::ideal_cost(ds.n() as f64, k as f64)
+    );
+
+    if sessions > 1 {
+        if use_oracle || budget != u64::MAX {
+            return Err("--sessions cannot be combined with --oracle/--budget".into());
+        }
+        if algo != "hybrid" {
+            return Err("--sessions requires --algo hybrid".into());
+        }
+        let report = Sharded::new(sessions)
+            .crawl(|_s| {
+                HiddenDbServer::new(
+                    ds.schema.clone(),
+                    ds.tuples.clone(),
+                    ServerConfig { k, seed },
+                )
+                .expect("valid dataset")
+            })
+            .map_err(|e| e.to_string())?;
+        verify_complete(&ds.tuples, &report.merged).map_err(|e| e.to_string())?;
+        println!(
+            "sharded over {sessions} sessions: {} total queries, busiest session {}",
+            report.merged.queries,
+            report.max_session_queries()
+        );
+        for (s, r) in report.per_session.iter().enumerate() {
+            println!(
+                "  session {s}: {} queries, {} tuples",
+                r.queries,
+                r.tuples.len()
+            );
+        }
+        return Ok(());
+    }
+
+    let oracle_store;
+    let oracle: Option<&dyn ValidityOracle> = if use_oracle {
+        oracle_store = DatasetOracle::new(ds.tuples.clone());
+        Some(&oracle_store)
+    } else {
+        None
+    };
+    let crawler = make_crawler(&algo, oracle)?;
+    if !crawler.supports(&ds.schema) {
+        return Err(format!("{algo} does not support the {} schema", ds.name));
+    }
+
+    let server = HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed },
+    )
+    .expect("valid dataset");
+    let mut db = Budgeted::new(server, budget);
+    match crawler.crawl(&mut db) {
+        Ok(report) => {
+            verify_complete(&ds.tuples, &report).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} tuples in {} queries ({} resolved, {} overflowed, {} pruned free)",
+                report.algorithm,
+                report.tuples.len(),
+                report.queries,
+                report.resolved,
+                report.overflowed,
+                report.pruned
+            );
+            let m = report.metrics;
+            println!(
+                "metrics: {} 2-way / {} 3-way splits, {} slices fetched ({} overflowed), \
+                 {} local answers, {} leaf sub-crawls",
+                m.two_way_splits,
+                m.three_way_splits,
+                m.slice_fetches,
+                m.slice_overflows,
+                m.local_answers,
+                m.leaf_subcrawls
+            );
+            println!(
+                "progressiveness: max deviation from diagonal {:.3}",
+                report.progress_deviation()
+            );
+            Ok(())
+        }
+        Err(CrawlError::Unsolvable { witness, partial }) => {
+            println!(
+                "UNCRAWLABLE at k = {k}: point `{witness}` holds more than {k} tuples \
+                 ({} tuples salvaged in {} queries)",
+                partial.tuples.len(),
+                partial.queries
+            );
+            Ok(())
+        }
+        Err(CrawlError::Db { error, partial }) => {
+            println!(
+                "stopped: {error} — {} tuples salvaged in {} queries",
+                partial.tuples.len(),
+                partial.queries
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let dataset = flags.require("dataset")?.to_string();
+    let algos: Vec<String> = flags
+        .get("algos")
+        .unwrap_or("hybrid")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let ks: Vec<usize> = flags
+        .get("ks")
+        .unwrap_or("64,128,256,512,1024")
+        .split(',')
+        .map(|s| s.parse().map_err(|e| format!("bad k {s:?}: {e}")))
+        .collect::<Result<_, String>>()?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let scale: u32 = flags.parse("scale", 100)?;
+    let ds = load_dataset(&dataset, scale, seed)?;
+
+    println!("dataset {} — n = {}, d = {}", ds.name, ds.n(), ds.d());
+    let mut header: Vec<String> = vec!["k".into(), "ideal n/k".into()];
+    header.extend(algos.iter().cloned());
+    let mut table = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for &k in &ks {
+        let mut cells: Vec<String> =
+            vec![k.to_string(), format!("{:.0}", ds.n() as f64 / k as f64)];
+        for algo in &algos {
+            let crawler = make_crawler(algo, None)?;
+            if !crawler.supports(&ds.schema) {
+                cells.push("n/a".into());
+                continue;
+            }
+            let mut db = HiddenDbServer::new(
+                ds.schema.clone(),
+                ds.tuples.clone(),
+                ServerConfig { k, seed },
+            )
+            .expect("valid dataset");
+            match crawler.crawl(&mut db) {
+                Ok(report) => {
+                    verify_complete(&ds.tuples, &report).map_err(|e| e.to_string())?;
+                    cells.push(report.queries.to_string());
+                }
+                Err(CrawlError::Unsolvable { .. }) => cells.push("—".into()),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        let refs: Vec<&dyn Display> = cells.iter().map(|c| c as &dyn Display).collect();
+        table.row(&refs);
+    }
+    table.print();
+    Ok(())
+}
+
+fn cmd_hard(args: &[String]) -> Result<(), String> {
+    let kind = args
+        .first()
+        .map(String::as_str)
+        .ok_or("hard needs `numeric` or `categorical`")?;
+    let flags = parse_flags(&args[1..])?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    match kind {
+        "numeric" => {
+            let k: usize = flags.parse("k", 16)?;
+            let d: usize = flags.parse("d", 4)?;
+            let m: usize = flags.parse("m", 100)?;
+            let ds = hard::numeric_hard(k, d, m);
+            let mut db = HiddenDbServer::new(
+                ds.schema.clone(),
+                ds.tuples.clone(),
+                ServerConfig { k, seed },
+            )
+            .expect("valid dataset");
+            let report = RankShrink::new()
+                .crawl(&mut db)
+                .map_err(|e| e.to_string())?;
+            verify_complete(&ds.tuples, &report).map_err(|e| e.to_string())?;
+            println!("{} — n = {}", ds.name, ds.n());
+            println!(
+                "lower bound d·m = {:.0} ≤ measured {} ≤ upper 20·d·n/k = {:.0}",
+                theory::numeric_lower_bound(d, m),
+                report.queries,
+                theory::rank_shrink_bound(d, ds.n() as f64, k as f64)
+            );
+            Ok(())
+        }
+        "categorical" => {
+            let k: usize = flags.parse("k", 6)?;
+            let u: u32 = flags.parse("u", 6)?;
+            let ds = hard::categorical_hard(k, u);
+            let d = 2 * k;
+            let mut db = HiddenDbServer::new(
+                ds.schema.clone(),
+                ds.tuples.clone(),
+                ServerConfig { k, seed },
+            )
+            .expect("valid dataset");
+            let report = SliceCover::lazy()
+                .crawl(&mut db)
+                .map_err(|e| e.to_string())?;
+            verify_complete(&ds.tuples, &report).map_err(|e| e.to_string())?;
+            println!("{} — n = {}, d = {d}", ds.name, ds.n());
+            println!(
+                "lower bound d·U²/8 = {:.0} ≤ measured {} ≤ upper Lemma 4 = {:.0} \
+                 (side conditions {})",
+                theory::categorical_lower_bound(d, u),
+                report.queries,
+                theory::slice_cover_bound(&vec![u; d], ds.n() as f64, k as f64),
+                if hard::categorical_hard_conditions_hold(k, u) {
+                    "hold"
+                } else {
+                    "not met"
+                }
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown hard instance kind {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------- table --
+
+/// Minimal aligned-column table (the bench harness has a richer one; the
+/// CLI stays dependency-light).
+struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            println!("{line}");
+        };
+        print_row(&self.header);
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            print_row(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = flags(&["--k", "256", "--dataset", "yahoo", "--oracle"]);
+        assert_eq!(f.get("k"), Some("256"));
+        assert_eq!(f.require("dataset").unwrap(), "yahoo");
+        assert_eq!(f.get("oracle"), Some("true"));
+        assert_eq!(f.parse("k", 0usize).unwrap(), 256);
+        assert_eq!(f.parse("seed", 7u64).unwrap(), 7);
+        assert!(f.require("missing").is_err());
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(parse_flags(&["stray".to_string()]).is_err());
+        assert!(parse_flags(&["--k".to_string()]).is_err());
+        let f = flags(&["--k", "abc"]);
+        assert!(f.parse("k", 0usize).is_err());
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let f = flags(&["--k", "1", "--k", "2"]);
+        assert_eq!(f.parse("k", 0usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn dataset_and_algo_resolution() {
+        assert!(load_dataset("nope", 100, 1).is_err());
+        assert!(load_dataset("yahoo", 0, 1).is_err());
+        assert!(load_dataset("yahoo", 150, 1).is_err());
+        assert!(make_crawler("hybrid", None).is_ok());
+        assert!(make_crawler("nope", None).is_err());
+        assert!(make_crawler("slice-cover", Some(&NeverOracle)).is_err());
+    }
+
+    struct NeverOracle;
+    impl ValidityOracle for NeverOracle {
+        fn may_match(&self, _q: &Query) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+}

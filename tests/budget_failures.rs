@@ -1,0 +1,112 @@
+//! Failure injection: query budgets exhausted mid-crawl.
+//!
+//! Real hidden databases cap queries per client (§1.1). Every algorithm
+//! must surface the failure as `CrawlError::Db` with a partial report
+//! that (a) never fabricates tuples and (b) reflects exactly the queries
+//! actually spent.
+
+use hidden_db_crawler::data::{adult, nsf, ops, yahoo, Dataset};
+use hidden_db_crawler::prelude::*;
+
+fn budgeted(ds: &Dataset, k: usize, limit: u64) -> Budgeted<HiddenDbServer> {
+    let server = HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed: 1 },
+    )
+    .unwrap();
+    Budgeted::new(server, limit)
+}
+
+fn full_cost(crawler: &dyn Crawler, ds: &Dataset, k: usize) -> u64 {
+    let mut db = budgeted(ds, k, u64::MAX);
+    crawler.crawl(&mut db).unwrap().queries
+}
+
+fn check_budget_failure(crawler: &dyn Crawler, ds: &Dataset, k: usize) {
+    let cost = full_cost(crawler, ds, k);
+    assert!(cost > 4, "test needs a multi-query crawl, got {cost}");
+    for limit in [0, 1, cost / 2, cost - 1] {
+        let mut db = budgeted(ds, k, limit);
+        match crawler.crawl(&mut db) {
+            Err(CrawlError::Db {
+                error: DbError::BudgetExhausted { issued, .. },
+                partial,
+            }) => {
+                assert_eq!(issued, limit, "{}: budget accounting", crawler.name());
+                assert_eq!(
+                    partial.queries,
+                    limit,
+                    "{}: partial accounting",
+                    crawler.name()
+                );
+                // Partial results are a sub-bag of the truth.
+                let truth = ds.bag();
+                let got: TupleBag = partial.tuples.iter().collect();
+                for (t, c) in got.iter() {
+                    assert!(c <= truth.count(t), "{}: fabricated tuple", crawler.name());
+                }
+                // A half budget must salvage *something* — except for
+                // eager slice-cover, whose Σ Ui preprocessing phase
+                // reports nothing by design (the paper claims
+                // progressiveness for hybrid, Figure 13, not for eager
+                // slice-cover).
+                if limit >= cost / 2 && crawler.name() != "slice-cover" {
+                    assert!(
+                        !partial.tuples.is_empty(),
+                        "{}: nothing salvaged at half budget",
+                        crawler.name()
+                    );
+                }
+            }
+            other => panic!("{}: expected budget failure, got {other:?}", crawler.name()),
+        }
+    }
+    // Exactly at cost: the crawl completes.
+    let mut db = budgeted(ds, k, cost);
+    let report = crawler.crawl(&mut db).unwrap();
+    verify_complete(&ds.tuples, &report).unwrap();
+}
+
+#[test]
+fn rank_shrink_budget_failures() {
+    let ds = ops::sample_fraction(&adult::generate_numeric(1), 0.1, 2);
+    check_budget_failure(&RankShrink::new(), &ds, 64);
+}
+
+#[test]
+fn binary_shrink_budget_failures() {
+    let ds = ops::sample_fraction(&adult::generate_numeric(1), 0.05, 2);
+    check_budget_failure(&BinaryShrink::new(), &ds, 64);
+}
+
+#[test]
+fn slice_cover_budget_failures() {
+    let ds = nsf::generate_scaled(29_100, 2);
+    let (ds4, _) = ops::project_top_distinct(&ds, 4);
+    check_budget_failure(&SliceCover::lazy(), &ds4, 128);
+    check_budget_failure(&SliceCover::eager(), &ds4, 128);
+}
+
+#[test]
+fn dfs_budget_failures() {
+    let ds = nsf::generate_scaled(29_100, 2);
+    let (ds3, _) = ops::project_top_distinct(&ds, 3);
+    check_budget_failure(&Dfs::new(), &ds3, 128);
+}
+
+#[test]
+fn hybrid_budget_failures() {
+    let ds = yahoo::generate_scaled(4_000, 2);
+    check_budget_failure(&Hybrid::new(), &ds, 128);
+}
+
+#[test]
+fn budget_exactly_zero_yields_empty_partial() {
+    let ds = yahoo::generate_scaled(1_000, 3);
+    let mut db = budgeted(&ds, 128, 0);
+    let err = Hybrid::new().crawl(&mut db).unwrap_err();
+    let partial = err.partial();
+    assert_eq!(partial.queries, 0);
+    assert!(partial.tuples.is_empty());
+}

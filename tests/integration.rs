@@ -1,0 +1,178 @@
+//! End-to-end integration tests: every algorithm against every synthetic
+//! dataset it supports, through the full stack (generator → simulator →
+//! crawler → completeness validator).
+
+use hidden_db_crawler::core::theory;
+use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
+use hidden_db_crawler::prelude::*;
+
+fn serve(ds: &Dataset, k: usize, seed: u64) -> HiddenDbServer {
+    HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed },
+    )
+    .unwrap()
+}
+
+fn assert_complete(crawler: &dyn Crawler, ds: &Dataset, k: usize) -> CrawlReport {
+    let mut db = serve(ds, k, 99);
+    let report = crawler
+        .crawl(&mut db)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", crawler.name(), ds.name));
+    verify_complete(&ds.tuples, &report)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", crawler.name(), ds.name));
+    assert_eq!(
+        report.resolved + report.overflowed,
+        report.queries,
+        "query accounting must balance"
+    );
+    report
+}
+
+#[test]
+fn yahoo_scaled_all_algorithms() {
+    let ds = yahoo::generate_scaled(6_000, 5);
+    let k = 128; // above the duplicate cluster of 100
+    let hybrid = assert_complete(&Hybrid::new(), &ds, k);
+    let eager = assert_complete(&Hybrid::eager(), &ds, k);
+    assert!(
+        hybrid.queries <= eager.queries,
+        "lazy slices never cost more"
+    );
+}
+
+#[test]
+fn yahoo_full_headline() {
+    // The §1.2 headline: ~70k tuples crawled in a few hundred queries.
+    let ds = yahoo::generate(5);
+    let report = assert_complete(&Hybrid::new(), &ds, 1000);
+    assert!(
+        report.queries < 1_000,
+        "expected a few hundred queries, got {}",
+        report.queries
+    );
+}
+
+#[test]
+fn nsf_scaled_categorical_algorithms() {
+    let ds = nsf::generate_scaled(29_100, 5);
+    let (ds6, _) = ops::project_top_distinct(&ds, 4);
+    let k = 128;
+    let dfs = assert_complete(&Dfs::new(), &ds6, k);
+    let eager = assert_complete(&SliceCover::eager(), &ds6, k);
+    let lazy = assert_complete(&SliceCover::lazy(), &ds6, k);
+    let hybrid = assert_complete(&Hybrid::new(), &ds6, k);
+    assert!(lazy.queries <= eager.queries);
+    assert_eq!(
+        hybrid.queries, lazy.queries,
+        "hybrid degenerates to lazy-slice-cover on categorical schemas"
+    );
+    assert!(
+        lazy.queries < dfs.queries,
+        "lazy should beat the DFS baseline"
+    );
+}
+
+#[test]
+fn adult_numeric_both_numeric_algorithms() {
+    let full = adult::generate_numeric(5);
+    let ds = ops::sample_fraction(&full, 0.25, 3);
+    let k = 128;
+    let binary = assert_complete(&BinaryShrink::new(), &ds, k);
+    let rank = assert_complete(&RankShrink::new(), &ds, k);
+    assert!(
+        rank.queries < binary.queries,
+        "rank-shrink must win (Figure 10)"
+    );
+    let bound = theory::rank_shrink_bound(ds.d(), ds.n() as f64, k as f64);
+    assert!((rank.queries as f64) <= bound);
+}
+
+#[test]
+fn adult_mixed_hybrid() {
+    let full = adult::generate(5);
+    let ds = ops::sample_fraction(&full, 0.2, 3);
+    let report = assert_complete(&Hybrid::new(), &ds, 128);
+    let cat_domains: Vec<u32> = ds
+        .schema
+        .cat_indices()
+        .iter()
+        .map(|&a| ds.schema.kind(a).domain_size().unwrap())
+        .collect();
+    let bound = theory::hybrid_bound(
+        &cat_domains,
+        ds.schema.num_indices().len(),
+        ds.n() as f64,
+        128.0,
+    );
+    assert!(
+        (report.queries as f64) <= bound,
+        "{} > {bound}",
+        report.queries
+    );
+}
+
+#[test]
+fn hard_instances_crawl_exactly() {
+    let numeric = hard::numeric_hard(8, 3, 20);
+    let rank = assert_complete(&RankShrink::new(), &numeric, 8);
+    assert!((rank.queries as f64) >= theory::numeric_lower_bound(3, 20));
+
+    let categorical = hard::categorical_hard(4, 5);
+    assert_complete(&SliceCover::eager(), &categorical, 4);
+    assert_complete(&SliceCover::lazy(), &categorical, 4);
+    assert_complete(&Dfs::new(), &categorical, 4);
+}
+
+#[test]
+fn yahoo_k64_unsolvable_for_every_algorithm() {
+    let ds = yahoo::generate_scaled(2_000, 5);
+    let mut db = serve(&ds, 64, 1);
+    match Hybrid::new().crawl(&mut db) {
+        Err(CrawlError::Unsolvable { partial, .. }) => {
+            // The partial bag must be a sub-bag of the truth: a failed
+            // crawl must never fabricate tuples.
+            let truth = ds.bag();
+            let got: TupleBag = partial.tuples.iter().collect();
+            for (t, c) in got.iter() {
+                assert!(c <= truth.count(t), "fabricated tuple {t}");
+            }
+        }
+        other => panic!("expected Unsolvable, got {other:?}"),
+    }
+}
+
+#[test]
+fn progressiveness_is_near_linear_end_to_end() {
+    let ds = yahoo::generate_scaled(8_000, 6);
+    let report = assert_complete(&Hybrid::new(), &ds, 128);
+    assert!(
+        report.progress_deviation() < 0.25,
+        "progress curve strayed {} from the diagonal",
+        report.progress_deviation()
+    );
+}
+
+#[test]
+fn oracle_assisted_crawls_remain_complete_and_cheaper() {
+    let ds = nsf::generate_scaled(29_100, 7);
+    let (ds4, _) = ops::project_top_distinct(&ds, 4);
+    let plain = assert_complete(&SliceCover::lazy(), &ds4, 64);
+    let oracle = DatasetOracle::new(ds4.tuples.clone());
+    let crawler = SliceCover::lazy_with_oracle(&oracle);
+    let pruned = assert_complete(&crawler, &ds4, 64);
+    assert!(pruned.queries <= plain.queries);
+}
+
+#[test]
+fn server_stats_match_crawler_accounting() {
+    let ds = adult::generate_numeric(5);
+    let ds = ops::sample_fraction(&ds, 0.1, 1);
+    let mut db = serve(&ds, 64, 2);
+    let report = RankShrink::new().crawl(&mut db).unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.queries, report.queries);
+    assert_eq!(stats.resolved, report.resolved);
+    assert_eq!(stats.overflowed, report.overflowed);
+}

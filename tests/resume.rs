@@ -1,0 +1,177 @@
+//! Resumable crawling across query-quota periods.
+//!
+//! Because the server is a deterministic adversary (the same query always
+//! returns the same response — the very assumption behind the paper's
+//! bounds), a crawl that dies on a quota can be *replayed*: the next
+//! session re-traverses the identical query sequence, answering the old
+//! prefix from the recorded cache for free and extending it by one
+//! quota's worth of new queries. The crawl therefore completes in exactly
+//! `⌈total_cost / quota⌉` periods and is charged exactly `total_cost`
+//! queries overall — resuming is free.
+
+use hidden_db_crawler::data::{nsf, ops, yahoo, Dataset};
+use hidden_db_crawler::prelude::*;
+use hidden_db_crawler::server::{DailyQuota, QueryCache, Replayer};
+
+fn server(ds: &Dataset, k: usize) -> HiddenDbServer {
+    HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed: 21 },
+    )
+    .unwrap()
+}
+
+/// Runs a crawl restricted to `quota` fresh queries per attempt, resuming
+/// with the recorded cache until it completes. Returns (attempts, total
+/// charged queries, final report).
+fn crawl_with_resume(
+    crawler: &dyn Crawler,
+    ds: &Dataset,
+    k: usize,
+    quota: u64,
+) -> (u32, u64, CrawlReport) {
+    let mut cache = QueryCache::new();
+    let mut attempts = 0;
+    let mut charged = 0;
+    loop {
+        attempts += 1;
+        assert!(attempts < 10_000, "runaway resume loop");
+        let mut db = Replayer::new(Budgeted::new(server(ds, k), quota), cache);
+        match crawler.crawl(&mut db) {
+            Ok(report) => {
+                charged += db.inner().queries_issued();
+                return (attempts, charged, report);
+            }
+            Err(CrawlError::Db {
+                error: DbError::BudgetExhausted { .. },
+                ..
+            }) => {
+                charged += db.inner().queries_issued();
+                let (_, c) = db.into_parts();
+                cache = c;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn resume_completes_in_exactly_ceil_cost_over_quota_days() {
+    let ds = yahoo::generate_scaled(5_000, 8);
+    let k = 128;
+    // Baseline: unlimited crawl cost.
+    let mut db = server(&ds, k);
+    let full = Hybrid::new().crawl(&mut db).unwrap();
+
+    for quota in [10u64, 37, 100, full.queries] {
+        let (attempts, charged, report) = crawl_with_resume(&Hybrid::new(), &ds, k, quota);
+        verify_complete(&ds.tuples, &report).unwrap();
+        assert_eq!(
+            charged, full.queries,
+            "resuming must charge exactly the one-shot cost (quota {quota})"
+        );
+        let expected_attempts = full.queries.div_ceil(quota) as u32;
+        assert_eq!(
+            attempts, expected_attempts,
+            "deterministic replay ⇒ exactly ⌈cost/quota⌉ attempts (quota {quota})"
+        );
+    }
+}
+
+#[test]
+fn resume_works_for_categorical_algorithms() {
+    let full_ds = nsf::generate_scaled(29_100, 8);
+    let (ds, _) = ops::project_top_distinct(&full_ds, 4);
+    let k = 128;
+    let mut db = server(&ds, k);
+    let full = SliceCover::lazy().crawl(&mut db).unwrap();
+
+    let (attempts, charged, report) = crawl_with_resume(&SliceCover::lazy(), &ds, k, 50);
+    verify_complete(&ds.tuples, &report).unwrap();
+    assert_eq!(charged, full.queries);
+    assert_eq!(attempts, full.queries.div_ceil(50) as u32);
+}
+
+#[test]
+fn daily_quota_with_inline_resume() {
+    // The single-object workflow: one Replayer<DailyQuota<Server>> lives
+    // across days; each failure advances the day and retries.
+    let ds = yahoo::generate_scaled(3_000, 9);
+    let k = 128;
+    let per_day = 60;
+    let mut db = Replayer::new(DailyQuota::new(server(&ds, k), per_day), QueryCache::new());
+    let report = loop {
+        match Hybrid::new().crawl(&mut db) {
+            Ok(report) => break report,
+            Err(CrawlError::Db {
+                error: DbError::BudgetExhausted { .. },
+                ..
+            }) => {
+                db.inner_mut().next_day();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    verify_complete(&ds.tuples, &report).unwrap();
+    let days = db.inner().day() + 1;
+    let charged = db.inner().total_spent();
+    assert_eq!(days as u64, charged.div_ceil(per_day));
+    // The final logical report sees every query (replayed + fresh); the
+    // server was only charged once per distinct query.
+    assert!(report.queries >= charged);
+}
+
+#[test]
+fn resume_survives_process_restart_via_serialized_cache() {
+    // Each "day" is a fresh process: the only state carried over is the
+    // serialized cache file (here: a byte buffer).
+    let ds = yahoo::generate_scaled(3_000, 12);
+    let k = 128;
+    let quota = 40;
+    let mut db0 = server(&ds, k);
+    let full = Hybrid::new().crawl(&mut db0).unwrap();
+
+    let mut cache_file: Vec<u8> = Vec::new();
+    QueryCache::new().save(&mut cache_file).unwrap();
+    let mut attempts = 0u64;
+    let report = loop {
+        attempts += 1;
+        assert!(attempts < 1_000, "runaway resume loop");
+        // "Process start": deserialize yesterday's responses.
+        let cache = QueryCache::load(std::io::BufReader::new(&cache_file[..])).unwrap();
+        let mut db = Replayer::new(Budgeted::new(server(&ds, k), quota), cache);
+        match Hybrid::new().crawl(&mut db) {
+            Ok(report) => break report,
+            Err(CrawlError::Db {
+                error: DbError::BudgetExhausted { .. },
+                ..
+            }) => {
+                // "Process exit": persist everything learned today.
+                let (_, cache) = db.into_parts();
+                cache_file.clear();
+                cache.save(&mut cache_file).unwrap();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    verify_complete(&ds.tuples, &report).unwrap();
+    assert_eq!(attempts, full.queries.div_ceil(quota));
+}
+
+#[test]
+fn cache_replay_never_diverges_from_live_server() {
+    // Replay correctness end-to-end: a crawl over a pre-recorded cache
+    // with zero fresh budget must reproduce the unlimited crawl exactly.
+    let ds = yahoo::generate_scaled(2_000, 10);
+    let k = 128;
+    let mut recorder = hidden_db_crawler::server::Recorder::new(server(&ds, k));
+    let live = Hybrid::new().crawl(&mut recorder).unwrap();
+    let cache = recorder.into_cache();
+
+    let mut db = Replayer::new(Budgeted::new(server(&ds, k), 0), cache);
+    let replayed = Hybrid::new().crawl(&mut db).unwrap();
+    assert_eq!(db.inner().queries_issued(), 0, "fully answered from cache");
+    assert_eq!(replayed.tuples, live.tuples);
+    assert_eq!(replayed.queries, live.queries);
+}
