@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the columnar query engine: per-strategy
+//! latency (planned and forced) against the preserved seed evaluator, on
+//! the workload shapes the planner distinguishes. `bench_engine` (the
+//! `BENCH_pr1.json` emitter) is the cross-PR record; this target is for
+//! interactive `cargo bench -p hdc-bench --bench engine` digging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc_bench::engine_workload::{rows, schema, workloads};
+use hdc_server::{HiddenDbServer, ServerConfig, Strategy};
+use hdc_types::{HiddenDatabase, Predicate, Query};
+
+const N: usize = 100_000;
+const K: usize = 256;
+
+fn server() -> HiddenDbServer {
+    HiddenDbServer::new(schema(), rows(N), ServerConfig { k: K, seed: 0xbe7c }).unwrap()
+}
+
+fn planned_paths(c: &mut Criterion) {
+    let mut db = server();
+    let legacy = db.legacy_evaluator();
+    let mut group = c.benchmark_group("engine_planned");
+    for (name, q) in workloads() {
+        group.bench_function(name, |b| b.iter(|| db.query(&q).unwrap().tuples.len()));
+        group.bench_function(format!("legacy_{name}"), |b| {
+            b.iter(|| legacy.evaluate(&q).tuples.len())
+        });
+    }
+    group.finish();
+}
+
+fn forced_strategies(c: &mut Criterion) {
+    let db = server();
+    let mut group = c.benchmark_group("engine_forced");
+    // A conjunction all three strategies answer identically; forcing each
+    // shows their relative cost on the same shape.
+    let q = Query::any(6)
+        .with_pred(1, Predicate::Eq(17))
+        .with_pred(3, Predicate::Range { lo: 0, hi: 99_999 });
+    for strategy in [Strategy::Scan, Strategy::Probe, Strategy::Intersect] {
+        group.bench_function(format!("{strategy:?}"), |b| {
+            b.iter(|| db.query_with_strategy(&q, strategy).unwrap().tuples.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planned_paths, forced_strategies);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Engine micro-benchmark + `BENCH_pr1.json` emitter.
+//!
+//! Measures median queries/second of the columnar engine (the live
+//! `HiddenDbServer::query` path) against the seed's row-at-a-time
+//! evaluator (`LegacyEvaluator`, preserved verbatim including its
+//! deep-copy materialization) on identical data and priorities, across
+//! the workloads the planner distinguishes, at n ∈ {10k, 100k, 1M}.
+//!
+//! The numbers land in `BENCH_pr1.json` (override the path with
+//! `BENCH_OUT`) so later PRs have a perf trajectory to compare against.
+//! Pass `--quick` to halve sampling for smoke runs.
+//!
+//! Workloads are named for their *query shape*; the strategy the
+//! engine's planner actually chose is measured per workload (via
+//! `ServerStats` deltas) and recorded in the JSON as `"plan"`:
+//!
+//! * `dense_conjunction` is the seed's worst case: two individually
+//!   dense predicates (~50% each) whose conjunction is **empty** by
+//!   construction, so evaluation must walk the whole table. The seed
+//!   scans tuple by tuple matching `Value` enums; the engine intersects
+//!   the predicates' bitset blocks over primitive columns.
+//! * `probe_eq` / `probe_range` are the selective single-predicate
+//!   probes that dominate deep crawl trees.
+//! * `selective_conj_cat` / `selective_conj_num` are selective
+//!   multi-predicate conjunctions; both evaluators drive the smallest
+//!   index list — the seed re-filters row-at-a-time, the engine uses
+//!   O(1) columnar residual checks (which measured faster than galloping
+//!   a second sorted list; see `crates/server/src/engine.rs`).
+//! * `root_any` overflows immediately; it isolates response
+//!   materialization (zero-clone vs deep copy).
+
+use std::time::Instant;
+
+use hdc_bench::engine_workload::{rows, schema, workloads};
+use hdc_server::{HiddenDbServer, LegacyEvaluator, ServerConfig};
+use hdc_types::{HiddenDatabase, Query};
+
+const K: usize = 256;
+const SCALES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Which strategy the planner chose for `q`, observed via the stats
+/// counters (so the record reflects measurement, not assumption).
+fn observed_plan(server: &mut HiddenDbServer, q: &Query) -> &'static str {
+    let before = server.stats();
+    server.query(q).expect("workload queries are valid");
+    let after = server.stats();
+    if after.scan_evals > before.scan_evals {
+        "scan"
+    } else if after.probe_evals > before.probe_evals {
+        "probe"
+    } else {
+        "intersect"
+    }
+}
+
+/// Median nanoseconds per call of `f`, over `samples` samples of
+/// adaptively-sized batches.
+fn median_ns(samples: usize, mut f: impl FnMut() -> usize) -> f64 {
+    // Calibrate the batch to ~20ms.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        if start.elapsed().as_millis() >= 20 || batch >= 1 << 30 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_call[per_call.len() / 2]
+}
+
+struct Row {
+    workload: &'static str,
+    plan: &'static str,
+    n: usize,
+    engine_qps: f64,
+    legacy_qps: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 5 } else { 11 };
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_string());
+
+    let mut results: Vec<Row> = Vec::new();
+    for &n in &SCALES {
+        eprintln!("building n = {n} ...");
+        let table = rows(n);
+        let mut server = HiddenDbServer::new(schema(), table, ServerConfig { k: K, seed: 0xbe7c })
+            .expect("bench table is schema-valid");
+        let legacy: LegacyEvaluator = server.legacy_evaluator();
+
+        for (name, q) in workloads() {
+            let plan = observed_plan(&mut server, &q);
+            let engine_ns = median_ns(samples, || server.query(&q).unwrap().tuples.len());
+            let legacy_ns = median_ns(samples, || legacy.evaluate(&q).tuples.len());
+            let row = Row {
+                workload: name,
+                plan,
+                n,
+                engine_qps: 1e9 / engine_ns,
+                legacy_qps: 1e9 / legacy_ns,
+            };
+            eprintln!(
+                "  {:<20} n={:<9} plan={:<9} engine {:>12.0} q/s   legacy {:>12.0} q/s   speedup {:>6.2}x",
+                row.workload,
+                row.n,
+                row.plan,
+                row.engine_qps,
+                row.legacy_qps,
+                row.engine_qps / row.legacy_qps
+            );
+            results.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str(&format!("  \"k\": {K},\n"));
+    json.push_str(
+        "  \"description\": \"median queries/sec, columnar engine (HiddenDbServer::query) \
+         vs seed row-at-a-time evaluator (LegacyEvaluator), identical data and priorities\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"plan\": \"{}\", \"n\": {}, \"engine_qps\": {:.1}, \
+             \"legacy_qps\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.workload,
+            r.plan,
+            r.n,
+            r.engine_qps,
+            r.legacy_qps,
+            r.engine_qps / r.legacy_qps,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+}

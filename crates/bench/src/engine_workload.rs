@@ -1,0 +1,115 @@
+//! The shared table + query shapes for the engine micro-benchmarks.
+//!
+//! Both the `bench_engine` bin (the `BENCH_pr1.json` emitter) and the
+//! `engine` criterion bench measure this fixture, so their numbers are
+//! comparable: a deterministic 6-attribute table whose first categorical
+//! column is **anti-correlated** with the last numeric one — the dense
+//! conjunction over those two has individually ~50% selectivity but an
+//! empty result, which is exactly the shape that forces a full-table
+//! walk (the seed evaluator's worst case).
+
+use hdc_types::{Predicate, Query, Schema, Tuple, Value};
+
+/// SplitMix64: deterministic column fill without depending on `rand`.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The benchmark schema: three categorical and three numeric attributes.
+pub fn schema() -> Schema {
+    Schema::builder()
+        .categorical("a", 2)
+        .categorical("b", 256)
+        .categorical("e", 16)
+        .numeric("c", 0, 999_999)
+        .numeric("f", 0, 99_999)
+        .numeric("d", 0, 999)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Deterministic table: `a` and `d` are anti-correlated (the dense
+/// conjunction's empty needle), the rest are hashed uniform.
+pub fn rows(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            let phase = i % 1000;
+            Tuple::new(vec![
+                Value::Cat(u32::from(phase >= 505)),
+                Value::Cat((mix(i ^ 0xb0b) % 256) as u32),
+                Value::Cat((mix(i ^ 0xe11e) % 16) as u32),
+                Value::Int((mix(i ^ 0xcccc) % 1_000_000) as i64),
+                Value::Int((mix(i ^ 0xf00f) % 100_000) as i64),
+                Value::Int(phase as i64),
+            ])
+        })
+        .collect()
+}
+
+/// The named query shapes measured across scales (see the module docs of
+/// `bench_engine` for what each one stresses).
+pub fn workloads() -> Vec<(&'static str, Query)> {
+    let any = Query::any(6);
+    vec![
+        // a = 0 (rows with phase < 505, ~50.5%) ∧ d ∈ [505, 999]
+        // (phase ≥ 505, ~49.5%): individually dense, jointly empty.
+        (
+            "dense_conjunction",
+            any.with_pred(0, Predicate::Eq(0))
+                .with_pred(5, Predicate::Range { lo: 505, hi: 999 }),
+        ),
+        ("probe_eq", any.with_pred(1, Predicate::Eq(17))),
+        (
+            "probe_range",
+            any.with_pred(3, Predicate::Range { lo: 0, hi: 9_999 }),
+        ),
+        (
+            "selective_conj_cat",
+            any.with_pred(1, Predicate::Eq(17))
+                .with_pred(2, Predicate::Eq(3)),
+        ),
+        (
+            "selective_conj_num",
+            any.with_pred(3, Predicate::Range { lo: 0, hi: 3_999 })
+                .with_pred(4, Predicate::Range { lo: 0, hi: 399 }),
+        ),
+        ("root_any", any),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_deterministic_and_schema_valid() {
+        let s = schema();
+        let a = rows(500);
+        let b = rows(500);
+        assert_eq!(a, b);
+        for t in &a {
+            s.validate_tuple(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn dense_conjunction_is_empty_by_construction() {
+        let (_, q) = workloads()
+            .into_iter()
+            .find(|(name, _)| *name == "dense_conjunction")
+            .unwrap();
+        assert!(rows(5_000).iter().all(|t| !q.matches(t)));
+    }
+
+    #[test]
+    fn workload_queries_validate() {
+        let s = schema();
+        for (name, q) in workloads() {
+            q.validate(&s).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

@@ -21,6 +21,7 @@ use hdc_core::{verify_complete, CrawlError, CrawlReport, Crawler};
 use hdc_data::Dataset;
 use hdc_server::{HiddenDbServer, ServerConfig};
 
+pub mod engine_workload;
 pub mod refdata;
 
 /// Serves a dataset through the simulator.

@@ -1,0 +1,230 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace uses.
+//!
+//! See `crates/compat/README.md`. Each benchmark is timed with
+//! [`std::time::Instant`]: a short warm-up, then `sample_size` samples of
+//! adaptively-sized batches; the per-iteration **median** is printed as
+//!
+//! ```text
+//! group/name              median    123.4 ns/iter  (21 samples)
+//! ```
+//!
+//! Set `CRITERION_SAMPLE_MS` (default 40) to trade accuracy for speed.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The distinction only affects
+/// batch sizing upstream; here every variant runs setup once per routine
+/// call, which is the conservative (always-correct) interpretation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 21,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b);
+        println!(
+            "{:<40} median {:>12.1} ns/iter  ({} samples)",
+            format!("{}/{}", self.name, id.into()),
+            b.median_ns,
+            b.samples
+        );
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+/// Per-sample time budget, from `CRITERION_SAMPLE_MS` (default 40 ms).
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(40);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration of the last `iter*` call.
+    pub median_ns: f64,
+    /// Number of samples behind the median.
+    pub samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let budget = sample_budget();
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= budget / 4 || iters_per_sample >= 1 << 40 {
+                break;
+            }
+            iters_per_sample = (iters_per_sample * 4).max(4);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.record(per_iter);
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: one run primes caches and the routine's code path.
+        let input = setup();
+        black_box(routine(input));
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        self.record(per_iter);
+    }
+
+    fn record(&mut self, mut per_iter: Vec<f64>) {
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples = per_iter.len();
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3).bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3).bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn median_of_odd_sample_count() {
+        let mut b = Bencher {
+            sample_size: 3,
+            median_ns: 0.0,
+            samples: 0,
+        };
+        b.record(vec![3.0, 1.0, 2.0]);
+        assert_eq!(b.median_ns, 2.0);
+        assert_eq!(b.samples, 3);
+    }
+}

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn detects_unsolvable_points() {
-        let tuples: Vec<Tuple> = std::iter::repeat(cat_tuple(&[1, 1])).take(5).collect();
+        let tuples: Vec<Tuple> = std::iter::repeat_n(cat_tuple(&[1, 1]), 5).collect();
         let mut db =
             HiddenDbServer::new(figure5_schema(), tuples, ServerConfig { k: 3, seed: 0 }).unwrap();
         let err = Dfs::new().crawl(&mut db).unwrap_err();

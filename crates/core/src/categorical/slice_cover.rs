@@ -460,7 +460,7 @@ mod tests {
     #[test]
     fn one_dimensional_unsolvable() {
         let schema = Schema::builder().categorical("A1", 3).build().unwrap();
-        let tuples: Vec<Tuple> = std::iter::repeat(cat_tuple(&[1])).take(9).collect();
+        let tuples: Vec<Tuple> = std::iter::repeat_n(cat_tuple(&[1]), 9).collect();
         let mut db = HiddenDbServer::new(schema, tuples, ServerConfig { k: 4, seed: 1 }).unwrap();
         let err = SliceCover::lazy().crawl(&mut db).unwrap_err();
         assert!(matches!(err, CrawlError::Unsolvable { .. }));
@@ -477,7 +477,7 @@ mod tests {
         let mut tuples: Vec<Tuple> = (0..3u32)
             .flat_map(|a| (0..3u32).map(move |b| cat_tuple(&[a, b, (a + b) % 3])))
             .collect();
-        tuples.extend(std::iter::repeat(cat_tuple(&[1, 1, 1])).take(4));
+        tuples.extend(std::iter::repeat_n(cat_tuple(&[1, 1, 1]), 4));
         for crawler in [SliceCover::eager(), SliceCover::lazy()] {
             let mut db = HiddenDbServer::new(
                 schema.clone(),

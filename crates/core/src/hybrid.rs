@@ -215,13 +215,12 @@ mod tests {
     fn unsolvable_duplicate_point_detected() {
         // 10 identical tuples, k = 4: the numeric leaf crawl must hit an
         // exhausted point that still overflows.
-        let tuples: Vec<Tuple> = std::iter::repeat(Tuple::new(vec![
+        let tuples: Vec<Tuple> = std::iter::repeat_n(Tuple::new(vec![
             Value::Cat(1),
             Value::Int(5),
             Value::Cat(2),
             Value::Int(2000),
-        ]))
-        .take(10)
+        ]), 10)
         .collect();
         let mut db =
             HiddenDbServer::new(mixed_schema(), tuples, ServerConfig { k: 4, seed: 9 }).unwrap();
@@ -234,13 +233,12 @@ mod tests {
         // Exactly k duplicates at one point is still solvable.
         let mut tuples = mixed_tuples(500);
         tuples.extend(
-            std::iter::repeat(Tuple::new(vec![
+            std::iter::repeat_n(Tuple::new(vec![
                 Value::Cat(0),
                 Value::Int(1),
                 Value::Cat(0),
                 Value::Int(1995),
-            ]))
-            .take(16),
+            ]), 16),
         );
         let mut db = HiddenDbServer::new(
             mixed_schema(),

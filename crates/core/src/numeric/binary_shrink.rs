@@ -128,7 +128,7 @@ mod tests {
     fn handles_duplicates_with_point_resolution() {
         // 6 duplicates at one point, k = 6: only a point query resolves it.
         let mut rows: Vec<Tuple> = (0..20).map(|v| int_tuple(&[v])).collect();
-        rows.extend(std::iter::repeat(int_tuple(&[10])).take(5));
+        rows.extend(std::iter::repeat_n(int_tuple(&[10]), 5));
         let mut db = server(rows.clone(), 0, 19, 6);
         let report = BinaryShrink::new().crawl(&mut db).unwrap();
         verify_complete(&rows, &report).unwrap();
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn detects_unsolvable_points() {
-        let rows: Vec<Tuple> = std::iter::repeat(int_tuple(&[5])).take(10).collect();
+        let rows: Vec<Tuple> = std::iter::repeat_n(int_tuple(&[5]), 10).collect();
         let mut db = server(rows, 0, 9, 4);
         let err = BinaryShrink::new().crawl(&mut db).unwrap_err();
         match err {

@@ -296,7 +296,7 @@ mod tests {
     fn heavy_duplicates_force_3way_and_still_complete() {
         // 60% of tuples share one value.
         let mut rows: Vec<Tuple> = (0..200).map(|v| int_tuple(&[v])).collect();
-        rows.extend(std::iter::repeat(int_tuple(&[77])).take(300));
+        rows.extend(std::iter::repeat_n(int_tuple(&[77]), 300));
         let mut db = server_1d(rows.clone(), 350, 1);
         let report = RankShrink::new().crawl(&mut db).unwrap();
         verify_complete(&rows, &report).unwrap();
@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn detects_unsolvable_duplicates() {
-        let rows: Vec<Tuple> = std::iter::repeat(int_tuple(&[9])).take(20).collect();
+        let rows: Vec<Tuple> = std::iter::repeat_n(int_tuple(&[9]), 20).collect();
         let mut db = server_1d(rows, 8, 2);
         let err = RankShrink::new().crawl(&mut db).unwrap_err();
         assert!(matches!(err, CrawlError::Unsolvable { .. }));
@@ -422,7 +422,7 @@ mod tests {
 
         // Heavy duplicates at one value: 3-way splits appear.
         let mut dupes: Vec<Tuple> = (0..100).map(|v| int_tuple(&[v])).collect();
-        dupes.extend(std::iter::repeat(int_tuple(&[50])).take(60));
+        dupes.extend(std::iter::repeat_n(int_tuple(&[50]), 60));
         let mut db = server_1d(dupes.clone(), 64, 3);
         let report = RankShrink::new().crawl(&mut db).unwrap();
         verify_complete(&dupes, &report).unwrap();

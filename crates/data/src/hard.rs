@@ -29,7 +29,7 @@ pub fn numeric_hard(k: usize, d: usize, m: usize) -> Dataset {
     let mut tuples = Vec::with_capacity(m * (k + d));
     for i in 1..=m as i64 {
         let diagonal = Tuple::new(vec![Value::Int(i); d]);
-        tuples.extend(std::iter::repeat(diagonal).take(k));
+        tuples.extend(std::iter::repeat_n(diagonal, k));
         for j in 0..d {
             let mut vals = vec![Value::Int(i); d];
             vals[j] = Value::Int(i + 1);

@@ -122,7 +122,7 @@ pub fn generate_scaled(n: usize, seed: u64) -> Dataset {
         Value::Int(2012),
         Value::Int(23_450),
     ]);
-    tuples.extend(std::iter::repeat(fleet).take(DUPLICATE_CLUSTER));
+    tuples.extend(std::iter::repeat_n(fleet, DUPLICATE_CLUSTER));
 
     Dataset::new("Yahoo", schema(), tuples)
 }

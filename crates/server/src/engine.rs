@@ -1,0 +1,881 @@
+//! The columnar query engine: planner + three executors.
+//!
+//! Rows are stored in priority order (row 0 = highest priority), so the
+//! server's "return the `k` highest-priority qualifying tuples" rule is
+//! "return the first `k` matching row ids". Every executor therefore
+//! produces ascending row ids and stops at the `k + 1`'th match (which
+//! proves overflow); they differ only in how they find those ids:
+//!
+//! * **scan** — a tight loop over one primitive column slice (or the
+//!   trivial prefix for unconstrained queries). Chosen when at most one
+//!   predicate constrains and no index narrows the candidates enough.
+//! * **probe** — the most selective predicate's index list (inverted list
+//!   for categorical, value-sorted range for numeric), residual-filtered
+//!   by O(1) columnar checks. Numeric candidate lists are cut to the
+//!   `k + 1` smallest row ids by partial selection before sorting when no
+//!   residual predicate exists.
+//! * **intersect** — several constraining predicates, none of whose
+//!   indexes narrow enough: intersect *all* predicates' candidate sets as
+//!   4096-row **bitset blocks** — each predicate ANDs a 64-bit mask per
+//!   64 rows straight from its column slice, zeroed words short-circuit
+//!   later predicates, and surviving bits stream out in priority order.
+//!   A k-way **galloping intersection** over sorted row-id lists (cursors
+//!   advance by exponential search; the smallest list drives) is also
+//!   implemented for sparse list sets; measurement (`BENCH_pr1.json`)
+//!   shows the O(1) columnar residual check beats reading a second sorted
+//!   list on this store, so the planner prefers probing for selective
+//!   conjunctions and galloping remains the forced-strategy/sparse
+//!   implementation path.
+//!
+//! The planner measures exact per-predicate selectivities from the
+//! indexes and picks the strategy by the cost thresholds documented on
+//! [`plan_into`]; ties between equally selective columns break toward the
+//! lower attribute index, so plans are deterministic. The chosen strategy
+//! is recorded in [`ServerStats`].
+//!
+//! All three executors are property-tested bit-identical to the seed's
+//! row-at-a-time evaluator ([`crate::LegacyEvaluator`]) and to a
+//! brute-force oracle (`tests/engine_prop.rs`), which preserves the
+//! paper's determinism contract: repeating a query returns the same
+//! outcome, whatever plan answered it.
+
+use hdc_types::{Query, QueryOutcome, Schema, Tuple};
+
+use crate::index::ColumnIndex;
+use crate::stats::ServerStats;
+use crate::store::{ColumnData, ColumnStore, CompiledPred};
+
+/// Execution strategy chosen by the planner (recorded in the statistics
+/// and forceable through [`crate::HiddenDbServer::query_with_strategy`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// Columnar scan (single-slice walk or bitset blocks).
+    Scan,
+    /// Single index probe + columnar residual filter.
+    Probe,
+    /// Multi-predicate candidate-list intersection.
+    Intersect,
+}
+
+/// Scan is preferred unless the best index list is at least this many
+/// times smaller than the table (probing pays per-candidate overhead).
+/// Inherited from the seed evaluator so plans only get better, never
+/// regress.
+const PROBE_ADVANTAGE: usize = 4;
+
+
+/// Galloping pays off only on genuinely sparse lists: if the smallest
+/// list exceeds `n / GALLOP_DENSITY`, the cache-friendly block walk wins
+/// and intersection degrades to bitset blocks.
+const GALLOP_DENSITY: usize = 64;
+
+/// Rows per bitset block (64 words of 64 rows — fits in L1 alongside the
+/// column chunks being tested).
+const BLOCK_ROWS: usize = 4096;
+const WORD_BITS: usize = 64;
+const BLOCK_WORDS: usize = BLOCK_ROWS / WORD_BITS;
+
+/// A constraining predicate annotated with its column and measured
+/// selectivity (exact matching-row count from the index).
+#[derive(Clone, Copy, Debug)]
+struct PredInfo {
+    attr: usize,
+    pred: CompiledPred,
+    sel: usize,
+}
+
+/// What the planner decided for one query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PlanKind {
+    /// Some predicate matches zero rows (or the query is unsatisfiable):
+    /// the result is empty without touching any row.
+    EmptyResult,
+    /// Columnar scan.
+    Scan,
+    /// Probe the most selective predicate's index.
+    Probe,
+    /// Intersect candidate lists from all selective predicates.
+    Intersect,
+}
+
+/// Reusable per-engine buffers so steady-state queries allocate only
+/// their result vector.
+#[derive(Default, Debug)]
+struct Scratch {
+    /// Matched row ids, ascending.
+    matched: Vec<u32>,
+    /// Compiled constraining predicates, sorted by `(sel, attr)`.
+    preds: Vec<PredInfo>,
+    /// Row-id candidates for numeric probes.
+    ids: Vec<u32>,
+    /// Row-sorted numeric candidate lists for galloping intersection.
+    pool: Vec<Vec<u32>>,
+    /// Per-list cursors for galloping intersection.
+    cursors: Vec<usize>,
+}
+
+/// The engine: SoA column store + per-column indexes + scratch space.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    store: ColumnStore,
+    index: ColumnIndex,
+    scratch: Scratch,
+}
+
+impl Engine {
+    /// Builds the store and indexes over priority-ordered, validated
+    /// rows.
+    pub(crate) fn new(schema: &Schema, rows: &[Tuple]) -> Self {
+        Engine {
+            store: ColumnStore::build(schema, rows),
+            index: ColumnIndex::build(schema, rows),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The per-column indexes (shared with bookkeeping like
+    /// `distinct_in_column`).
+    pub(crate) fn index(&self) -> &ColumnIndex {
+        &self.index
+    }
+
+    /// Evaluates `q` with the planner, recording the decision in `stats`.
+    pub(crate) fn evaluate(
+        &mut self,
+        rows: &[Tuple],
+        k: usize,
+        q: &Query,
+        stats: &mut ServerStats,
+    ) -> QueryOutcome {
+        let Engine {
+            store,
+            index,
+            scratch,
+        } = self;
+        let kind = plan_into(store, index, q, &mut scratch.preds);
+        let strategy = match kind {
+            // Empty results are settled by index lookups alone; account
+            // them to the probe path.
+            PlanKind::EmptyResult | PlanKind::Probe => Strategy::Probe,
+            PlanKind::Scan => Strategy::Scan,
+            PlanKind::Intersect => Strategy::Intersect,
+        };
+        stats.record_plan(strategy);
+        let overflow = match kind {
+            PlanKind::EmptyResult => {
+                scratch.matched.clear();
+                false
+            }
+            PlanKind::Scan => scan(store, &scratch.preds, k, &mut scratch.matched),
+            PlanKind::Probe => probe(
+                store,
+                index,
+                &scratch.preds,
+                k,
+                &mut scratch.matched,
+                &mut scratch.ids,
+            ),
+            PlanKind::Intersect => intersect(
+                store,
+                index,
+                &scratch.preds,
+                k,
+                &mut scratch.matched,
+                &mut scratch.pool,
+                &mut scratch.cursors,
+            ),
+        };
+        materialize(rows, &scratch.matched, overflow)
+    }
+
+    /// Evaluates `q` with a forced strategy (testing/benchmark hook).
+    ///
+    /// Outcomes are bit-identical to the planned path for every strategy;
+    /// a strategy that cannot apply (e.g. probing a query with no
+    /// constraining predicate) degrades to the nearest applicable one
+    /// without changing the outcome.
+    pub(crate) fn evaluate_forced(
+        &self,
+        rows: &[Tuple],
+        k: usize,
+        q: &Query,
+        strategy: Strategy,
+    ) -> QueryOutcome {
+        let mut preds = Vec::new();
+        let kind = plan_into(&self.store, &self.index, q, &mut preds);
+        if kind == PlanKind::EmptyResult {
+            return QueryOutcome::resolved(Vec::new());
+        }
+        let mut matched = Vec::new();
+        let overflow = match (strategy, preds.len()) {
+            (Strategy::Scan, _) | (_, 0) => scan(&self.store, &preds, k, &mut matched),
+            (Strategy::Probe, _) | (Strategy::Intersect, 1) => probe(
+                &self.store,
+                &self.index,
+                &preds,
+                k,
+                &mut matched,
+                &mut Vec::new(),
+            ),
+            (Strategy::Intersect, _) => intersect(
+                &self.store,
+                &self.index,
+                &preds,
+                k,
+                &mut matched,
+                &mut Vec::new(),
+                &mut Vec::new(),
+            ),
+        };
+        materialize(rows, &matched, overflow)
+    }
+}
+
+/// Does a non-driver predicate's candidate list earn a place in the
+/// galloping intersection?
+///
+/// Only categorical inverted lists qualify: they are borrowed in row
+/// order for free, so any list that meaningfully narrows the table (the
+/// probe-advantage test) joins. Numeric lists would have to be
+/// materialized and row-sorted first — O(m log m) — which measurably
+/// loses to leaving the predicate as an O(1)-per-candidate columnar
+/// residual check, so they never join.
+fn joins_gallop(p: &PredInfo, n: usize) -> bool {
+    matches!(p.pred, CompiledPred::Eq(_)) && p.sel.saturating_mul(PROBE_ADVANTAGE) <= n
+}
+
+/// Compiles `q`'s constraining predicates (with exact selectivities,
+/// sorted ascending by `(selectivity, attribute)`) into `preds` and picks
+/// the strategy.
+///
+/// Decision ladder, for `n` rows and sorted selectivities `s1 ≤ s2 ≤ …`:
+///
+/// 1. unsatisfiable query, or any `si = 0` → [`PlanKind::EmptyResult`];
+/// 2. no constraining predicate, or a **single** predicate whose index
+///    does not narrow enough (`s1 · PROBE_ADVANTAGE > n`) →
+///    [`PlanKind::Scan`];
+/// 3. `s1 · PROBE_ADVANTAGE ≤ n` (some index narrows, selective or not in
+///    count of predicates) → [`PlanKind::Probe`]: drive the smallest
+///    list, check the rest as O(1) columnar residuals. Measurement
+///    (`BENCH_pr1.json`) shows this beats reading further candidate
+///    lists whenever the store offers O(1) random access — which is why
+///    selective multi-predicate queries probe rather than gallop;
+/// 4. **several** predicates, none of whose indexes narrow enough →
+///    [`PlanKind::Intersect`]: intersect all predicates' bitset blocks
+///    (the dense form of candidate-list intersection).
+///
+/// The `(selectivity, attribute)` sort key makes equal-selectivity ties
+/// resolve toward the lower attribute index, deterministically.
+fn plan_into(
+    store: &ColumnStore,
+    index: &ColumnIndex,
+    q: &Query,
+    preds: &mut Vec<PredInfo>,
+) -> PlanKind {
+    preds.clear();
+    if q.is_unsatisfiable() {
+        return PlanKind::EmptyResult;
+    }
+    for (attr, &p) in q.preds().iter().enumerate() {
+        if let Some(pred) = CompiledPred::compile(p) {
+            let sel = index
+                .selectivity(attr, p)
+                .expect("constraining predicates have measurable selectivity");
+            if sel == 0 {
+                return PlanKind::EmptyResult;
+            }
+            preds.push(PredInfo { attr, pred, sel });
+        }
+    }
+    preds.sort_unstable_by_key(|p| (p.sel, p.attr));
+    let n = store.n();
+    match preds.as_slice() {
+        [] => PlanKind::Scan,
+        [first, rest @ ..] => {
+            if first.sel.saturating_mul(PROBE_ADVANTAGE) <= n {
+                PlanKind::Probe
+            } else if rest.is_empty() {
+                PlanKind::Scan
+            } else {
+                PlanKind::Intersect
+            }
+        }
+    }
+}
+
+/// Assembles the outcome; `Tuple` is `Arc`-backed, so each "clone" is a
+/// reference-count bump on the shared row table.
+fn materialize(rows: &[Tuple], matched: &[u32], overflow: bool) -> QueryOutcome {
+    QueryOutcome {
+        tuples: matched.iter().map(|&r| rows[r as usize].clone()).collect(),
+        overflow,
+    }
+}
+
+/// Columnar scan. Returns `true` iff the query overflows (`matched` then
+/// holds exactly the first `k` matching row ids).
+fn scan(store: &ColumnStore, preds: &[PredInfo], k: usize, matched: &mut Vec<u32>) -> bool {
+    matched.clear();
+    let n = store.n();
+    match preds {
+        [] => {
+            let take = n.min(k);
+            matched.extend(0..take as u32);
+            n > k
+        }
+        [single] => scan_one_column(store, *single, k, matched),
+        _ => block_scan(store, preds, 0, n, k, matched),
+    }
+}
+
+/// Tight loop over one primitive column slice.
+fn scan_one_column(store: &ColumnStore, p: PredInfo, k: usize, matched: &mut Vec<u32>) -> bool {
+    match (store.col(p.attr), p.pred) {
+        (ColumnData::Int(col), CompiledPred::Range(lo, hi)) => {
+            for (r, &x) in col.iter().enumerate() {
+                if lo <= x && x <= hi {
+                    if matched.len() == k {
+                        return true;
+                    }
+                    matched.push(r as u32);
+                }
+            }
+            false
+        }
+        (ColumnData::Cat(col), CompiledPred::Eq(v)) => {
+            for (r, &c) in col.iter().enumerate() {
+                if c == v {
+                    if matched.len() == k {
+                        return true;
+                    }
+                    matched.push(r as u32);
+                }
+            }
+            false
+        }
+        _ => unreachable!("query validated against schema"),
+    }
+}
+
+/// Bitset-block walk over rows `[from, to)`: per 4096-row block, each
+/// predicate ANDs 64-row masks built straight from its column slice;
+/// surviving bits stream out in priority order.
+fn block_scan(
+    store: &ColumnStore,
+    preds: &[PredInfo],
+    from: usize,
+    to: usize,
+    k: usize,
+    matched: &mut Vec<u32>,
+) -> bool {
+    let mut words = [0u64; BLOCK_WORDS];
+    let mut base = from;
+    while base < to {
+        let rows_here = (to - base).min(BLOCK_ROWS);
+        let nwords = rows_here.div_ceil(WORD_BITS);
+        let words = &mut words[..nwords];
+        words.fill(u64::MAX);
+        let tail = rows_here % WORD_BITS;
+        if tail != 0 {
+            words[nwords - 1] = (1u64 << tail) - 1;
+        }
+        for p in preds {
+            and_pred_mask(store, *p, base, rows_here, words);
+        }
+        for (w, &m) in words.iter().enumerate() {
+            let mut m = m;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if matched.len() == k {
+                    return true;
+                }
+                matched.push((base + w * WORD_BITS + bit) as u32);
+            }
+        }
+        base += rows_here;
+    }
+    false
+}
+
+/// ANDs the predicate's 64-row masks into `words`. Already-zero words are
+/// skipped, so the most selective predicate (tested first) prunes the
+/// work of the rest.
+fn and_pred_mask(
+    store: &ColumnStore,
+    p: PredInfo,
+    base: usize,
+    rows_here: usize,
+    words: &mut [u64],
+) {
+    match (store.col(p.attr), p.pred) {
+        (ColumnData::Int(col), CompiledPred::Range(lo, hi)) => {
+            let col = &col[base..base + rows_here];
+            for (w, chunk) in col.chunks(WORD_BITS).enumerate() {
+                if words[w] == 0 {
+                    continue;
+                }
+                let mut m = 0u64;
+                for (i, &x) in chunk.iter().enumerate() {
+                    m |= u64::from(lo <= x && x <= hi) << i;
+                }
+                words[w] &= m;
+            }
+        }
+        (ColumnData::Cat(col), CompiledPred::Eq(v)) => {
+            let col = &col[base..base + rows_here];
+            for (w, chunk) in col.chunks(WORD_BITS).enumerate() {
+                if words[w] == 0 {
+                    continue;
+                }
+                let mut m = 0u64;
+                for (i, &c) in chunk.iter().enumerate() {
+                    m |= u64::from(c == v) << i;
+                }
+                words[w] &= m;
+            }
+        }
+        _ => unreachable!("query validated against schema"),
+    }
+}
+
+/// Index probe on `preds[0]` (the most selective), residual-filtering the
+/// rest with O(1) columnar checks.
+fn probe(
+    store: &ColumnStore,
+    index: &ColumnIndex,
+    preds: &[PredInfo],
+    k: usize,
+    matched: &mut Vec<u32>,
+    ids: &mut Vec<u32>,
+) -> bool {
+    matched.clear();
+    let (first, residual) = preds.split_first().expect("probe needs a predicate");
+    match first.pred {
+        CompiledPred::Eq(v) => {
+            // Inverted lists are already in row (= priority) order:
+            // zero-copy candidates.
+            probe_list(store, index.cat_list(first.attr, v), residual, k, matched)
+        }
+        CompiledPred::Range(lo, hi) => {
+            let pairs = index.num_slice(first.attr, lo, hi);
+            ids.clear();
+            ids.extend(pairs.iter().map(|&(_, r)| r));
+            if residual.is_empty() && ids.len() > k + 1 {
+                // Without residual filters only the k+1 smallest row ids
+                // can appear in the answer: partial-select them instead
+                // of sorting the whole candidate set.
+                ids.select_nth_unstable(k);
+                ids.truncate(k + 1);
+            }
+            ids.sort_unstable();
+            probe_list(store, ids, residual, k, matched)
+        }
+    }
+}
+
+/// Filters a row-ordered candidate list, stopping at the `k + 1`'th
+/// survivor.
+fn probe_list(
+    store: &ColumnStore,
+    candidates: &[u32],
+    residual: &[PredInfo],
+    k: usize,
+    matched: &mut Vec<u32>,
+) -> bool {
+    for &r in candidates {
+        if residual.iter().all(|p| store.check(p.attr, p.pred, r)) {
+            if matched.len() == k {
+                return true;
+            }
+            matched.push(r);
+        }
+    }
+    false
+}
+
+/// Multi-predicate intersection. Selective predicates contribute sorted
+/// row-id lists combined by k-way galloping; dense ones become columnar
+/// residual checks. Degrades to bitset blocks when even the smallest list
+/// is dense (see [`GALLOP_DENSITY`]).
+fn intersect(
+    store: &ColumnStore,
+    index: &ColumnIndex,
+    preds: &[PredInfo],
+    k: usize,
+    matched: &mut Vec<u32>,
+    pool: &mut Vec<Vec<u32>>,
+    cursors: &mut Vec<usize>,
+) -> bool {
+    matched.clear();
+    let n = store.n();
+    if preds[0].sel > n / GALLOP_DENSITY {
+        return block_scan(store, preds, 0, n, k, matched);
+    }
+    // The smallest list always drives; the rest join the gallop only if
+    // their lists are worth reading (arity is tiny, so these temporaries
+    // are a few dozen bytes).
+    let (selective, residual): (Vec<PredInfo>, Vec<PredInfo>) = {
+        let mut sel = vec![preds[0]];
+        let mut res = Vec::new();
+        for p in &preds[1..] {
+            if joins_gallop(p, n) {
+                sel.push(*p);
+            } else {
+                res.push(*p);
+            }
+        }
+        (sel, res)
+    };
+
+    // Row-sorted candidate lists: categorical inverted lists are borrowed
+    // as-is; numeric lists are materialized once into the reusable pool.
+    let mut pool_used = 0;
+    for p in &selective {
+        if let CompiledPred::Range(lo, hi) = p.pred {
+            if pool_used == pool.len() {
+                pool.push(Vec::new());
+            }
+            let list = &mut pool[pool_used];
+            pool_used += 1;
+            list.clear();
+            list.extend(index.num_slice(p.attr, lo, hi).iter().map(|&(_, r)| r));
+            list.sort_unstable();
+        }
+    }
+    let mut pool_iter = pool[..pool_used].iter();
+    let mut lists: Vec<&[u32]> = selective
+        .iter()
+        .map(|p| match p.pred {
+            CompiledPred::Eq(v) => index.cat_list(p.attr, v),
+            CompiledPred::Range(..) => pool_iter.next().expect("one pooled list per range"),
+        })
+        .collect();
+    lists.sort_unstable_by_key(|l| l.len());
+    let (base, others) = lists.split_first().expect("intersect needs a list");
+
+    cursors.clear();
+    cursors.resize(others.len(), 0);
+    'next_candidate: for &r in *base {
+        for (list, cursor) in others.iter().zip(cursors.iter_mut()) {
+            *cursor = gallop_to(list, *cursor, r);
+            if *cursor == list.len() {
+                // This list is exhausted: nothing further can match.
+                return false;
+            }
+            if list[*cursor] != r {
+                continue 'next_candidate;
+            }
+        }
+        if residual.iter().all(|p| store.check(p.attr, p.pred, r)) {
+            if matched.len() == k {
+                return true;
+            }
+            matched.push(r);
+        }
+    }
+    false
+}
+
+/// First index `>= start` whose element is `>= target`, by exponential
+/// (galloping) search — O(log gap) per advance, which makes a full
+/// intersection O(|smallest| · log(|largest| / |smallest|)).
+fn gallop_to(list: &[u32], start: usize, target: u32) -> usize {
+    if start >= list.len() || list[start] >= target {
+        return start;
+    }
+    let mut step = 1;
+    let mut lo = start;
+    let mut hi = loop {
+        let probe = start + step;
+        if probe >= list.len() {
+            break list.len();
+        }
+        if list[probe] >= target {
+            break probe;
+        }
+        lo = probe;
+        step *= 2;
+    };
+    // Binary search in (lo, hi]: list[lo] < target <= list[hi] (or hi = len).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if list[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::{Predicate, Schema, Value};
+
+    fn fixture() -> (Schema, Vec<Tuple>) {
+        let schema = Schema::builder()
+            .categorical("c", 4)
+            .numeric("n", 0, 1000)
+            .categorical("d", 2)
+            .build()
+            .unwrap();
+        // 600 rows: c cycles 0..4, n = i, d = parity of i / 7.
+        let rows = (0..600)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Cat((i % 4) as u32),
+                    Value::Int(i as i64),
+                    Value::Cat(((i / 7) % 2) as u32),
+                ])
+            })
+            .collect();
+        (schema, rows)
+    }
+
+    fn brute(rows: &[Tuple], k: usize, q: &Query) -> QueryOutcome {
+        let all: Vec<Tuple> = rows.iter().filter(|t| q.matches(t)).cloned().collect();
+        if all.len() <= k {
+            QueryOutcome::resolved(all)
+        } else {
+            QueryOutcome::overflowed(all[..k].to_vec())
+        }
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            Query::any(3),
+            Query::new(vec![Predicate::Eq(2), Predicate::Any, Predicate::Any]),
+            Query::new(vec![
+                Predicate::Any,
+                Predicate::Range { lo: 10, hi: 20 },
+                Predicate::Any,
+            ]),
+            Query::new(vec![
+                Predicate::Eq(1),
+                Predicate::Range { lo: 0, hi: 300 },
+                Predicate::Eq(0),
+            ]),
+            Query::new(vec![
+                Predicate::Eq(3),
+                Predicate::Range { lo: 590, hi: 2000 },
+                Predicate::Any,
+            ]),
+            Query::new(vec![
+                Predicate::Any,
+                Predicate::Range { lo: 400, hi: 300 },
+                Predicate::Any,
+            ]),
+            Query::new(vec![
+                Predicate::Eq(0),
+                Predicate::Range { lo: 0, hi: 599 },
+                Predicate::Eq(1),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn planned_evaluation_matches_brute_force() {
+        let (schema, rows) = fixture();
+        let mut engine = Engine::new(&schema, &rows);
+        let mut stats = ServerStats::default();
+        for q in &queries() {
+            for k in [1usize, 5, 64, 10_000] {
+                let got = engine.evaluate(&rows, k, q, &mut stats);
+                assert_eq!(got, brute(&rows, k, q), "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_forced_strategy_matches_brute_force() {
+        let (schema, rows) = fixture();
+        let engine = Engine::new(&schema, &rows);
+        for q in &queries() {
+            for k in [1usize, 5, 64, 10_000] {
+                let want = brute(&rows, k, q);
+                for s in [Strategy::Scan, Strategy::Probe, Strategy::Intersect] {
+                    let got = engine.evaluate_forced(&rows, k, q, s);
+                    assert_eq!(got, want, "q={q} k={k} strategy={s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_chooses_expected_strategies() {
+        let (schema, rows) = fixture();
+        let engine = Engine::new(&schema, &rows);
+        let mut preds = Vec::new();
+        // Unconstrained: scan.
+        let kind = plan_into(&engine.store, &engine.index, &Query::any(3), &mut preds);
+        assert_eq!(kind, PlanKind::Scan);
+        // One selective range: probe.
+        let q = Query::new(vec![
+            Predicate::Any,
+            Predicate::Range { lo: 5, hi: 9 },
+            Predicate::Any,
+        ]);
+        assert_eq!(
+            plan_into(&engine.store, &engine.index, &q, &mut preds),
+            PlanKind::Probe
+        );
+        // Two selective predicates, but the driver list is too short to
+        // amortize galloping: probe with residual checks.
+        let q = Query::new(vec![
+            Predicate::Eq(1),
+            Predicate::Range { lo: 0, hi: 50 },
+            Predicate::Any,
+        ]);
+        assert_eq!(
+            plan_into(&engine.store, &engine.index, &q, &mut preds),
+            PlanKind::Probe
+        );
+        // A dense single predicate: scan (index narrows < 4x).
+        let q = Query::new(vec![
+            Predicate::Any,
+            Predicate::Range { lo: 0, hi: 400 },
+            Predicate::Any,
+        ]);
+        assert_eq!(
+            plan_into(&engine.store, &engine.index, &q, &mut preds),
+            PlanKind::Scan
+        );
+        // A zero-selectivity predicate: empty, no execution.
+        let q = Query::new(vec![
+            Predicate::Any,
+            Predicate::Range { lo: 2000, hi: 3000 },
+            Predicate::Any,
+        ]);
+        assert_eq!(
+            plan_into(&engine.store, &engine.index, &q, &mut preds),
+            PlanKind::EmptyResult
+        );
+    }
+
+    #[test]
+    fn planner_intersects_dense_conjunctions() {
+        // 8000 rows: both predicates individually dense (~50%), so no
+        // index narrows 4x — the conjunction is answered by intersecting
+        // bitset blocks, and recorded as an intersect plan.
+        let schema = Schema::builder()
+            .categorical("c", 2)
+            .numeric("n", 0, 8000)
+            .build()
+            .unwrap();
+        let rows: Vec<Tuple> = (0..8000)
+            .map(|i| Tuple::new(vec![Value::Cat((i % 2) as u32), Value::Int(i as i64)]))
+            .collect();
+        let engine = Engine::new(&schema, &rows);
+        let mut preds = Vec::new();
+        let q = Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 4000, hi: 7999 }]);
+        assert_eq!(
+            plan_into(&engine.store, &engine.index, &q, &mut preds),
+            PlanKind::Intersect
+        );
+        let mut stats = ServerStats::default();
+        let mut planned_engine = Engine::new(&schema, &rows);
+        let got = planned_engine.evaluate(&rows, 64, &q, &mut stats);
+        assert_eq!(stats.intersect_evals, 1);
+        assert_eq!(got, brute(&rows, 64, &q));
+    }
+
+    #[test]
+    fn equal_selectivity_ties_break_to_lower_attribute() {
+        // Two categorical columns with identical distributions: the
+        // planner must deterministically probe the lower attribute index.
+        let schema = Schema::builder()
+            .categorical("a", 10)
+            .categorical("b", 10)
+            .build()
+            .unwrap();
+        let rows: Vec<Tuple> = (0..200)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Cat((i % 10) as u32),
+                    Value::Cat((i % 10) as u32),
+                ])
+            })
+            .collect();
+        let engine = Engine::new(&schema, &rows);
+        let mut preds = Vec::new();
+        let q = Query::new(vec![Predicate::Eq(3), Predicate::Eq(7)]);
+        let kind = plan_into(&engine.store, &engine.index, &q, &mut preds);
+        // Both predicates select 20 of 200 rows; the sort key must place
+        // attribute 0 first regardless of input order.
+        assert_eq!(preds[0].sel, preds[1].sel, "fixture must tie");
+        assert_eq!(preds[0].attr, 0);
+        assert_eq!(preds[1].attr, 1);
+        assert_eq!(kind, PlanKind::Probe);
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bounds() {
+        let list = [2u32, 3, 5, 8, 13, 21, 34, 55];
+        assert_eq!(gallop_to(&list, 0, 1), 0);
+        assert_eq!(gallop_to(&list, 0, 2), 0);
+        assert_eq!(gallop_to(&list, 0, 4), 2);
+        assert_eq!(gallop_to(&list, 2, 5), 2);
+        assert_eq!(gallop_to(&list, 2, 34), 6);
+        assert_eq!(gallop_to(&list, 0, 56), 8);
+        assert_eq!(gallop_to(&list, 7, 55), 7);
+        assert_eq!(gallop_to(&list, 8, 99), 8);
+        // Exhaustive cross-check against a linear lower bound.
+        for start in 0..=list.len() {
+            for target in 0..60u32 {
+                let want = (start..list.len())
+                    .find(|&i| list[i] >= target)
+                    .unwrap_or(list.len());
+                assert_eq!(gallop_to(&list, start, target), want);
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_handles_block_boundaries() {
+        // n spanning multiple blocks with matches at block edges.
+        let schema = Schema::builder()
+            .numeric("x", 0, 20_000)
+            .numeric("y", 0, 20_000)
+            .build()
+            .unwrap();
+        let n = 2 * BLOCK_ROWS + 137;
+        let rows: Vec<Tuple> = (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(i as i64), Value::Int((i % 5) as i64)]))
+            .collect();
+        let engine = Engine::new(&schema, &rows);
+        // Matches exactly at rows BLOCK_ROWS-1, BLOCK_ROWS, and the last.
+        let q = Query::new(vec![
+            Predicate::Range {
+                lo: BLOCK_ROWS as i64 - 1,
+                hi: n as i64,
+            },
+            Predicate::Range { lo: 0, hi: 4 },
+        ]);
+        let got = engine.evaluate_forced(&rows, n, &q, Strategy::Scan);
+        let want = brute(&rows, n, &q);
+        assert_eq!(got, want);
+        assert_eq!(
+            got.tuples.first().unwrap().get(0),
+            Value::Int(BLOCK_ROWS as i64 - 1)
+        );
+        assert_eq!(got.tuples.last().unwrap().get(0), Value::Int(n as i64 - 1));
+    }
+
+    #[test]
+    fn overflow_cuts_exactly_at_k_in_every_strategy() {
+        let (schema, rows) = fixture();
+        let engine = Engine::new(&schema, &rows);
+        let q = Query::new(vec![
+            Predicate::Eq(0),
+            Predicate::Range { lo: 0, hi: 599 },
+            Predicate::Any,
+        ]);
+        for s in [Strategy::Scan, Strategy::Probe, Strategy::Intersect] {
+            let out = engine.evaluate_forced(&rows, 10, &q, s);
+            assert!(out.overflow, "strategy={s:?}");
+            assert_eq!(out.tuples.len(), 10, "strategy={s:?}");
+        }
+    }
+}

@@ -1,28 +1,30 @@
-//! Query evaluation: planner + executors.
+//! The seed's row-at-a-time evaluator, preserved as an oracle.
 //!
-//! Rows are stored in priority order (row 0 = highest priority), so the
-//! server's "return the k highest-priority qualifying tuples" rule becomes
-//! "return the first k matching rows". Two execution strategies exist:
+//! Before the columnar engine ([`crate::engine`]) landed, every query was
+//! answered by these routines: walk `Tuple`s in priority order matching
+//! `Value` enums per attribute (scan), or read one index list and
+//! re-filter row-at-a-time (probe), then deep-copy each returned tuple.
 //!
-//! * **scan**: walk rows in priority order, stop as soon as `k + 1` matches
-//!   are found (then the query overflows and the first `k` matches are the
-//!   answer). Cheap for unselective queries.
-//! * **probe**: fetch the candidate row ids from the most selective
-//!   constrained predicate's column index, filter the remaining predicates,
-//!   and sort survivors back into priority order. Cheap for selective
-//!   queries (deep tree nodes, point queries).
+//! The module is kept — bit-for-bit in behaviour, including the
+//! per-result deep copy — for two jobs:
 //!
-//! Both return bit-identical outcomes; `HiddenDbServer` property-tests them
-//! against each other and against a brute-force oracle.
+//! * **differential testing**: the property tests pit all three engine
+//!   strategies against [`LegacyEvaluator`] and a brute-force filter, so
+//!   the paper's determinism contract (same query ⇒ same outcome) is
+//!   checked across implementations, not just across calls;
+//! * **perf baseline**: `BENCH_pr1.json` reports engine speedups measured
+//!   against this evaluator on identical data (see
+//!   `crates/bench/src/bin/bench_engine.rs`).
+//!
+//! It is not part of the server's query path and not public API.
 
-use hdc_types::{Query, QueryOutcome, Tuple};
+use hdc_types::{Query, QueryOutcome, Schema, Tuple};
 
 use crate::index::ColumnIndex;
-use crate::stats::ServerStats;
 
-/// Strategy used for one query (recorded in the statistics).
+/// Strategy used for one query by the legacy planner.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum Strategy {
+enum LegacyStrategy {
     Scan,
     Probe,
 }
@@ -32,12 +34,41 @@ pub(crate) enum Strategy {
 /// check plus a final sort).
 const PROBE_ADVANTAGE: usize = 4;
 
-/// Picks the execution strategy for a query.
-pub(crate) fn plan(index: &ColumnIndex, q: &Query, n_rows: usize) -> (Strategy, usize) {
+/// The seed evaluator behind a constructor: per-column indexes plus the
+/// priority-ordered row table, answering queries exactly as the seed
+/// server did.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct LegacyEvaluator {
+    rows: Vec<Tuple>,
+    index: ColumnIndex,
+    k: usize,
+}
+
+impl LegacyEvaluator {
+    /// Builds the evaluator over priority-ordered, schema-valid rows.
+    pub fn new(schema: &Schema, rows: Vec<Tuple>, k: usize) -> Self {
+        let index = ColumnIndex::build(schema, &rows);
+        LegacyEvaluator { rows, index, k }
+    }
+
+    /// Evaluates a (pre-validated) query with the seed's planner and
+    /// executors.
+    pub fn evaluate(&self, q: &Query) -> QueryOutcome {
+        evaluate(&self.rows, &self.index, self.k, q)
+    }
+}
+
+/// Picks the execution strategy for a query: the most selective
+/// constrained column (ties to the lower attribute index), probed only
+/// when it narrows the table at least [`PROBE_ADVANTAGE`]-fold.
+fn plan(index: &ColumnIndex, q: &Query, n_rows: usize) -> (LegacyStrategy, usize) {
     let mut best_attr = usize::MAX;
     let mut best = usize::MAX;
     for (a, &p) in q.preds().iter().enumerate() {
         if let Some(s) = index.selectivity(a, p) {
+            // Strict `<` keeps the first (lowest) attribute on ties; the
+            // engine's planner makes the same choice via its sort key.
             if s < best {
                 best = s;
                 best_attr = a;
@@ -45,30 +76,22 @@ pub(crate) fn plan(index: &ColumnIndex, q: &Query, n_rows: usize) -> (Strategy, 
         }
     }
     if best_attr != usize::MAX && best.saturating_mul(PROBE_ADVANTAGE) <= n_rows {
-        (Strategy::Probe, best_attr)
+        (LegacyStrategy::Probe, best_attr)
     } else {
-        (Strategy::Scan, usize::MAX)
+        (LegacyStrategy::Scan, usize::MAX)
     }
 }
 
 /// Evaluates `q` over `rows` (priority-ordered), returning the top-k
 /// semantics outcome.
-pub(crate) fn evaluate(
-    rows: &[Tuple],
-    index: &ColumnIndex,
-    k: usize,
-    q: &Query,
-    stats: &mut ServerStats,
-) -> QueryOutcome {
+fn evaluate(rows: &[Tuple], index: &ColumnIndex, k: usize, q: &Query) -> QueryOutcome {
     if q.is_unsatisfiable() {
-        stats.record_plan(Strategy::Scan);
         return QueryOutcome::resolved(Vec::new());
     }
     let (strategy, best_attr) = plan(index, q, rows.len());
-    stats.record_plan(strategy);
     match strategy {
-        Strategy::Scan => scan(rows, k, q),
-        Strategy::Probe => probe(rows, index, k, q, best_attr),
+        LegacyStrategy::Scan => scan(rows, k, q),
+        LegacyStrategy::Probe => probe(rows, index, k, q, best_attr),
     }
 }
 
@@ -109,17 +132,23 @@ fn probe(rows: &[Tuple], index: &ColumnIndex, k: usize, q: &Query, attr: usize) 
     materialize(rows, matched, false)
 }
 
+/// The seed's materialization deep-copied every returned tuple (cloning a
+/// `Box<[Value]>`); reproduced here so the baseline keeps the cost the
+/// engine's `Arc`-backed zero-clone path eliminated.
 fn materialize(rows: &[Tuple], matched: Vec<u32>, overflow: bool) -> QueryOutcome {
-    let tuples = matched.iter().map(|&r| rows[r as usize].clone()).collect();
+    let tuples = matched
+        .iter()
+        .map(|&r| Tuple::new(rows[r as usize].values().to_vec()))
+        .collect();
     QueryOutcome { tuples, overflow }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdc_types::{Predicate, Schema, Value};
+    use hdc_types::{Predicate, Value};
 
-    fn fixture() -> (Schema, Vec<Tuple>, ColumnIndex) {
+    fn fixture() -> (Schema, Vec<Tuple>) {
         let schema = Schema::builder()
             .categorical("c", 4)
             .numeric("n", 0, 1000)
@@ -129,14 +158,12 @@ mod tests {
         let rows: Vec<Tuple> = (0..100)
             .map(|i| Tuple::new(vec![Value::Cat((i % 4) as u32), Value::Int(i as i64)]))
             .collect();
-        let index = ColumnIndex::build(&schema, &rows);
-        (schema, rows, index)
+        (schema, rows)
     }
 
     #[test]
-    fn scan_and_probe_agree() {
-        let (_, rows, index) = fixture();
-        let mut stats = ServerStats::default();
+    fn scan_and_probe_agree_with_brute_force() {
+        let (schema, rows) = fixture();
         let queries = [
             Query::new(vec![Predicate::Eq(2), Predicate::Any]),
             Query::new(vec![Predicate::Any, Predicate::Range { lo: 10, hi: 20 }]),
@@ -145,7 +172,8 @@ mod tests {
         ];
         for q in &queries {
             for k in [1usize, 3, 25, 1000] {
-                let got = evaluate(&rows, &index, k, q, &mut stats);
+                let eval = LegacyEvaluator::new(&schema, rows.clone(), k);
+                let got = eval.evaluate(q);
                 let brute: Vec<Tuple> = rows.iter().filter(|t| q.matches(t)).cloned().collect();
                 if brute.len() <= k {
                     assert_eq!(got, QueryOutcome::resolved(brute), "q={q} k={k}");
@@ -162,63 +190,88 @@ mod tests {
 
     #[test]
     fn planner_prefers_probe_for_selective_queries() {
-        let (_, rows, index) = fixture();
+        let (schema, rows) = fixture();
+        let index = ColumnIndex::build(&schema, &rows);
         // A point query on n matches 1 row out of 100: probe.
         let q = Query::new(vec![Predicate::Any, Predicate::Range { lo: 7, hi: 7 }]);
         let (s, attr) = plan(&index, &q, rows.len());
-        assert_eq!(s, Strategy::Probe);
+        assert_eq!(s, LegacyStrategy::Probe);
         assert_eq!(attr, 1);
     }
 
     #[test]
     fn planner_prefers_scan_for_wide_queries() {
-        let (_, rows, index) = fixture();
+        let (schema, rows) = fixture();
+        let index = ColumnIndex::build(&schema, &rows);
         let (s, _) = plan(&index, &Query::any(2), rows.len());
-        assert_eq!(s, Strategy::Scan);
-        // cat=0 matches 25 of 100 rows: 25 * 4 > 100 fails the advantage
-        // test only marginally; ensure a very unselective range scans.
+        assert_eq!(s, LegacyStrategy::Scan);
         let wide = Query::new(vec![Predicate::Any, Predicate::Range { lo: 0, hi: 90 }]);
         let (s, _) = plan(&index, &wide, rows.len());
-        assert_eq!(s, Strategy::Scan);
+        assert_eq!(s, LegacyStrategy::Scan);
     }
 
     #[test]
     fn planner_picks_most_selective_attribute() {
-        let (_, rows, index) = fixture();
+        let (schema, rows) = fixture();
+        let index = ColumnIndex::build(&schema, &rows);
         // cat=2 matches 25 rows; n in [3,4] matches 2: pick n.
         let q = Query::new(vec![Predicate::Eq(2), Predicate::Range { lo: 3, hi: 4 }]);
         let (s, attr) = plan(&index, &q, rows.len());
-        assert_eq!(s, Strategy::Probe);
+        assert_eq!(s, LegacyStrategy::Probe);
         assert_eq!(attr, 1);
     }
 
     #[test]
+    fn planner_ties_break_to_lower_attribute() {
+        // Both columns equally selective for the probed values: the
+        // regression guard for the deterministic tie-break.
+        let schema = Schema::builder()
+            .categorical("a", 10)
+            .categorical("b", 10)
+            .build()
+            .unwrap();
+        let rows: Vec<Tuple> = (0..100)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Cat((i % 10) as u32),
+                    Value::Cat((i % 10) as u32),
+                ])
+            })
+            .collect();
+        let index = ColumnIndex::build(&schema, &rows);
+        let q = Query::new(vec![Predicate::Eq(4), Predicate::Eq(6)]);
+        let (s, attr) = plan(&index, &q, rows.len());
+        assert_eq!(s, LegacyStrategy::Probe);
+        assert_eq!(attr, 0, "equal selectivities must pick the lower attr");
+    }
+
+    #[test]
     fn unsatisfiable_short_circuits() {
-        let (_, rows, index) = fixture();
-        let mut stats = ServerStats::default();
+        let (schema, rows) = fixture();
+        let eval = LegacyEvaluator::new(&schema, rows, 10);
         let q = Query::new(vec![Predicate::Any, Predicate::Range { lo: 5, hi: 4 }]);
-        let out = evaluate(&rows, &index, 10, &q, &mut stats);
+        let out = eval.evaluate(&q);
         assert!(out.is_resolved());
         assert!(out.is_empty());
     }
 
     #[test]
     fn overflow_returns_highest_priority_prefix() {
-        let (_, rows, index) = fixture();
-        let mut stats = ServerStats::default();
-        let out = evaluate(&rows, &index, 5, &Query::any(2), &mut stats);
+        let (schema, rows) = fixture();
+        let eval = LegacyEvaluator::new(&schema, rows.clone(), 5);
+        let out = eval.evaluate(&Query::any(2));
         assert!(out.overflow);
         // Rows are priority-ordered, so the answer is exactly rows[0..5].
         assert_eq!(out.tuples, rows[..5].to_vec());
     }
 
     #[test]
-    fn determinism_across_strategies_and_repeats() {
-        let (_, rows, index) = fixture();
-        let mut stats = ServerStats::default();
-        let q = Query::new(vec![Predicate::Eq(0), Predicate::Any]);
-        let a = evaluate(&rows, &index, 3, &q, &mut stats);
-        let b = evaluate(&rows, &index, 3, &q, &mut stats);
-        assert_eq!(a, b);
+    fn materialize_deep_copies() {
+        let (schema, rows) = fixture();
+        let eval = LegacyEvaluator::new(&schema, rows.clone(), 5);
+        let out = eval.evaluate(&Query::any(2));
+        // The baseline must keep paying the seed's copy cost: returned
+        // tuples must not share storage with the row table.
+        assert!(!std::ptr::eq(out.tuples[0].values(), rows[0].values()));
     }
 }

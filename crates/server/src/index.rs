@@ -91,6 +91,27 @@ impl ColumnIndex {
         }
     }
 
+    /// The row ids holding value `v` in categorical column `a`, ascending
+    /// (= priority order). Empty for out-of-domain values.
+    pub(crate) fn cat_list(&self, a: usize, v: u32) -> &[u32] {
+        match &self.cols[a] {
+            ColIndex::Cat { lists } => lists.get(v as usize).map_or(&[], Vec::as_slice),
+            ColIndex::Num { .. } => unreachable!("cat_list on numeric column"),
+        }
+    }
+
+    /// The `(value, row)` pairs of numeric column `a` with values in
+    /// `[lo, hi]`, sorted by value (ties by row) — **not** by row.
+    pub(crate) fn num_slice(&self, a: usize, lo: i64, hi: i64) -> &[(i64, u32)] {
+        match &self.cols[a] {
+            ColIndex::Num { sorted } => {
+                let (s, e) = Self::num_range(sorted, lo, hi);
+                &sorted[s..e]
+            }
+            ColIndex::Cat { .. } => unreachable!("num_slice on categorical column"),
+        }
+    }
+
     /// Half-open index range of `sorted` whose values lie in `[lo, hi]`.
     fn num_range(sorted: &[(i64, u32)], lo: i64, hi: i64) -> (usize, usize) {
         let start = sorted.partition_point(|&(v, _)| v < lo);

@@ -4,8 +4,8 @@ use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema, SchemaErro
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::eval;
-use crate::index::ColumnIndex;
+use crate::engine::{Engine, Strategy};
+use crate::eval::LegacyEvaluator;
 use crate::stats::ServerStats;
 
 /// Server configuration.
@@ -30,9 +30,10 @@ impl Default for ServerConfig {
 ///
 /// Construction validates every tuple against the schema, assigns each
 /// tuple a random (seeded) priority — matching the paper's experimental
-/// setup — and builds per-column indexes. After construction the server is
-/// logically immutable: queries never change the data, and identical
-/// queries always receive identical responses.
+/// setup — and builds the columnar engine (structure-of-arrays column
+/// store plus per-column indexes; see [`crate::engine`]). After
+/// construction the server is logically immutable: queries never change
+/// the data, and identical queries always receive identical responses.
 ///
 /// ```
 /// use hdc_server::{HiddenDbServer, ServerConfig};
@@ -53,12 +54,14 @@ impl Default for ServerConfig {
 pub struct HiddenDbServer {
     schema: Schema,
     /// Rows in descending priority order (row 0 = highest priority).
+    /// `Tuple` is `Arc`-backed, so responses share this table instead of
+    /// copying out of it.
     rows: Vec<Tuple>,
     /// `source[i]` = index of `rows[i]` in the constructor's input, so
     /// tests can refer to "t4 from Figure 3" regardless of priorities.
     source: Vec<u32>,
     k: usize,
-    index: ColumnIndex,
+    engine: Engine,
     stats: ServerStats,
 }
 
@@ -107,13 +110,13 @@ impl HiddenDbServer {
             schema.validate_tuple(t)?;
         }
         let rows: Vec<Tuple> = order.iter().map(|&i| tuples[i as usize].clone()).collect();
-        let index = ColumnIndex::build(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         Ok(HiddenDbServer {
             schema,
             rows,
             source: order,
             k,
-            index,
+            engine,
             stats: ServerStats::default(),
         })
     }
@@ -148,7 +151,34 @@ impl HiddenDbServer {
     /// Number of distinct values present in column `a` (used to build the
     /// Figure 9 dataset table and the top-distinct projections).
     pub fn distinct_in_column(&self, a: usize) -> usize {
-        self.index.distinct(a)
+        self.engine.index().distinct(a)
+    }
+
+    /// Evaluates a query with a **forced** engine strategy, without
+    /// touching the statistics.
+    ///
+    /// Every strategy returns an outcome bit-identical to [`Self::query`]
+    /// (a strategy that cannot apply degrades to the nearest applicable
+    /// one). This is the differential-testing and benchmarking hook; the
+    /// planner, not the caller, picks strategies in production.
+    pub fn query_with_strategy(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+    ) -> Result<QueryOutcome, DbError> {
+        q.validate(&self.schema)?;
+        Ok(self.engine.evaluate_forced(&self.rows, self.k, q, strategy))
+    }
+
+    /// The seed's row-at-a-time evaluator over this server's exact row
+    /// priorities — the differential-testing oracle and perf baseline.
+    ///
+    /// Row handles are shared (`Tuple` is `Arc`-backed), but construction
+    /// rebuilds the per-column indexes — O(n log n) per numeric column —
+    /// so build it once and reuse it, not per query.
+    #[doc(hidden)]
+    pub fn legacy_evaluator(&self) -> LegacyEvaluator {
+        LegacyEvaluator::new(&self.schema, self.rows.clone(), self.k)
     }
 
     /// True if Problem 1 is solvable on this database: no point of the data
@@ -178,7 +208,9 @@ impl HiddenDatabase for HiddenDbServer {
 
     fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
         q.validate(&self.schema)?;
-        let out = eval::evaluate(&self.rows, &self.index, self.k, q, &mut self.stats);
+        let out = self
+            .engine
+            .evaluate(&self.rows, self.k, q, &mut self.stats);
         self.stats.record_outcome(out.len(), out.overflow);
         Ok(out)
     }

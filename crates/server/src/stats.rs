@@ -2,14 +2,14 @@
 
 use std::fmt;
 
-use crate::eval::Strategy;
+use crate::engine::Strategy;
 
 /// Counters maintained by the server across its lifetime.
 ///
 /// The crawl algorithms are charged by *query count* (the paper's cost
 /// metric); these statistics let experiments and tests read that count from
-/// the server's side of the interface, and expose evaluator internals
-/// (scan vs. probe) for the micro-benchmarks.
+/// the server's side of the interface, and expose the planner's decisions
+/// (scan vs. probe vs. intersect) for the micro-benchmarks.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct ServerStats {
     /// Total queries answered.
@@ -20,10 +20,13 @@ pub struct ServerStats {
     pub overflowed: u64,
     /// Total tuples shipped back to clients.
     pub tuples_returned: u64,
-    /// Queries answered by the priority-ordered scan path.
+    /// Queries answered by the columnar scan path.
     pub scan_evals: u64,
-    /// Queries answered by the index-probe path.
+    /// Queries answered by the single index-probe path (including
+    /// index-settled empty results).
     pub probe_evals: u64,
+    /// Queries answered by multi-predicate candidate intersection.
+    pub intersect_evals: u64,
 }
 
 impl ServerStats {
@@ -31,6 +34,7 @@ impl ServerStats {
         match strategy {
             Strategy::Scan => self.scan_evals += 1,
             Strategy::Probe => self.probe_evals += 1,
+            Strategy::Intersect => self.intersect_evals += 1,
         }
     }
 
@@ -49,13 +53,15 @@ impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries ({} resolved, {} overflowed), {} tuples returned, eval: {} scans / {} probes",
+            "{} queries ({} resolved, {} overflowed), {} tuples returned, \
+             eval: {} scans / {} probes / {} intersects",
             self.queries,
             self.resolved,
             self.overflowed,
             self.tuples_returned,
             self.scan_evals,
-            self.probe_evals
+            self.probe_evals,
+            self.intersect_evals
         )
     }
 }
@@ -71,12 +77,15 @@ mod tests {
         s.record_outcome(10, false);
         s.record_plan(Strategy::Probe);
         s.record_outcome(5, true);
-        assert_eq!(s.queries, 2);
-        assert_eq!(s.resolved, 1);
+        s.record_plan(Strategy::Intersect);
+        s.record_outcome(2, false);
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.resolved, 2);
         assert_eq!(s.overflowed, 1);
-        assert_eq!(s.tuples_returned, 15);
+        assert_eq!(s.tuples_returned, 17);
         assert_eq!(s.scan_evals, 1);
         assert_eq!(s.probe_evals, 1);
+        assert_eq!(s.intersect_evals, 1);
     }
 
     #[test]

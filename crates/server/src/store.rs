@@ -1,0 +1,169 @@
+//! Structure-of-arrays column store backing the query engine.
+//!
+//! The server's hot path is predicate evaluation over many rows. Storing
+//! each column as a primitive `Vec` (`i64` for numeric attributes, `u32`
+//! for categorical ones) in **priority order** turns that into tight
+//! loops over contiguous memory — no `Tuple` indirection, no `Value` enum
+//! matching — while random access by row id stays O(1) for residual
+//! filtering.
+
+use hdc_types::{AttrKind, Predicate, Schema, Tuple, Value};
+
+/// One column of the database, in priority (row) order.
+#[derive(Debug)]
+pub(crate) enum ColumnData {
+    /// A numeric column.
+    Int(Vec<i64>),
+    /// A categorical column.
+    Cat(Vec<u32>),
+}
+
+/// All columns, decomposed from the priority-ordered row table.
+#[derive(Debug)]
+pub(crate) struct ColumnStore {
+    n: usize,
+    cols: Vec<ColumnData>,
+}
+
+/// A predicate compiled against its column's primitive representation.
+///
+/// Wildcards and full ranges never appear here — the engine compiles only
+/// constraining predicates — so every check is a real comparison.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CompiledPred {
+    /// Categorical equality.
+    Eq(u32),
+    /// Inclusive numeric range.
+    Range(i64, i64),
+}
+
+impl CompiledPred {
+    /// Compiles a constraining predicate (`None` for wildcards / full
+    /// ranges, which constrain nothing).
+    pub(crate) fn compile(p: Predicate) -> Option<CompiledPred> {
+        if !p.is_constraining() {
+            return None;
+        }
+        match p {
+            Predicate::Eq(v) => Some(CompiledPred::Eq(v)),
+            Predicate::Range { lo, hi } => Some(CompiledPred::Range(lo, hi)),
+            Predicate::Any => None,
+        }
+    }
+}
+
+impl ColumnStore {
+    /// Decomposes the priority-ordered, schema-validated rows into
+    /// columns.
+    pub(crate) fn build(schema: &Schema, rows: &[Tuple]) -> Self {
+        let cols = (0..schema.arity())
+            .map(|a| match schema.kind(a) {
+                AttrKind::Numeric { .. } => ColumnData::Int(
+                    rows.iter()
+                        .map(|t| match t.get(a) {
+                            Value::Int(x) => x,
+                            Value::Cat(_) => unreachable!("rows are schema-validated"),
+                        })
+                        .collect(),
+                ),
+                AttrKind::Categorical { .. } => ColumnData::Cat(
+                    rows.iter()
+                        .map(|t| match t.get(a) {
+                            Value::Cat(c) => c,
+                            Value::Int(_) => unreachable!("rows are schema-validated"),
+                        })
+                        .collect(),
+                ),
+            })
+            .collect();
+        ColumnStore {
+            n: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The column for attribute `a`.
+    #[inline]
+    pub(crate) fn col(&self, a: usize) -> &ColumnData {
+        &self.cols[a]
+    }
+
+    /// Does row `r` satisfy the compiled predicate on column `a`?
+    ///
+    /// Kind mismatches cannot occur: queries are validated against the
+    /// schema before they reach the engine.
+    #[inline]
+    pub(crate) fn check(&self, a: usize, p: CompiledPred, r: u32) -> bool {
+        match (&self.cols[a], p) {
+            (ColumnData::Cat(col), CompiledPred::Eq(v)) => col[r as usize] == v,
+            (ColumnData::Int(col), CompiledPred::Range(lo, hi)) => {
+                let x = col[r as usize];
+                lo <= x && x <= hi
+            }
+            _ => unreachable!("query validated against schema"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::Schema;
+
+    fn fixture() -> (Schema, Vec<Tuple>) {
+        let schema = Schema::builder()
+            .categorical("c", 3)
+            .numeric("x", -10, 10)
+            .build()
+            .unwrap();
+        let rows = [(0u32, -5i64), (2, 0), (1, 7), (0, 10)]
+            .iter()
+            .map(|&(c, x)| Tuple::new(vec![Value::Cat(c), Value::Int(x)]))
+            .collect();
+        (schema, rows)
+    }
+
+    #[test]
+    fn build_decomposes_in_row_order() {
+        let (schema, rows) = fixture();
+        let store = ColumnStore::build(&schema, &rows);
+        assert_eq!(store.n(), 4);
+        match store.col(0) {
+            ColumnData::Cat(col) => assert_eq!(col, &[0, 2, 1, 0]),
+            _ => panic!("expected categorical column"),
+        }
+        match store.col(1) {
+            ColumnData::Int(col) => assert_eq!(col, &[-5, 0, 7, 10]),
+            _ => panic!("expected numeric column"),
+        }
+    }
+
+    #[test]
+    fn check_matches_predicate_semantics() {
+        let (schema, rows) = fixture();
+        let store = ColumnStore::build(&schema, &rows);
+        let eq = CompiledPred::compile(Predicate::Eq(0)).unwrap();
+        assert!(store.check(0, eq, 0));
+        assert!(!store.check(0, eq, 1));
+        assert!(store.check(0, eq, 3));
+        let range = CompiledPred::compile(Predicate::Range { lo: 0, hi: 7 }).unwrap();
+        assert!(!store.check(1, range, 0));
+        assert!(store.check(1, range, 1));
+        assert!(store.check(1, range, 2));
+        assert!(!store.check(1, range, 3));
+    }
+
+    #[test]
+    fn compile_rejects_non_constraining() {
+        assert!(CompiledPred::compile(Predicate::Any).is_none());
+        assert!(CompiledPred::compile(Predicate::FULL_RANGE).is_none());
+        assert!(CompiledPred::compile(Predicate::Eq(1)).is_some());
+        assert!(CompiledPred::compile(Predicate::Range { lo: 3, hi: 2 }).is_some());
+    }
+}

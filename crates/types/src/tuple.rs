@@ -1,6 +1,7 @@
 //! Tuples: points of the data space stored in the hidden database.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -10,14 +11,19 @@ use crate::value::Value;
 /// Tuples are immutable once built. Because the hidden database is a *bag*,
 /// two distinct rows may be equal as tuples; equality/ordering/hashing are
 /// value-based so that [`crate::TupleBag`] can do multiset accounting.
+///
+/// The values live behind an [`Arc`], so `Tuple::clone` is a reference
+/// count bump, not a copy: a server can hand the same row table to every
+/// query response (zero-clone materialization), and crawl reports can
+/// share rows with the caches that produced them.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Tuple {
-    values: Box<[Value]>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
     /// Builds a tuple from its values.
-    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+    pub fn new(values: impl Into<Arc<[Value]>>) -> Self {
         Tuple {
             values: values.into(),
         }
@@ -129,6 +135,15 @@ mod tests {
         let t = cat_tuple(&[4, 5, 6]);
         let collected: Vec<Value> = t.iter().collect();
         assert_eq!(collected, t.values());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = int_tuple(&[1, 2, 3]);
+        let c = t.clone();
+        assert_eq!(t, c);
+        // Zero-clone materialization: both handles point at one buffer.
+        assert!(std::ptr::eq(t.values(), c.values()));
     }
 
     #[test]

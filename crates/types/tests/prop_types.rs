@@ -55,7 +55,7 @@ proptest! {
         let values: Vec<Value> = (0..arity)
             .map(|i| {
                 let h = seed.rotate_left((i * 13) as u32);
-                if h % 2 == 0 {
+                if h.is_multiple_of(2) {
                     Value::Int((h % 41) as i64 - 20)
                 } else {
                     Value::Cat((h % 8) as u32)

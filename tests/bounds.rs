@@ -84,7 +84,7 @@ fn slice_cover_d1_exact_u1() {
     let tuples: Vec<Tuple> = (0..58u32)
         .flat_map(|v| {
             let copies = 1 + (v as usize * 7) % 200; // ≤ 200 < k
-            std::iter::repeat(Tuple::new(vec![Value::Cat(v)])).take(copies)
+            std::iter::repeat_n(Tuple::new(vec![Value::Cat(v)]), copies)
         })
         .collect();
     let ds = Dataset::new("states", schema, tuples);
