@@ -1,0 +1,284 @@
+//! Crawl-trace replay benchmark + `BENCH_pr2.json` emitter.
+//!
+//! `BENCH_pr1.json` measures synthetic query *shapes*; this bench closes
+//! the ROADMAP's crawl-trace loop: it records the exact query stream —
+//! including the sibling-batch structure — of **real crawls** (Hybrid on
+//! the Yahoo and Adult stand-ins, rank-shrink on the Adult numeric
+//! projection), then replays that stream against a fresh server three
+//! ways on identical data and priorities:
+//!
+//! * **batch** — each recorded sibling batch through
+//!   `HiddenDatabase::query_batch` (the engine's joint planner: shared
+//!   candidate lists, shared block masks, in-batch dedup);
+//! * **per-query** — the same stream, one `query` call at a time (the
+//!   engine without batch sharing);
+//! * **legacy** — the same stream through the seed's row-at-a-time
+//!   `LegacyEvaluator`.
+//!
+//! Replay outcomes are cross-checked (total tuples and overflow counts
+//! must agree across all three), and the median queries/second of each
+//! mode lands in `BENCH_pr2.json` (override the path with `BENCH_OUT`;
+//! pass `--quick` for a smoke run). The recorded batch structure is the
+//! crawlers' real one: rank-shrink split probes arrive in 2–3-query
+//! batches, extended-DFS slice fetches and child expansions in windows
+//! (see `hdc_core`'s session layer), so `batch_vs_perquery` measures
+//! exactly what batching buys a real crawl.
+
+use std::time::Instant;
+
+use hdc_core::{Crawler, Hybrid, RankShrink};
+use hdc_data::{adult, ops, yahoo, Dataset};
+use hdc_server::{HiddenDbServer, LegacyEvaluator, ServerConfig};
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
+
+/// Forwards to the real server while recording the batch structure of
+/// every request: singletons as 1-element batches, `query_batch` calls
+/// verbatim.
+struct Tracing {
+    inner: HiddenDbServer,
+    batches: Vec<Vec<Query>>,
+}
+
+impl HiddenDatabase for Tracing {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        let out = self.inner.query(q)?;
+        self.batches.push(vec![q.clone()]);
+        Ok(out)
+    }
+
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        let outs = self.inner.query_batch(queries)?;
+        self.batches.push(queries.to_vec());
+        Ok(outs)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    ds: Dataset,
+    k: usize,
+    crawler: Box<dyn Crawler>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "hybrid_yahoo",
+            ds: yahoo::generate_scaled(30_000, 4),
+            k: 128,
+            crawler: Box::new(Hybrid::new()),
+        },
+        Workload {
+            name: "hybrid_adult",
+            ds: adult::generate(4),
+            k: 128,
+            crawler: Box::new(Hybrid::new()),
+        },
+        Workload {
+            name: "rank_shrink_adult_numeric",
+            ds: ops::sample_fraction(&adult::generate_numeric(4), 0.4, 4),
+            k: 64,
+            crawler: Box::new(RankShrink::new()),
+        },
+    ]
+}
+
+const SEED: u64 = 0x9e2;
+
+fn serve(ds: &Dataset, k: usize) -> HiddenDbServer {
+    HiddenDbServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig { k, seed: SEED })
+        .expect("generated datasets are schema-valid")
+}
+
+/// A replay's digest, for cross-checking the three modes against each
+/// other (the determinism contract end-to-end).
+#[derive(PartialEq, Eq, Debug)]
+struct Digest {
+    queries: u64,
+    tuples: u64,
+    overflows: u64,
+}
+
+fn replay_batch(server: &mut HiddenDbServer, batches: &[Vec<Query>]) -> Digest {
+    let mut d = Digest { queries: 0, tuples: 0, overflows: 0 };
+    for batch in batches {
+        for out in server.query_batch(batch).expect("recorded queries are valid") {
+            d.queries += 1;
+            d.tuples += out.tuples.len() as u64;
+            d.overflows += u64::from(out.overflow);
+        }
+    }
+    d
+}
+
+fn replay_per_query(server: &mut HiddenDbServer, batches: &[Vec<Query>]) -> Digest {
+    let mut d = Digest { queries: 0, tuples: 0, overflows: 0 };
+    for batch in batches {
+        for q in batch {
+            let out = server.query(q).expect("recorded queries are valid");
+            d.queries += 1;
+            d.tuples += out.tuples.len() as u64;
+            d.overflows += u64::from(out.overflow);
+        }
+    }
+    d
+}
+
+fn replay_legacy(legacy: &LegacyEvaluator, batches: &[Vec<Query>]) -> Digest {
+    let mut d = Digest { queries: 0, tuples: 0, overflows: 0 };
+    for batch in batches {
+        for q in batch {
+            let out = legacy.evaluate(q);
+            d.queries += 1;
+            d.tuples += out.tuples.len() as u64;
+            d.overflows += u64::from(out.overflow);
+        }
+    }
+    d
+}
+
+/// Median of a sample vector of seconds.
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Times one execution of `f` in seconds.
+fn time_one(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    workload: &'static str,
+    n: usize,
+    k: usize,
+    queries: u64,
+    batches: usize,
+    multi_batches: usize,
+    batch_qps: f64,
+    perquery_qps: f64,
+    legacy_qps: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 3 } else { 11 };
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
+
+    let mut results: Vec<Row> = Vec::new();
+    for w in workloads() {
+        eprintln!("recording {} (n = {}, k = {}) ...", w.name, w.ds.n(), w.k);
+        let mut traced = Tracing { inner: serve(&w.ds, w.k), batches: Vec::new() };
+        w.crawler
+            .crawl(&mut traced)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", w.crawler.name(), w.ds.name));
+        let batches = traced.batches;
+        let queries: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        let multi = batches.iter().filter(|b| b.len() >= 2).count();
+        eprintln!(
+            "  trace: {queries} queries in {} calls ({multi} multi-query batches)",
+            batches.len()
+        );
+
+        // Cross-check once: the three replay modes must agree.
+        let mut check_server = serve(&w.ds, w.k);
+        let legacy = check_server.legacy_evaluator();
+        let want = replay_batch(&mut check_server, &batches);
+        eprintln!("  batch-mode stats: {}", check_server.stats());
+        check_server.reset_stats();
+        assert_eq!(want, replay_per_query(&mut check_server, &batches), "{}", w.name);
+        assert_eq!(want, replay_legacy(&legacy, &batches), "{}", w.name);
+
+        // Interleave the three modes' samples (after a shared warmup)
+        // so clock drift and cache-state trends hit them all equally.
+        let mut server = serve(&w.ds, w.k);
+        replay_batch(&mut server, &batches);
+        replay_per_query(&mut server, &batches);
+        replay_legacy(&legacy, &batches);
+        let (mut bt, mut pt, mut lt) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..samples {
+            bt.push(time_one(|| {
+                replay_batch(&mut server, &batches);
+            }));
+            pt.push(time_one(|| {
+                replay_per_query(&mut server, &batches);
+            }));
+            lt.push(time_one(|| {
+                replay_legacy(&legacy, &batches);
+            }));
+        }
+        let batch_secs = median(bt);
+        let perquery_secs = median(pt);
+        let legacy_secs = median(lt);
+
+        let row = Row {
+            workload: w.name,
+            n: w.ds.n(),
+            k: w.k,
+            queries,
+            batches: batches.len(),
+            multi_batches: multi,
+            batch_qps: queries as f64 / batch_secs,
+            perquery_qps: queries as f64 / perquery_secs,
+            legacy_qps: queries as f64 / legacy_secs,
+        };
+        eprintln!(
+            "  batch {:>10.0} q/s   per-query {:>10.0} q/s   legacy {:>10.0} q/s   \
+             batch/per-query {:.3}x   batch/legacy {:.2}x",
+            row.batch_qps,
+            row.perquery_qps,
+            row.legacy_qps,
+            row.batch_qps / row.perquery_qps,
+            row.batch_qps / row.legacy_qps
+        );
+        results.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str(
+        "  \"description\": \"median queries/sec replaying recorded real-crawl query streams \
+         (sibling-batch structure preserved) through query_batch vs per-query engine vs seed \
+         LegacyEvaluator, identical data and priorities\",\n",
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"k\": {}, \"queries\": {}, \
+             \"calls\": {}, \"multi_query_batches\": {}, \"batch_qps\": {:.1}, \
+             \"perquery_qps\": {:.1}, \"legacy_qps\": {:.1}, \"batch_vs_perquery\": {:.3}, \
+             \"batch_vs_legacy\": {:.3}}}{}\n",
+            r.workload,
+            r.n,
+            r.k,
+            r.queries,
+            r.batches,
+            r.multi_batches,
+            r.batch_qps,
+            r.perquery_qps,
+            r.legacy_qps,
+            r.batch_qps / r.perquery_qps,
+            r.batch_qps / r.legacy_qps,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+}

@@ -12,7 +12,7 @@ use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, Schema};
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session};
+use crate::session::{run_crawl, Abort, Session, MAX_BATCH};
 
 /// The DFS baseline crawler for purely categorical schemas.
 #[derive(Default)]
@@ -40,21 +40,42 @@ impl<'o> Dfs<'o> {
             AttrKind::Categorical { size } => size,
             AttrKind::Numeric { .. } => unreachable!("DFS requires a categorical schema"),
         };
-        // (query, level): the first `level` attributes are fixed.
-        let mut stack: Vec<(Query, usize)> = vec![(Query::any(d), 0)];
+        // The stack holds only nodes already observed to overflow; when a
+        // node expands, its children are issued in sibling batches (the
+        // server shares planning and per-predicate work across a batch),
+        // windowed to [`MAX_BATCH`] so a mid-crawl failure forfeits at
+        // most one window. Resolved children are reported at expansion;
+        // the visited tree — and with it the query cost — is exactly the
+        // sequential DFS's.
+        let root = Query::any(d);
+        let out = session.run(&root)?;
+        if out.is_resolved() {
+            session.report(out.tuples);
+            return Ok(());
+        }
+        let mut stack: Vec<(Query, usize)> = vec![(root, 0)];
         while let Some((q, level)) = stack.pop() {
-            let out = session.run(&q)?;
-            if out.is_resolved() {
-                session.report(out.tuples);
-                continue;
+            debug_assert!(level < d, "only expandable nodes are stacked");
+            let children: Vec<Query> = (0..domain(level))
+                .map(|c| q.with_pred(level, Predicate::Eq(c)))
+                .collect();
+            let mut to_expand: Vec<(Query, usize)> = Vec::new();
+            for window in children.chunks(MAX_BATCH) {
+                let outs = session.run_batch(window)?;
+                for (cq, co) in window.iter().zip(outs) {
+                    if co.is_resolved() {
+                        session.report(co.tuples);
+                    } else if level + 1 == d {
+                        // A fully fixed point overflowed: >k duplicates.
+                        return Err(Abort::Unsolvable(cq.clone()));
+                    } else {
+                        to_expand.push((cq.clone(), level + 1));
+                    }
+                }
             }
-            if level == d {
-                // A fully fixed point overflowed: more than k duplicates.
-                return Err(Abort::Unsolvable(q));
-            }
-            // Push children in reverse so value 0 is explored first.
-            for c in (0..domain(level)).rev() {
-                stack.push((q.with_pred(level, Predicate::Eq(c)), level + 1));
+            // Push in reverse so value 0's subtree is explored first.
+            for task in to_expand.into_iter().rev() {
+                stack.push(task);
             }
         }
         Ok(())

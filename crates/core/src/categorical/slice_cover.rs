@@ -25,7 +25,7 @@ use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::numeric::rank_shrink::RankShrink;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session};
+use crate::session::{run_crawl, Abort, Session, MAX_BATCH};
 
 /// A recorded slice-query response.
 ///
@@ -98,31 +98,55 @@ impl SliceTable {
         pos: usize,
         value: u32,
     ) -> Result<&SliceResult, Abort> {
-        let slot = value as usize;
-        if self.entries[pos][slot].is_none() {
-            let q = self.slice_query(pos, value);
-            let out = session.run(&q)?;
-            session.metrics().slice_fetches += 1;
-            if out.overflow {
-                session.metrics().slice_overflows += 1;
+        self.fetch_many(session, pos, std::slice::from_ref(&value))?;
+        Ok(self.entries[pos][value as usize]
+            .as_ref()
+            .expect("just filled"))
+    }
+
+    /// Fetches the missing slices among `values` at tree level `pos` as a
+    /// single batch (sibling slice queries share the server's batch
+    /// planning). Already-recorded slices are skipped, so this composes
+    /// with both the eager and the lazy variant; the queries issued are
+    /// exactly the per-value [`SliceTable::fetch`] misses.
+    pub(crate) fn fetch_many(
+        &mut self,
+        session: &mut Session<'_>,
+        pos: usize,
+        values: &[u32],
+    ) -> Result<(), Abort> {
+        let missing: Vec<u32> = values
+            .iter()
+            .copied()
+            .filter(|&v| self.entries[pos][v as usize].is_none())
+            .collect();
+        // Windowed so a wide domain (eager preprocessing fetches whole
+        // levels) never rides one unbounded all-or-nothing batch.
+        for window in missing.chunks(MAX_BATCH) {
+            let queries: Vec<Query> = window.iter().map(|&v| self.slice_query(pos, v)).collect();
+            let outs = session.run_batch(&queries)?;
+            for (&v, out) in window.iter().zip(outs) {
+                session.metrics().slice_fetches += 1;
+                if out.overflow {
+                    session.metrics().slice_overflows += 1;
+                }
+                let entry = if out.overflow {
+                    SliceResult::Overflowed
+                } else {
+                    SliceResult::Resolved(out.tuples)
+                };
+                self.entries[pos][v as usize] = Some(entry);
             }
-            let entry = if out.overflow {
-                SliceResult::Overflowed
-            } else {
-                SliceResult::Resolved(out.tuples)
-            };
-            self.entries[pos][slot] = Some(entry);
         }
-        Ok(self.entries[pos][slot].as_ref().expect("just filled"))
+        Ok(())
     }
 
     /// The eager preprocessing phase: issues every slice query of every
-    /// categorical attribute (`Σ Ui` queries).
+    /// categorical attribute (`Σ Ui` queries), one batch per attribute.
     pub(crate) fn prefetch_all(&mut self, session: &mut Session<'_>) -> Result<(), Abort> {
         for pos in 0..self.levels() {
-            for value in 0..self.domain_size(pos) {
-                self.fetch(session, pos, value)?;
-            }
+            let values: Vec<u32> = (0..self.domain_size(pos)).collect();
+            self.fetch_many(session, pos, &values)?;
         }
         Ok(())
     }
@@ -154,6 +178,13 @@ pub(crate) enum LeafMode<'a> {
 ///   paper's Figure 5/6 walk-through issues no extended-DFS query at all);
 /// * a level-1 child whose query *is* an overflowed slice query inherits
 ///   the overflow bit instead of being re-issued.
+///
+/// Sibling queries are issued in batches — the lazy slice fetches under
+/// one node, the point queries of its leaf children, and the node queries
+/// of its internal children each go to the server as one
+/// `query_batch` call. The set of issued queries (and hence the cost) is
+/// exactly the sequential algorithm's; batching only lets the server
+/// share planning and per-predicate work across siblings.
 pub(crate) fn extended_dfs(
     session: &mut Session<'_>,
     table: &mut SliceTable,
@@ -177,73 +208,106 @@ pub(crate) fn extended_dfs_filtered(
         levels > 0,
         "extended-DFS needs at least one categorical attribute"
     );
-    // (query, level, issue): `issue = false` means the query is already
-    // known to overflow (root, or a slice query whose bit is recorded).
-    let mut stack: Vec<(Query, usize, bool)> = vec![(Query::any(table.arity), 0, false)];
-    while let Some((q, level, issue)) = stack.pop() {
-        if issue {
-            let out = session.run(&q)?;
-            if out.is_resolved() {
-                session.report(out.tuples);
-                continue;
-            }
-            // Overflow: the k returned tuples are discarded; the children
-            // below cover the node's subspace exactly once.
-        }
+    // Every stacked node is known to overflow (the root by convention —
+    // it is never issued — and every other entry was observed to
+    // overflow when its parent expanded).
+    let mut stack: Vec<(Query, usize)> = vec![(Query::any(table.arity), 0)];
+    while let Some((q, level)) = stack.pop() {
         debug_assert!(level < levels, "leaves are handled inline, never stacked");
         let attr = table.attr(level);
         let child_level = level + 1;
+        let values: Vec<u32> = (0..table.domain_size(level))
+            .filter(|&value| {
+                level != 0 || root_values.is_none_or(|filter| filter.contains(&value))
+            })
+            .collect();
+        let mut point_leaves: Vec<Query> = Vec::new();
         let mut to_recurse: Vec<(Query, usize, bool)> = Vec::new();
-        for value in 0..table.domain_size(level) {
-            if level == 0 {
-                if let Some(filter) = root_values {
-                    if !filter.contains(&value) {
-                        continue;
+        // The node's missing sibling slices go to the server in
+        // MAX_BATCH-sized windows; each window's local answers are
+        // reported before the next is fetched (progressiveness on
+        // failure: at most one window's outcomes are ever forfeited).
+        for window in values.chunks(MAX_BATCH) {
+            table.fetch_many(session, level, window)?;
+            for &value in window {
+                let child_q = q.with_pred(attr, Predicate::Eq(value));
+                match table.fetch(session, level, value)? {
+                    SliceResult::Resolved(tuples) => {
+                        // The slice holds every tuple with A_attr = value;
+                        // the child's result is its subset matching the
+                        // prefix.
+                        let matched: Vec<Tuple> = tuples
+                            .iter()
+                            .filter(|t| child_q.matches(t))
+                            .cloned()
+                            .collect();
+                        session.metrics().local_answers += 1;
+                        session.report(matched);
                     }
-                }
-            }
-            let child_q = q.with_pred(attr, Predicate::Eq(value));
-            match table.fetch(session, level, value)? {
-                SliceResult::Resolved(tuples) => {
-                    // The slice holds every tuple with A_attr = value; the
-                    // child's result is its subset matching the prefix.
-                    let matched: Vec<Tuple> = tuples
-                        .iter()
-                        .filter(|t| child_q.matches(t))
-                        .cloned()
-                        .collect();
-                    session.metrics().local_answers += 1;
-                    session.report(matched);
-                }
-                SliceResult::Overflowed => {
-                    let is_slice = child_q.constrained_count() == 1;
-                    if child_level == levels {
-                        match leaf {
-                            LeafMode::Point => {
-                                if is_slice {
-                                    // d = 1: the slice *is* the point query
-                                    // and it overflowed — >k duplicates.
-                                    return Err(Abort::Unsolvable(child_q));
+                    SliceResult::Overflowed => {
+                        let is_slice = child_q.constrained_count() == 1;
+                        if child_level == levels {
+                            match leaf {
+                                LeafMode::Point => {
+                                    if is_slice {
+                                        // d = 1: the slice *is* the point
+                                        // query and it overflowed — >k
+                                        // duplicates.
+                                        return Err(Abort::Unsolvable(child_q));
+                                    }
+                                    point_leaves.push(child_q);
                                 }
-                                let out = session.run(&child_q)?;
-                                if out.overflow {
-                                    return Err(Abort::Unsolvable(child_q));
+                                LeafMode::Numeric { rank, dims } => {
+                                    session.metrics().leaf_subcrawls += 1;
+                                    rank.run_subspace(session, child_q, dims)?;
                                 }
-                                session.report(out.tuples);
                             }
-                            LeafMode::Numeric { rank, dims } => {
-                                session.metrics().leaf_subcrawls += 1;
-                                rank.run_subspace(session, child_q, dims)?;
-                            }
+                        } else {
+                            to_recurse.push((child_q, child_level, !is_slice));
                         }
-                    } else {
-                        to_recurse.push((child_q, child_level, !is_slice));
                     }
                 }
             }
         }
+        // Sibling point queries in windowed batches; each must resolve.
+        for window in point_leaves.chunks(MAX_BATCH) {
+            let outs = session.run_batch(window)?;
+            for (pq, out) in window.iter().zip(outs) {
+                if out.overflow {
+                    return Err(Abort::Unsolvable(pq.clone()));
+                }
+                session.report(out.tuples);
+            }
+        }
+        // Sibling internal nodes that need issuing (non-slice queries —
+        // slice children inherit their recorded overflow bit) are also
+        // batched per window: resolved children are answered at
+        // expansion, overflowing ones are stacked for their own
+        // expansion.
+        let mut pushes: Vec<(Query, usize)> = Vec::new();
+        for window in to_recurse.chunks(MAX_BATCH) {
+            let issue_qs: Vec<Query> = window
+                .iter()
+                .filter(|&&(_, _, issue)| issue)
+                .map(|(cq, _, _)| cq.clone())
+                .collect();
+            let mut outs = session.run_batch(&issue_qs)?.into_iter();
+            for (cq, lvl, issue) in window {
+                if *issue {
+                    let out = outs.next().expect("one outcome per issued child");
+                    if out.is_resolved() {
+                        session.report(out.tuples);
+                        continue;
+                    }
+                    // Overflow: the k returned tuples are discarded; the
+                    // children below cover the node's subspace exactly
+                    // once.
+                }
+                pushes.push((cq.clone(), *lvl));
+            }
+        }
         // Depth-first order: first child's subtree explored first.
-        for task in to_recurse.into_iter().rev() {
+        for task in pushes.into_iter().rev() {
             stack.push(task);
         }
     }

@@ -6,7 +6,7 @@
 //! rectangles become small), which is exactly the weakness rank-shrink
 //! removes; the Figure 10 experiments quantify the gap.
 
-use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, Schema};
+use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, QueryOutcome, Schema};
 
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
@@ -56,10 +56,14 @@ impl<'o> BinaryShrink<'o> {
     fn run(&self, session: &mut Session<'_>, schema: &Schema) -> Result<(), Abort> {
         let d = schema.arity();
         // Depth-first: process the left rectangle before the right so the
-        // output is produced progressively in attribute order.
-        let mut stack: Vec<Query> = vec![Self::initial_query(schema)];
-        while let Some(q) = stack.pop() {
-            let out = session.run(&q)?;
+        // output is produced progressively in attribute order. The two
+        // halves of each split are issued as one batch (they share every
+        // predicate except the split attribute, which the server's batch
+        // planner exploits); the visited rectangles are unchanged.
+        let root = Self::initial_query(schema);
+        let out = session.run(&root)?;
+        let mut stack: Vec<(Query, QueryOutcome)> = vec![(root, out)];
+        while let Some((q, out)) = stack.pop() {
             if out.is_resolved() {
                 session.report(out.tuples);
                 continue;
@@ -74,8 +78,14 @@ impl<'o> BinaryShrink<'o> {
             let x = midpoint_ceil(lo, hi);
             session.metrics().two_way_splits += 1;
             let (left, right) = split2(&q, a, x);
-            stack.push(right);
-            stack.push(left);
+            let halves = [left, right];
+            let outs = session.run_batch(&halves)?;
+            let [left, right] = halves;
+            let mut outs = outs.into_iter();
+            let left_out = outs.next().expect("one outcome per half");
+            let right_out = outs.next().expect("one outcome per half");
+            stack.push((right, right_out));
+            stack.push((left, left_out));
         }
         Ok(())
     }

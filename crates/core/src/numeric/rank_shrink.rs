@@ -14,7 +14,7 @@
 //! inside the numeric subspace `D_NUM(p_CAT)` with the categorical
 //! attributes pinned by the base query (§5).
 
-use hdc_types::{HiddenDatabase, Query, Schema};
+use hdc_types::{HiddenDatabase, Query, QueryOutcome, Schema};
 
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
@@ -96,11 +96,17 @@ impl<'o> RankShrink<'o> {
         root: Query,
         dims: &[usize],
     ) -> Result<(), Abort> {
-        // (query, position in `dims` from which splitting continues);
-        // attributes before that position are exhausted.
-        let mut stack: Vec<(Query, usize)> = vec![(root, 0)];
-        while let Some((q, mut di)) = stack.pop() {
-            let out = session.run(&q)?;
+        // (query, outcome, position in `dims` from which splitting
+        // continues); attributes before that position are exhausted. The
+        // rectangles of one split are issued as a single batch — they
+        // share every predicate except the split attribute, which the
+        // server's batch planner exploits — while the recursion tree, and
+        // with it the query cost, stays exactly the sequential one.
+        let out = session.run(&root)?;
+        let mut stack: Vec<(Query, QueryOutcome, usize)> = vec![(root, out, 0)];
+        let mut child_qs: Vec<Query> = Vec::with_capacity(3);
+        let mut child_dis: Vec<usize> = Vec::with_capacity(3);
+        while let Some((q, out, mut di)) = stack.pop() {
             if out.is_resolved() {
                 session.report(out.tuples);
                 continue;
@@ -124,26 +130,38 @@ impl<'o> RankShrink<'o> {
 
             let (lo, _hi) = extent(&q, a);
             let heavy = c as f64 > self.heavy_frac * vals.len() as f64;
+            child_qs.clear();
+            child_dis.clear();
             if !heavy && x > lo {
                 // Case 1: 2-way split at x; each side keeps ≥ k/4 of the
                 // returned tuples, so both children make progress.
                 session.metrics().two_way_splits += 1;
                 let (left, right) = split2(&q, a, x);
-                stack.push((right, di));
-                stack.push((left, di));
+                child_qs.push(left);
+                child_dis.push(di);
+                child_qs.push(right);
+                child_dis.push(di);
             } else {
                 // Case 2 (or boundary fallback): 3-way split; the middle
                 // rectangle exhausts attribute a and continues as a
                 // (d−1)-dimensional problem.
                 session.metrics().three_way_splits += 1;
                 let (left, mid, right) = split3(&q, a, x);
-                if let Some(r) = right {
-                    stack.push((r, di));
-                }
-                stack.push((mid, di + 1));
                 if let Some(l) = left {
-                    stack.push((l, di));
+                    child_qs.push(l);
+                    child_dis.push(di);
                 }
+                child_qs.push(mid);
+                child_dis.push(di + 1);
+                if let Some(r) = right {
+                    child_qs.push(r);
+                    child_dis.push(di);
+                }
+            }
+            let outs = session.run_batch(&child_qs)?;
+            // Push in reverse so the leftmost rectangle is explored first.
+            for ((cq, co), &cdi) in child_qs.drain(..).zip(outs).zip(&child_dis).rev() {
+                stack.push((cq, co, cdi));
             }
         }
         Ok(())

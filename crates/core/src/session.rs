@@ -13,6 +13,21 @@ pub(crate) enum Abort {
     Unsolvable(Query),
 }
 
+/// The batch window algorithms should use when they have many siblings
+/// to issue: batches this size still give the server's joint planner
+/// plenty to share, while bounding what one failed [`Session::run_batch`]
+/// call can lose.
+///
+/// `run_batch` is all-or-nothing: a database failure mid-call discards
+/// the call's already-answered outcomes (only their *cost* is kept). An
+/// algorithm that batched a whole level's siblings in one call could
+/// therefore die with nothing to show for a day's quota — the
+/// progressiveness the paper's Figure 13 cares about. Issuers instead
+/// iterate sibling lists in windows of this size, reporting extracted
+/// tuples between windows, so a failure forfeits at most one window's
+/// outcomes. Split probes (2–3 queries) are naturally below the window.
+pub(crate) const MAX_BATCH: usize = 16;
+
 /// A single crawl in flight.
 ///
 /// All algorithms drive the database exclusively through a session, which
@@ -83,6 +98,91 @@ impl<'a> Session<'a> {
         }
         self.push_progress();
         Ok(out)
+    }
+
+    /// Issues a batch of sibling queries in one round trip, returning one
+    /// outcome per query in input order.
+    ///
+    /// Semantically this is `queries.iter().map(|q| self.run(q))` — same
+    /// outcomes, same per-query accounting — but the whole batch reaches
+    /// the database through [`HiddenDatabase::query_batch`], so a server
+    /// with a native batch path (the `hdc-server` engine) can plan the
+    /// queries jointly and share per-predicate work. Oracle-pruned
+    /// queries are answered locally (and tallied as `pruned`) without
+    /// being forwarded, exactly as in [`Session::run`].
+    ///
+    /// On a database error mid-batch the successful prefix's outcomes are
+    /// lost (the batch aborts the crawl anyway), but the *cost* stays
+    /// exact: the queries the database reports as charged are added to
+    /// the session's count, so partial reports still reflect every
+    /// charged query. Callers with many siblings should issue them in
+    /// [`MAX_BATCH`]-sized windows, reporting between windows, so a
+    /// failure forfeits at most one window's outcomes.
+    pub(crate) fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
+        match queries {
+            [] => return Ok(Vec::new()),
+            [q] => return Ok(vec![self.run(q)?]),
+            _ => {}
+        }
+        let Some(oracle) = self.oracle else {
+            return self.issue_batch(queries);
+        };
+        if queries.iter().all(|q| oracle.may_match(q)) {
+            // Nothing pruned (the common case): forward the batch as-is
+            // instead of cloning every query into a filtered list.
+            return self.issue_batch(queries);
+        }
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        let mut forward: Vec<Query> = Vec::with_capacity(queries.len());
+        let mut forward_pos: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            if oracle.may_match(q) {
+                forward_pos.push(i);
+                forward.push(q.clone());
+            } else {
+                // Provably empty: answered locally, free of charge.
+                self.pruned += 1;
+                outcomes[i] = Some(QueryOutcome::resolved(Vec::new()));
+            }
+        }
+        for (out, i) in self.issue_batch(&forward)?.into_iter().zip(forward_pos) {
+            outcomes[i] = Some(out);
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every query answered locally or by the batch"))
+            .collect())
+    }
+
+    /// One `query_batch` round trip with per-query accounting.
+    fn issue_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let before = self.db.queries_issued();
+        match self.db.query_batch(queries) {
+            Ok(outs) => {
+                for out in &outs {
+                    self.queries += 1;
+                    if out.overflow {
+                        self.overflowed += 1;
+                    } else {
+                        self.resolved += 1;
+                    }
+                    self.push_progress();
+                }
+                Ok(outs)
+            }
+            Err(error) => {
+                // Databases without a native batch path (the trait's
+                // default loop, budget decorators) charge the successful
+                // prefix before failing; count exactly what was charged
+                // so the partial report's cost stays truthful.
+                self.queries += self.db.queries_issued().saturating_sub(before);
+                self.push_progress();
+                Err(Abort::Db(error))
+            }
+        }
     }
 
     /// Registers extracted tuples (from a resolved query or a local
@@ -263,6 +363,76 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn run_batch_accounts_per_query() {
+        let mut db = fake(None);
+        let report = run_crawl("t", &mut db, None, |s| {
+            let qs = vec![Query::any(1); 3];
+            let outs = s.run_batch(&qs)?;
+            assert_eq!(outs.len(), 3);
+            for out in outs {
+                s.report(out.tuples);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 3);
+        assert_eq!(report.resolved, 3);
+        assert_eq!(report.tuples.len(), 3);
+    }
+
+    #[test]
+    fn run_batch_counts_charged_prefix_on_failure() {
+        // Budget of 2: the third query of the batch fails, but the two
+        // charged queries must appear in the partial report's cost.
+        let mut db = fake(Some(2));
+        let err = run_crawl("t", &mut db, None, |s| {
+            s.run_batch(&vec![Query::any(1); 5])?;
+            Ok(())
+        })
+        .unwrap_err();
+        match &err {
+            CrawlError::Db { error, partial } => {
+                assert!(matches!(error, DbError::BudgetExhausted { .. }));
+                assert_eq!(partial.queries, 2, "exactly the charged prefix");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    struct EvenOracle;
+    impl ValidityOracle for EvenOracle {
+        fn may_match(&self, q: &Query) -> bool {
+            // Prune ranges that start at an odd value.
+            match q.preds()[0] {
+                Predicate::Range { lo, .. } => lo % 2 == 0,
+                _ => true,
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_prunes_through_the_oracle() {
+        let mut db = fake(None);
+        let oracle = EvenOracle;
+        let report = run_crawl("t", &mut db, Some(&oracle), |s| {
+            let qs: Vec<Query> = (0..4)
+                .map(|lo| Query::new(vec![Predicate::Range { lo, hi: 9 }]))
+                .collect();
+            let outs = s.run_batch(&qs)?;
+            assert_eq!(outs.len(), 4);
+            // Pruned queries answered locally as empty-resolved, in place.
+            assert!(outs[1].is_empty() && outs[1].is_resolved());
+            assert!(outs[3].is_empty() && outs[3].is_resolved());
+            assert!(!outs[0].is_empty());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 2, "only unpruned queries reach the db");
+        assert_eq!(report.pruned, 2);
+        assert_eq!(db.issued, 2);
     }
 
     struct NeverOracle;

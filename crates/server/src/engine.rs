@@ -33,13 +33,41 @@
 //! lower attribute index, so plans are deterministic. The chosen strategy
 //! is recorded in [`ServerStats`].
 //!
-//! All three executors are property-tested bit-identical to the seed's
+//! # Batch evaluation
+//!
+//! Crawl algorithms issue *bursts* of sibling queries — the slice fetches
+//! under one extended-DFS node, the two or three probes of a rank-shrink
+//! split — and those siblings share structure: a common predicate prefix,
+//! sometimes the whole query. [`Engine::evaluate_batch`] exploits this by
+//! planning a batch jointly and sharing work across its members:
+//!
+//! * **duplicate queries** inside one batch are evaluated once and the
+//!   outcome copied (an `Arc` bump per tuple);
+//! * **shared candidate lists** — when two or more queries drive the same
+//!   range predicate, its row-sorted candidate list is materialized once
+//!   and reused by every probe/intersection that needs it;
+//! * **shared block masks** — dense-conjunction queries that share a
+//!   predicate are answered by a *joint* bitset-block walk over the
+//!   table: per 4096-row block, each distinct predicate's 64-row masks
+//!   are built once and ANDed into every member query's result mask.
+//!
+//! Batch decisions are recorded in [`ServerStats`] (`batches`,
+//! `batch_dedup`, `batch_shared_lists`, `batch_joint_queries`).
+//!
+//! The batch path is a performance hint, never a semantic one:
+//! `evaluate_batch(qs)[i]` is bit-identical to evaluating `qs[i]` alone
+//! (enforced by `tests/engine_prop.rs` against the per-query path, the
+//! seed evaluator, and a brute-force oracle). Empty batches return no
+//! outcomes and singleton batches delegate to the single-query path, so
+//! batching can never cost more than the loop it replaces.
+//!
+//! All executors are property-tested bit-identical to the seed's
 //! row-at-a-time evaluator ([`crate::LegacyEvaluator`]) and to a
 //! brute-force oracle (`tests/engine_prop.rs`), which preserves the
 //! paper's determinism contract: repeating a query returns the same
 //! outcome, whatever plan answered it.
 
-use hdc_types::{Query, QueryOutcome, Schema, Tuple};
+use hdc_types::{Predicate, Query, QueryOutcome, Schema, Tuple};
 
 use crate::index::ColumnIndex;
 use crate::stats::ServerStats;
@@ -112,6 +140,127 @@ struct Scratch {
     pool: Vec<Vec<u32>>,
     /// Per-list cursors for galloping intersection.
     cursors: Vec<usize>,
+    /// Per-batch state (reused across batches).
+    batch: BatchScratch,
+}
+
+/// Reusable per-batch buffers, one entry per batch member where indexed.
+/// Inner vectors keep their capacity across batches, so steady-state
+/// batch evaluation allocates about as much as the per-query loop.
+#[derive(Default, Debug)]
+struct BatchScratch {
+    /// Plan kind per query.
+    kinds: Vec<PlanKind>,
+    /// Index of the first identical query, or `u32::MAX` if unique.
+    dup_of: Vec<u32>,
+    /// Cheap structural hash per query (duplicate pre-filter).
+    qhash: Vec<u64>,
+    /// Compiled predicates per unique query (stale for duplicates).
+    preds: Vec<Vec<PredInfo>>,
+    /// Matched row ids per unique query.
+    matched: Vec<Vec<u32>>,
+    /// Overflow flag per unique query.
+    overflow: Vec<bool>,
+    /// Whether the query is answered by a group walk (joint block scan
+    /// or grouped probe) rather than the solo executors.
+    in_group: Vec<bool>,
+    /// Joint-walk mask cache (one `BLOCK_WORDS` stripe per distinct
+    /// predicate), reused across batches.
+    masks: Vec<u64>,
+    /// Joint-walk per-block "mask built" flags, reused across batches.
+    built: Vec<bool>,
+}
+
+impl BatchScratch {
+    /// Prepares the buffers for a batch of `m` queries.
+    fn reset(&mut self, m: usize) {
+        self.kinds.clear();
+        self.dup_of.clear();
+        self.qhash.clear();
+        if self.preds.len() < m {
+            self.preds.resize_with(m, Vec::new);
+        }
+        if self.matched.len() < m {
+            self.matched.resize_with(m, Vec::new);
+        }
+        self.overflow.clear();
+        self.overflow.resize(m, false);
+        self.in_group.clear();
+        self.in_group.resize(m, false);
+    }
+}
+
+/// A cheap FNV-style structural hash of a query, used only as a
+/// duplicate pre-filter inside a batch (candidates are verified by full
+/// equality, so collisions cost a comparison, never correctness).
+fn query_key(q: &Query) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+    for p in q.preds() {
+        match *p {
+            Predicate::Any => mix(1),
+            Predicate::Eq(v) => {
+                mix(2);
+                mix(u64::from(v));
+            }
+            Predicate::Range { lo, hi } => {
+                mix(3);
+                mix(lo as u64);
+                mix(hi as u64);
+            }
+        }
+    }
+    h
+}
+
+/// A range predicate driving two or more of a batch's candidate lists:
+/// the row-sorted list is materialized once and shared.
+#[derive(Debug)]
+struct SharedRangeList {
+    attr: usize,
+    lo: i64,
+    hi: i64,
+    uses: u32,
+    /// Row-sorted candidate ids, built lazily at first use.
+    list: Vec<u32>,
+    built: bool,
+}
+
+/// One member of the joint bitset-block walk.
+#[derive(Debug)]
+struct JointTask {
+    /// Position of this query in the batch.
+    slot: usize,
+    /// Indices into the walk's distinct-predicate table, in ascending
+    /// selectivity order (so the most selective mask is ANDed first).
+    pred_ids: Vec<usize>,
+    /// Matched row ids (taken from, and returned to, the batch scratch).
+    matched: Vec<u32>,
+    overflow: bool,
+    done: bool,
+}
+
+/// One member of a grouped probe: a query whose driver predicate (and at
+/// least one residual) is shared with other members, leaving only
+/// `extra` to check per candidate.
+#[derive(Debug)]
+struct ProbeTask {
+    /// Position of this query in the batch.
+    slot: usize,
+    /// The member's residuals that are *not* shared by the whole group.
+    extra: Vec<PredInfo>,
+    /// Matched row ids (taken from, and returned to, the batch scratch).
+    matched: Vec<u32>,
+    overflow: bool,
+    done: bool,
+}
+
+/// Probe-planned batch queries sharing the same driving predicate.
+#[derive(Debug)]
+struct ProbeGroup {
+    attr: usize,
+    pred: CompiledPred,
+    members: Vec<usize>,
 }
 
 /// The engine: SoA column store + per-column indexes + scratch space.
@@ -153,14 +302,7 @@ impl Engine {
             scratch,
         } = self;
         let kind = plan_into(store, index, q, &mut scratch.preds);
-        let strategy = match kind {
-            // Empty results are settled by index lookups alone; account
-            // them to the probe path.
-            PlanKind::EmptyResult | PlanKind::Probe => Strategy::Probe,
-            PlanKind::Scan => Strategy::Scan,
-            PlanKind::Intersect => Strategy::Intersect,
-        };
-        stats.record_plan(strategy);
+        stats.record_plan(strategy_of(kind));
         let overflow = match kind {
             PlanKind::EmptyResult => {
                 scratch.matched.clear();
@@ -183,9 +325,339 @@ impl Engine {
                 &mut scratch.matched,
                 &mut scratch.pool,
                 &mut scratch.cursors,
+                None,
             ),
         };
         materialize(rows, &scratch.matched, overflow)
+    }
+
+    /// Evaluates a whole batch in one pass, sharing planning, candidate
+    /// lists, and block masks between queries (see the module docs).
+    /// Outcome `i` is bit-identical to evaluating `queries[i]` alone.
+    pub(crate) fn evaluate_batch(
+        &mut self,
+        rows: &[Tuple],
+        k: usize,
+        queries: &[Query],
+        stats: &mut ServerStats,
+    ) -> Vec<QueryOutcome> {
+        match queries {
+            [] => return Vec::new(),
+            [q] => return vec![self.evaluate(rows, k, q, stats)],
+            _ => {}
+        }
+        stats.record_batch(queries.len());
+        let Engine {
+            store,
+            index,
+            scratch,
+        } = self;
+        let Scratch { ids, pool, cursors, batch: b, .. } = scratch;
+        let n = store.n();
+        let m = queries.len();
+        b.reset(m);
+
+        // Joint planning: compile each query once; duplicates borrow the
+        // first occurrence's plan and, later, its outcome. Dedup runs
+        // only over multi-predicate queries — sibling single-predicate
+        // streams (slice fetches) are distinct by construction, and
+        // skipping them keeps the batch path overhead-free where there
+        // is nothing to share. Detection is a cheap-hash pre-filter plus
+        // a full equality check over a capped window (sibling duplicates
+        // sit close together; a missed distant duplicate just
+        // evaluates — dedup is an optimization, never a semantic).
+        for (i, q) in queries.iter().enumerate() {
+            let multi = q.preds().iter().filter(|p| p.is_constraining()).count() >= 2;
+            let mut dup = u32::MAX;
+            let mut h = 0;
+            if multi {
+                h = query_key(q);
+                if let Some(j) = (i.saturating_sub(64)..i).find(|&j| {
+                    b.qhash[j] == h && b.dup_of[j] == u32::MAX && &queries[j] == q
+                }) {
+                    dup = j as u32;
+                }
+            }
+            b.qhash.push(h);
+            if dup != u32::MAX {
+                b.dup_of.push(dup);
+                b.kinds.push(b.kinds[dup as usize]);
+                stats.batch_dedup += 1;
+            } else {
+                b.dup_of.push(u32::MAX);
+                b.kinds.push(plan_into(store, index, q, &mut b.preds[i]));
+            }
+            stats.record_plan(strategy_of(b.kinds[i]));
+        }
+
+        // Census 1: range predicates that drive more than one candidate
+        // list are materialized once and shared.
+        let mut ranges: Vec<SharedRangeList> = Vec::new();
+        for i in 0..m {
+            if b.dup_of[i] != u32::MAX {
+                continue;
+            }
+            let preds = &b.preds[i];
+            let materializes = match b.kinds[i] {
+                PlanKind::Probe => true,
+                // Sparse intersections gallop and materialize their
+                // driver; dense ones walk bitset blocks instead.
+                PlanKind::Intersect => preds[0].sel <= n / GALLOP_DENSITY,
+                PlanKind::Scan | PlanKind::EmptyResult => false,
+            };
+            if !materializes {
+                continue;
+            }
+            let CompiledPred::Range(lo, hi) = preds[0].pred else {
+                continue; // categorical drivers are borrowed for free
+            };
+            let attr = preds[0].attr;
+            match ranges
+                .iter_mut()
+                .find(|r| r.attr == attr && r.lo == lo && r.hi == hi)
+            {
+                Some(r) => r.uses += 1,
+                None => ranges.push(SharedRangeList {
+                    attr,
+                    lo,
+                    hi,
+                    uses: 1,
+                    list: Vec::new(),
+                    built: false,
+                }),
+            }
+        }
+        for r in &ranges {
+            if r.uses >= 2 {
+                stats.batch_shared_lists += u64::from(r.uses) - 1;
+            }
+        }
+
+        // Census 2: dense conjunctions (planned Intersect, dense driver)
+        // that share at least one predicate with another dense member
+        // join a single block walk with shared per-predicate masks.
+        let dense: Vec<usize> = (0..m)
+            .filter(|&i| {
+                b.dup_of[i] == u32::MAX
+                    && b.kinds[i] == PlanKind::Intersect
+                    && b.preds[i][0].sel > n / GALLOP_DENSITY
+            })
+            .collect();
+        let shares_pred = |i: usize, j: usize| {
+            b.preds[i]
+                .iter()
+                .any(|p| b.preds[j].iter().any(|q| p.attr == q.attr && p.pred == q.pred))
+        };
+        let mut grouped: Vec<usize> = dense
+            .iter()
+            .copied()
+            .filter(|&i| dense.iter().any(|&j| j != i && shares_pred(i, j)))
+            .collect();
+        if grouped.len() < 2 {
+            grouped.clear();
+        }
+        for &i in &grouped {
+            b.in_group[i] = true;
+        }
+
+        // Census 3: grouped probes. Probe-planned queries that share
+        // their driving predicate *and* at least one residual (sibling
+        // leaf queries: same prefix, one distinguishing predicate) walk
+        // the driver's candidate list once — shared residuals are
+        // checked once per candidate for the whole group.
+        let mut pgroups: Vec<ProbeGroup> = Vec::new();
+        for i in 0..m {
+            if b.dup_of[i] != u32::MAX
+                || b.kinds[i] != PlanKind::Probe
+                || b.preds[i].len() < 2
+            {
+                continue;
+            }
+            let d = b.preds[i][0];
+            match pgroups
+                .iter_mut()
+                .find(|g| g.attr == d.attr && g.pred == d.pred)
+            {
+                Some(g) => g.members.push(i),
+                None => pgroups.push(ProbeGroup {
+                    attr: d.attr,
+                    pred: d.pred,
+                    members: vec![i],
+                }),
+            }
+        }
+        pgroups.retain(|g| g.members.len() >= 2);
+        let mut pshared: Vec<Vec<PredInfo>> = Vec::with_capacity(pgroups.len());
+        pgroups.retain(|g| {
+            // Residuals present in every member; driver-only sharing is
+            // left to the solo paths (nothing per-candidate to save).
+            let shared: Vec<PredInfo> = b.preds[g.members[0]][1..]
+                .iter()
+                .copied()
+                .filter(|p| {
+                    g.members[1..].iter().all(|&j| {
+                        b.preds[j][1..]
+                            .iter()
+                            .any(|q| q.attr == p.attr && q.pred == p.pred)
+                    })
+                })
+                .collect();
+            if shared.is_empty() {
+                return false;
+            }
+            pshared.push(shared);
+            true
+        });
+        for g in &pgroups {
+            for &i in &g.members {
+                b.in_group[i] = true;
+            }
+        }
+
+        // Evaluate the unique, ungrouped queries through the existing
+        // executors, substituting shared candidate lists where the census
+        // found reuse.
+        for i in 0..m {
+            if b.dup_of[i] != u32::MAX || b.in_group[i] {
+                continue;
+            }
+            let preds = &b.preds[i];
+            let matched = &mut b.matched[i];
+            let shared_driver = |ranges: &mut Vec<SharedRangeList>| -> Option<usize> {
+                let CompiledPred::Range(lo, hi) = preds[0].pred else {
+                    return None;
+                };
+                ranges
+                    .iter()
+                    .position(|r| r.uses >= 2 && r.attr == preds[0].attr && r.lo == lo && r.hi == hi)
+            };
+            b.overflow[i] = match b.kinds[i] {
+                PlanKind::EmptyResult => {
+                    matched.clear();
+                    false
+                }
+                PlanKind::Scan => scan(store, preds, k, matched),
+                PlanKind::Probe => match shared_driver(&mut ranges) {
+                    Some(ri) => {
+                        let list = build_shared(index, &mut ranges[ri]);
+                        matched.clear();
+                        probe_list(store, list, &preds[1..], k, matched)
+                    }
+                    None => probe(store, index, preds, k, matched, ids),
+                },
+                PlanKind::Intersect => {
+                    let prebuilt = shared_driver(&mut ranges)
+                        .filter(|_| preds[0].sel <= n / GALLOP_DENSITY);
+                    match prebuilt {
+                        Some(ri) => {
+                            build_shared(index, &mut ranges[ri]);
+                            intersect(
+                                store,
+                                index,
+                                preds,
+                                k,
+                                matched,
+                                pool,
+                                cursors,
+                                Some(&ranges[ri].list),
+                            )
+                        }
+                        None => intersect(store, index, preds, k, matched, pool, cursors, None),
+                    }
+                }
+            };
+        }
+
+        // Joint block walk for the grouped dense conjunctions.
+        if !grouped.is_empty() {
+            stats.batch_joint_queries += grouped.len() as u64;
+            let mut dpreds: Vec<PredInfo> = Vec::new();
+            let mut tasks: Vec<JointTask> = Vec::with_capacity(grouped.len());
+            for &i in &grouped {
+                let mut pred_ids = Vec::with_capacity(b.preds[i].len());
+                for p in &b.preds[i] {
+                    let pid = match dpreds
+                        .iter()
+                        .position(|d| d.attr == p.attr && d.pred == p.pred)
+                    {
+                        Some(pid) => pid,
+                        None => {
+                            dpreds.push(*p);
+                            dpreds.len() - 1
+                        }
+                    };
+                    pred_ids.push(pid);
+                }
+                let mut matched = std::mem::take(&mut b.matched[i]);
+                matched.clear();
+                tasks.push(JointTask {
+                    slot: i,
+                    pred_ids,
+                    matched,
+                    overflow: false,
+                    done: false,
+                });
+            }
+            joint_block_scan(store, &dpreds, &mut tasks, k, &mut b.masks, &mut b.built);
+            for t in tasks {
+                b.matched[t.slot] = t.matched;
+                b.overflow[t.slot] = t.overflow;
+            }
+        }
+
+        // Grouped probes: one walk over each group's shared driver list.
+        for (g, shared) in pgroups.iter().zip(&pshared) {
+            stats.batch_grouped_probes += g.members.len() as u64;
+            let mut tasks: Vec<ProbeTask> = Vec::with_capacity(g.members.len());
+            for &i in &g.members {
+                let extra: Vec<PredInfo> = b.preds[i][1..]
+                    .iter()
+                    .copied()
+                    .filter(|p| {
+                        !shared
+                            .iter()
+                            .any(|s| s.attr == p.attr && s.pred == p.pred)
+                    })
+                    .collect();
+                let mut matched = std::mem::take(&mut b.matched[i]);
+                matched.clear();
+                tasks.push(ProbeTask {
+                    slot: i,
+                    extra,
+                    matched,
+                    overflow: false,
+                    done: false,
+                });
+            }
+            let candidates: &[u32] = match g.pred {
+                CompiledPred::Eq(v) => index.cat_list(g.attr, v),
+                CompiledPred::Range(lo, hi) => {
+                    let ri = ranges
+                        .iter()
+                        .position(|r| r.attr == g.attr && r.lo == lo && r.hi == hi)
+                        .expect("group members were counted in the range census");
+                    build_shared(index, &mut ranges[ri]);
+                    &ranges[ri].list
+                }
+            };
+            grouped_probe(store, candidates, shared, &mut tasks, k);
+            for t in tasks {
+                b.matched[t.slot] = t.matched;
+                b.overflow[t.slot] = t.overflow;
+            }
+        }
+
+        // Materialize in input order; duplicates copy the original
+        // outcome (Arc bumps, not re-evaluation).
+        let mut outs: Vec<QueryOutcome> = Vec::with_capacity(m);
+        for i in 0..m {
+            let out = match b.dup_of[i] {
+                u32::MAX => materialize(rows, &b.matched[i], b.overflow[i]),
+                j => outs[j as usize].clone(),
+            };
+            outs.push(out);
+        }
+        outs
     }
 
     /// Evaluates `q` with a forced strategy (testing/benchmark hook).
@@ -225,10 +697,33 @@ impl Engine {
                 &mut matched,
                 &mut Vec::new(),
                 &mut Vec::new(),
+                None,
             ),
         };
         materialize(rows, &matched, overflow)
     }
+}
+
+/// The strategy a plan kind is accounted to in [`ServerStats`]. Empty
+/// results are settled by index lookups alone, so they count as probes.
+fn strategy_of(kind: PlanKind) -> Strategy {
+    match kind {
+        PlanKind::EmptyResult | PlanKind::Probe => Strategy::Probe,
+        PlanKind::Scan => Strategy::Scan,
+        PlanKind::Intersect => Strategy::Intersect,
+    }
+}
+
+/// Materializes a shared range candidate list (row-sorted) on first use.
+fn build_shared<'a>(index: &ColumnIndex, r: &'a mut SharedRangeList) -> &'a [u32] {
+    if !r.built {
+        r.list.clear();
+        r.list
+            .extend(index.num_slice(r.attr, r.lo, r.hi).iter().map(|&(_, v)| v));
+        r.list.sort_unstable();
+        r.built = true;
+    }
+    &r.list
 }
 
 /// Does a non-driver predicate's candidate list earn a place in the
@@ -439,6 +934,144 @@ fn and_pred_mask(
     }
 }
 
+/// Writes the predicate's exact 64-row match masks into `words`
+/// (assignment, not AND — the joint walk caches these per predicate).
+/// Bits beyond the last row of a short tail chunk stay zero.
+fn build_pred_mask(
+    store: &ColumnStore,
+    p: PredInfo,
+    base: usize,
+    rows_here: usize,
+    words: &mut [u64],
+) {
+    match (store.col(p.attr), p.pred) {
+        (ColumnData::Int(col), CompiledPred::Range(lo, hi)) => {
+            let col = &col[base..base + rows_here];
+            for (w, chunk) in col.chunks(WORD_BITS).enumerate() {
+                let mut m = 0u64;
+                for (i, &x) in chunk.iter().enumerate() {
+                    m |= u64::from(lo <= x && x <= hi) << i;
+                }
+                words[w] = m;
+            }
+        }
+        (ColumnData::Cat(col), CompiledPred::Eq(v)) => {
+            let col = &col[base..base + rows_here];
+            for (w, chunk) in col.chunks(WORD_BITS).enumerate() {
+                let mut m = 0u64;
+                for (i, &c) in chunk.iter().enumerate() {
+                    m |= u64::from(c == v) << i;
+                }
+                words[w] = m;
+            }
+        }
+        _ => unreachable!("query validated against schema"),
+    }
+}
+
+/// The batch path's joint bitset-block walk: one pass over the table for
+/// a whole group of dense conjunctions. Per 4096-row block, each distinct
+/// predicate's masks are built **once** (lazily — only when a still-active
+/// member needs them) into a shared cache, then ANDed into every member's
+/// result mask. Each member collects matches independently and retires at
+/// its `k + 1`'th match, exactly like a solo [`block_scan`], so the
+/// produced row ids are bit-identical to per-query evaluation.
+fn joint_block_scan(
+    store: &ColumnStore,
+    dpreds: &[PredInfo],
+    tasks: &mut [JointTask],
+    k: usize,
+    masks: &mut Vec<u64>,
+    built: &mut Vec<bool>,
+) {
+    let n = store.n();
+    masks.clear();
+    masks.resize(dpreds.len() * BLOCK_WORDS, 0);
+    built.clear();
+    built.resize(dpreds.len(), false);
+    let mut qwords = [0u64; BLOCK_WORDS];
+    let mut base = 0;
+    while base < n {
+        if tasks.iter().all(|t| t.done) {
+            return;
+        }
+        let rows_here = (n - base).min(BLOCK_ROWS);
+        let nwords = rows_here.div_ceil(WORD_BITS);
+        built.fill(false);
+        for t in tasks.iter_mut().filter(|t| !t.done) {
+            let words = &mut qwords[..nwords];
+            words.fill(u64::MAX);
+            let tail = rows_here % WORD_BITS;
+            if tail != 0 {
+                words[nwords - 1] = (1u64 << tail) - 1;
+            }
+            for &pid in &t.pred_ids {
+                let cache = &mut masks[pid * BLOCK_WORDS..pid * BLOCK_WORDS + nwords];
+                if !built[pid] {
+                    build_pred_mask(store, dpreds[pid], base, rows_here, cache);
+                    built[pid] = true;
+                }
+                let mut any = 0u64;
+                for (w, &m) in words.iter_mut().zip(cache.iter()) {
+                    *w &= m;
+                    any |= *w;
+                }
+                if any == 0 {
+                    break;
+                }
+            }
+            'emit: for (w, &word) in words.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if t.matched.len() == k {
+                        t.overflow = true;
+                        t.done = true;
+                        break 'emit;
+                    }
+                    t.matched.push((base + w * WORD_BITS + bit) as u32);
+                }
+            }
+        }
+        base += rows_here;
+    }
+}
+
+/// The batch path's grouped probe: one walk over a shared row-ordered
+/// candidate list for a group of probes with the same driver. Shared
+/// residuals are checked once per candidate; each member then checks only
+/// its own `extra` predicates and retires at its `k + 1`'th match, so
+/// every member's matches are bit-identical to a solo [`probe_list`].
+fn grouped_probe(
+    store: &ColumnStore,
+    candidates: &[u32],
+    shared: &[PredInfo],
+    tasks: &mut [ProbeTask],
+    k: usize,
+) {
+    let mut active = tasks.len();
+    for &r in candidates {
+        if !shared.iter().all(|p| store.check(p.attr, p.pred, r)) {
+            continue;
+        }
+        for t in tasks.iter_mut().filter(|t| !t.done) {
+            if t.extra.iter().all(|p| store.check(p.attr, p.pred, r)) {
+                if t.matched.len() == k {
+                    t.overflow = true;
+                    t.done = true;
+                    active -= 1;
+                } else {
+                    t.matched.push(r);
+                }
+            }
+        }
+        if active == 0 {
+            return;
+        }
+    }
+}
+
 /// Index probe on `preds[0]` (the most selective), residual-filtering the
 /// rest with O(1) columnar checks.
 fn probe(
@@ -498,6 +1131,12 @@ fn probe_list(
 /// row-id lists combined by k-way galloping; dense ones become columnar
 /// residual checks. Degrades to bitset blocks when even the smallest list
 /// is dense (see [`GALLOP_DENSITY`]).
+///
+/// `prebuilt` optionally supplies the driver's row-sorted candidate list
+/// (only the driver `preds[0]` can be a range in the gallop — see
+/// [`joins_gallop`]); the batch path passes a list shared across queries
+/// with the same driving range instead of re-materializing it.
+#[allow(clippy::too_many_arguments)]
 fn intersect(
     store: &ColumnStore,
     index: &ColumnIndex,
@@ -506,6 +1145,7 @@ fn intersect(
     matched: &mut Vec<u32>,
     pool: &mut Vec<Vec<u32>>,
     cursors: &mut Vec<usize>,
+    prebuilt: Option<&[u32]>,
 ) -> bool {
     matched.clear();
     let n = store.n();
@@ -529,10 +1169,14 @@ fn intersect(
     };
 
     // Row-sorted candidate lists: categorical inverted lists are borrowed
-    // as-is; numeric lists are materialized once into the reusable pool.
+    // as-is; numeric lists are materialized once into the reusable pool
+    // (or taken from the batch's shared pool via `prebuilt`).
     let mut pool_used = 0;
     for p in &selective {
         if let CompiledPred::Range(lo, hi) = p.pred {
+            if prebuilt.is_some() {
+                continue;
+            }
             if pool_used == pool.len() {
                 pool.push(Vec::new());
             }
@@ -548,7 +1192,10 @@ fn intersect(
         .iter()
         .map(|p| match p.pred {
             CompiledPred::Eq(v) => index.cat_list(p.attr, v),
-            CompiledPred::Range(..) => pool_iter.next().expect("one pooled list per range"),
+            CompiledPred::Range(..) => match prebuilt {
+                Some(list) => list,
+                None => pool_iter.next().expect("one pooled list per range"),
+            },
         })
         .collect();
     lists.sort_unstable_by_key(|l| l.len());
@@ -861,6 +1508,140 @@ mod tests {
             Value::Int(BLOCK_ROWS as i64 - 1)
         );
         assert_eq!(got.tuples.last().unwrap().get(0), Value::Int(n as i64 - 1));
+    }
+
+    /// Exercises every batch-sharing path against solo evaluation.
+    #[test]
+    fn batch_evaluation_matches_solo_evaluation() {
+        let (schema, rows) = fixture();
+        let mut engine = Engine::new(&schema, &rows);
+        let mut qs = queries();
+        // Duplicates (dedup path — multi-predicate, single-predicate
+        // duplicates simply re-evaluate) and sibling split probes
+        // sharing the same selective range driver (shared-list path).
+        qs.push(qs[3].clone());
+        qs.push(Query::new(vec![
+            Predicate::Eq(0),
+            Predicate::Range { lo: 10, hi: 20 },
+            Predicate::Any,
+        ]));
+        qs.push(Query::new(vec![
+            Predicate::Eq(1),
+            Predicate::Range { lo: 10, hi: 20 },
+            Predicate::Any,
+        ]));
+        for k in [1usize, 5, 64, 10_000] {
+            let mut stats = ServerStats::default();
+            let outs = engine.evaluate_batch(&rows, k, &qs, &mut stats);
+            assert_eq!(outs.len(), qs.len());
+            for (q, got) in qs.iter().zip(&outs) {
+                assert_eq!(got, &brute(&rows, k, q), "q={q} k={k}");
+            }
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.batched_queries as usize, qs.len());
+            assert_eq!(stats.batch_dedup, 1);
+        }
+    }
+
+    #[test]
+    fn batch_joint_walk_handles_shared_dense_conjunctions() {
+        // Same construction as planner_intersects_dense_conjunctions:
+        // both predicates ~50% selective, so the conjunctions are
+        // answered by bitset blocks; the two queries share the c = 0
+        // predicate and must be grouped into one joint walk.
+        let schema = Schema::builder()
+            .categorical("c", 2)
+            .numeric("n", 0, 8000)
+            .build()
+            .unwrap();
+        let rows: Vec<Tuple> = (0..8000)
+            .map(|i| Tuple::new(vec![Value::Cat((i % 2) as u32), Value::Int(i as i64)]))
+            .collect();
+        let mut engine = Engine::new(&schema, &rows);
+        let qs = vec![
+            Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 4000, hi: 7999 }]),
+            Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 0, hi: 3999 }]),
+            Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 100, hi: 7000 }]),
+        ];
+        let mut stats = ServerStats::default();
+        let outs = engine.evaluate_batch(&rows, 64, &qs, &mut stats);
+        for (q, got) in qs.iter().zip(&outs) {
+            assert_eq!(got, &brute(&rows, 64, q), "q={q}");
+        }
+        assert_eq!(stats.intersect_evals, 3);
+        assert_eq!(
+            stats.batch_joint_queries, 2,
+            "the two c = 0 conjunctions share a mask; c = 1 walks solo"
+        );
+    }
+
+    #[test]
+    fn batch_shared_range_lists_match_solo() {
+        // Two selective conjunctions driven by the same numeric range
+        // (with different categorical residuals): the candidate list is
+        // materialized once and shared.
+        let (schema, rows) = fixture();
+        let mut engine = Engine::new(&schema, &rows);
+        let qs = vec![
+            Query::new(vec![
+                Predicate::Eq(0),
+                Predicate::Range { lo: 5, hi: 40 },
+                Predicate::Any,
+            ]),
+            Query::new(vec![
+                Predicate::Eq(2),
+                Predicate::Range { lo: 5, hi: 40 },
+                Predicate::Any,
+            ]),
+        ];
+        let mut stats = ServerStats::default();
+        let outs = engine.evaluate_batch(&rows, 8, &qs, &mut stats);
+        for (q, got) in qs.iter().zip(&outs) {
+            assert_eq!(got, &brute(&rows, 8, q), "q={q}");
+        }
+        assert_eq!(stats.batch_shared_lists, 1);
+    }
+
+    #[test]
+    fn batch_empty_and_singleton_delegate() {
+        let (schema, rows) = fixture();
+        let mut engine = Engine::new(&schema, &rows);
+        let mut stats = ServerStats::default();
+        assert!(engine.evaluate_batch(&rows, 5, &[], &mut stats).is_empty());
+        let q = Query::any(3);
+        let outs = engine.evaluate_batch(&rows, 5, std::slice::from_ref(&q), &mut stats);
+        assert_eq!(outs, vec![brute(&rows, 5, &q)]);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.scan_evals, 1);
+    }
+
+    #[test]
+    fn batch_reuses_scratch_across_calls() {
+        // Two consecutive batches through the same engine must not leak
+        // state (stale dup maps, dirty matched buffers) into each other.
+        let (schema, rows) = fixture();
+        let mut engine = Engine::new(&schema, &rows);
+        let mut stats = ServerStats::default();
+        let first = vec![Query::any(3), Query::new(vec![
+            Predicate::Eq(1),
+            Predicate::Any,
+            Predicate::Any,
+        ])];
+        let second = vec![
+            Query::new(vec![
+                Predicate::Any,
+                Predicate::Range { lo: 0, hi: 10 },
+                Predicate::Any,
+            ]),
+            Query::any(3),
+            Query::any(3),
+        ];
+        for batch in [&first, &second, &first] {
+            let outs = engine.evaluate_batch(&rows, 7, batch, &mut stats);
+            for (q, got) in batch.iter().zip(&outs) {
+                assert_eq!(got, &brute(&rows, 7, q), "q={q}");
+            }
+        }
     }
 
     #[test]

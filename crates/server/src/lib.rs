@@ -20,11 +20,11 @@
 //! Every experiment is measured in queries against this server — a single
 //! figure replays on the order of 10⁵ queries, the ablations millions —
 //! so per-query latency decides whether the whole harness is tractable.
-//! Queries are answered by a columnar engine ([`engine`]) built at
+//! Queries are answered by a columnar engine (`engine.rs`) built at
 //! construction:
 //!
 //! * **Store layout** — rows are decomposed into a structure-of-arrays
-//!   [`ColumnStore`](store): one primitive `Vec<i64>` / `Vec<u32>` per
+//!   `ColumnStore` (`store.rs`): one primitive `Vec<i64>` / `Vec<u32>` per
 //!   attribute, in priority order, so predicate checks are tight loops
 //!   over contiguous memory instead of per-`Tuple` `Value`-enum matches.
 //!   Alongside it, per-column indexes (inverted lists for categorical
@@ -47,15 +47,42 @@
 //! * **Zero-clone materialization** — `Tuple` is `Arc`-backed, so query
 //!   responses are reference-count bumps on the shared priority-ordered
 //!   row table rather than deep copies.
-//! * **Determinism contract** — all three strategies return bit-identical
-//!   outcomes, property-tested against each other, against the seed's
-//!   row-at-a-time evaluator (kept in [`eval`] as `LegacyEvaluator`), and
-//!   against a brute-force oracle (`tests/engine_prop.rs`). Whatever the
-//!   planner picks, the adversary's answers never change — the assumption
-//!   under which the paper's bounds are proven.
+//! * **Batch evaluation** — crawl algorithms issue bursts of sibling
+//!   queries (the slice fetches under one extended-DFS node, the two or
+//!   three probes of a rank-shrink split), and
+//!   `HiddenDatabase::query_batch` hands the whole burst to the engine
+//!   at once. The batch is planned jointly: duplicate queries are
+//!   answered once; a range predicate driving several candidate lists is
+//!   materialized once and shared; dense conjunctions sharing a
+//!   predicate are answered by a *joint* bitset-block walk that builds
+//!   each distinct predicate's masks once per block; and probes sharing
+//!   their driver plus at least one residual become a *grouped probe* —
+//!   one walk over the driver's list with the shared residuals checked
+//!   once per candidate. Empty batches return nothing, singletons
+//!   delegate to the single-query path, and single-predicate streams
+//!   (slice fetches) evaluate exactly as the solo path does, so batching
+//!   never costs more than the loop it replaces. Batch decisions are
+//!   recorded in [`ServerStats`]; measured end-to-end numbers live in
+//!   `BENCH_pr2.json` (recorded real-crawl streams: batch ≥ 1.1× the
+//!   per-query engine).
+//! * **Determinism contract** — all three strategies *and the batch
+//!   path* return bit-identical outcomes, property-tested against each
+//!   other, against the seed's row-at-a-time evaluator (kept in `eval.rs`
+//!   as `LegacyEvaluator`), and against a brute-force oracle
+//!   (`tests/engine_prop.rs`): `query_batch(qs)?[i]` equals
+//!   `query(&qs[i])?` issued at the same point of the session, including
+//!   duplicate queries within one batch. Whatever the planner picks, the
+//!   adversary's answers never change — the assumption under which the
+//!   paper's bounds are proven.
 //!
 //! [`Budgeted`] decorates any [`hdc_types::HiddenDatabase`] with the query
-//! quota real sites impose per client.
+//! quota real sites impose per client. Decorators ([`Budgeted`],
+//! [`Recorder`], [`Replayer`]) deliberately do *not* override
+//! `query_batch`: the trait's default loop gives them exact per-query
+//! semantics — budgets charge and stop at the precise query, recorders
+//! cache every successful prefix response — at the cost of bypassing the
+//! engine's batch sharing. Wrap the bare server when throughput matters;
+//! wrap decorators when quotas or resumability do.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

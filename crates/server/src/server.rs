@@ -31,7 +31,7 @@ impl Default for ServerConfig {
 /// Construction validates every tuple against the schema, assigns each
 /// tuple a random (seeded) priority — matching the paper's experimental
 /// setup — and builds the columnar engine (structure-of-arrays column
-/// store plus per-column indexes; see [`crate::engine`]). After
+/// store plus per-column indexes; see `engine.rs`). After
 /// construction the server is logically immutable: queries never change
 /// the data, and identical queries always receive identical responses.
 ///
@@ -215,6 +215,29 @@ impl HiddenDatabase for HiddenDbServer {
         Ok(out)
     }
 
+    /// Evaluates the whole batch in one engine pass: queries are planned
+    /// jointly, duplicate queries answered once, and candidate lists /
+    /// bitset-block masks shared between queries with common predicates
+    /// (see the `engine` module docs). Outcome `i` is bit-identical to issuing
+    /// `queries[i]` through [`Self::query`], and each query is charged
+    /// individually in [`ServerStats`].
+    ///
+    /// Stricter than the trait's default loop on errors: the batch is
+    /// validated up front, so an invalid query rejects the whole batch
+    /// before anything is evaluated or charged.
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        for q in queries {
+            q.validate(&self.schema)?;
+        }
+        let outs = self
+            .engine
+            .evaluate_batch(&self.rows, self.k, queries, &mut self.stats);
+        for out in &outs {
+            self.stats.record_outcome(out.len(), out.overflow);
+        }
+        Ok(outs)
+    }
+
     fn queries_issued(&self) -> u64 {
         self.stats.queries
     }
@@ -318,6 +341,66 @@ mod tests {
         assert_eq!(s.queries_issued(), 2);
         s.reset_stats();
         assert_eq!(s.stats().queries, 0);
+    }
+
+    #[test]
+    fn query_batch_matches_per_query_loop() {
+        let rows: Vec<Tuple> = (0..200).map(|x| int_tuple(&[x % 101])).collect();
+        let mut batched =
+            HiddenDbServer::new(schema_1d(), rows.clone(), ServerConfig { k: 8, seed: 13 })
+                .unwrap();
+        let mut looped =
+            HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 8, seed: 13 }).unwrap();
+        let queries = vec![
+            Query::any(1),
+            Query::new(vec![Predicate::Range { lo: 0, hi: 50 }]),
+            Query::new(vec![Predicate::Range { lo: 0, hi: 50 }]), // duplicate
+            Query::new(vec![Predicate::Range { lo: 51, hi: 101 }]),
+            Query::new(vec![Predicate::Range { lo: 7, hi: 7 }]),
+            Query::new(vec![Predicate::Range { lo: 200, hi: 300 }]), // empty
+        ];
+        let outs = batched.query_batch(&queries).unwrap();
+        let want: Vec<QueryOutcome> = queries.iter().map(|q| looped.query(q).unwrap()).collect();
+        assert_eq!(outs, want);
+        // Every batched query is charged individually.
+        assert_eq!(batched.queries_issued(), looped.queries_issued());
+        let st = batched.stats();
+        assert_eq!(st.batches, 1);
+        assert_eq!(st.batched_queries, 6);
+        // Single-predicate duplicates are re-evaluated, not deduped
+        // (dedup only pays off where planning/candidate work is shared).
+        assert_eq!(st.batch_dedup, 0);
+    }
+
+    #[test]
+    fn query_batch_empty_and_singleton() {
+        let rows: Vec<Tuple> = (0..30).map(|x| int_tuple(&[x])).collect();
+        let mut s =
+            HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 4, seed: 5 }).unwrap();
+        assert!(s.query_batch(&[]).unwrap().is_empty());
+        assert_eq!(s.queries_issued(), 0);
+        let q = Query::any(1);
+        let solo = s.query_batch(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(solo.len(), 1);
+        assert_eq!(solo[0], s.query(&q).unwrap());
+        // Neither the empty nor the singleton call counts as a batch.
+        assert_eq!(s.stats().batches, 0);
+    }
+
+    #[test]
+    fn invalid_query_rejects_whole_batch_without_charging() {
+        let rows: Vec<Tuple> = (0..30).map(|x| int_tuple(&[x])).collect();
+        let mut s =
+            HiddenDbServer::new(schema_1d(), rows, ServerConfig { k: 4, seed: 5 }).unwrap();
+        let batch = vec![
+            Query::any(1),
+            Query::new(vec![Predicate::Eq(3)]), // invalid: Eq on numeric
+        ];
+        assert!(matches!(
+            s.query_batch(&batch),
+            Err(DbError::InvalidQuery(_))
+        ));
+        assert_eq!(s.queries_issued(), 0, "validation precedes evaluation");
     }
 
     #[test]

@@ -27,6 +27,27 @@ pub struct ServerStats {
     pub probe_evals: u64,
     /// Queries answered by multi-predicate candidate intersection.
     pub intersect_evals: u64,
+    /// Batches of two or more queries evaluated through the batch path
+    /// ([`crate::HiddenDbServer`]'s `query_batch`); empty and singleton
+    /// batches are served by the single-query path and not counted here.
+    pub batches: u64,
+    /// Queries that arrived inside those batches (so
+    /// `batched_queries / batches` is the mean batch size).
+    pub batched_queries: u64,
+    /// Duplicate queries within a batch answered by copying an earlier
+    /// outcome instead of re-evaluating.
+    pub batch_dedup: u64,
+    /// Candidate-list materializations avoided because two or more batch
+    /// queries shared the same driving range predicate.
+    pub batch_shared_lists: u64,
+    /// Batched queries answered by the joint bitset-block walk, which
+    /// builds each distinct predicate's block masks once for the whole
+    /// group.
+    pub batch_joint_queries: u64,
+    /// Batched queries answered by a grouped probe: one walk over a
+    /// shared driver candidate list, shared residuals checked once per
+    /// candidate for the whole group.
+    pub batch_grouped_probes: u64,
 }
 
 impl ServerStats {
@@ -36,6 +57,11 @@ impl ServerStats {
             Strategy::Probe => self.probe_evals += 1,
             Strategy::Intersect => self.intersect_evals += 1,
         }
+    }
+
+    pub(crate) fn record_batch(&mut self, len: usize) {
+        self.batches += 1;
+        self.batched_queries += len as u64;
     }
 
     pub(crate) fn record_outcome(&mut self, returned: usize, overflow: bool) {
@@ -54,14 +80,22 @@ impl fmt::Display for ServerStats {
         write!(
             f,
             "{} queries ({} resolved, {} overflowed), {} tuples returned, \
-             eval: {} scans / {} probes / {} intersects",
+             eval: {} scans / {} probes / {} intersects, \
+             batch: {} batches / {} queries ({} dedup, {} shared lists, {} joint-walk, \
+             {} grouped-probe)",
             self.queries,
             self.resolved,
             self.overflowed,
             self.tuples_returned,
             self.scan_evals,
             self.probe_evals,
-            self.intersect_evals
+            self.intersect_evals,
+            self.batches,
+            self.batched_queries,
+            self.batch_dedup,
+            self.batch_shared_lists,
+            self.batch_joint_queries,
+            self.batch_grouped_probes
         )
     }
 }
@@ -86,6 +120,18 @@ mod tests {
         assert_eq!(s.scan_evals, 1);
         assert_eq!(s.probe_evals, 1);
         assert_eq!(s.intersect_evals, 1);
+    }
+
+    #[test]
+    fn batch_counters_accumulate() {
+        let mut s = ServerStats::default();
+        s.record_batch(3);
+        s.record_batch(5);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_queries, 8);
+        let text = s.to_string();
+        assert!(text.contains("2 batches"));
+        assert!(text.contains("8 queries"));
     }
 
     #[test]

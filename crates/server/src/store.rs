@@ -29,7 +29,10 @@ pub(crate) struct ColumnStore {
 ///
 /// Wildcards and full ranges never appear here — the engine compiles only
 /// constraining predicates — so every check is a real comparison.
-#[derive(Clone, Copy, Debug)]
+///
+/// Equality is structural; the batch planner uses it to detect predicates
+/// shared between the queries of one batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum CompiledPred {
     /// Categorical equality.
     Eq(u32),

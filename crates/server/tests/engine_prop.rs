@@ -209,6 +209,50 @@ proptest! {
         }
     }
 
+    /// The batch path must be indistinguishable from the per-query loop
+    /// and the brute-force oracle on arbitrary schemas, data, k, and
+    /// seeds — including duplicate queries inside one batch, and the
+    /// empty batch.
+    #[test]
+    fn query_batch_matches_per_query_loop(case in case_strategy()) {
+        let mut batched = HiddenDbServer::new(
+            case.schema.clone(),
+            case.tuples.clone(),
+            ServerConfig { k: case.k, seed: case.seed },
+        ).unwrap();
+        let mut looped = HiddenDbServer::new(
+            case.schema.clone(),
+            case.tuples.clone(),
+            ServerConfig { k: case.k, seed: case.seed },
+        ).unwrap();
+        let ranked: Vec<Tuple> = batched.rows().to_vec();
+
+        // The generated queries plus in-batch duplicates (first, middle,
+        // and last positions).
+        let mut batch = case.queries.clone();
+        batch.push(batch[0].clone());
+        batch.insert(batch.len() / 2, batch[1].clone());
+        batch.push(batch[batch.len() - 1].clone());
+
+        prop_assert!(batched.query_batch(&[]).unwrap().is_empty());
+
+        let outs = batched.query_batch(&batch).unwrap();
+        prop_assert_eq!(outs.len(), batch.len());
+        for (q, got) in batch.iter().zip(&outs) {
+            let (want_tuples, want_overflow) = brute_force(&ranked, q, case.k);
+            prop_assert_eq!(&got.tuples, &want_tuples, "batch vs oracle, q={}", q);
+            prop_assert_eq!(got.overflow, want_overflow, "batch vs oracle, q={}", q);
+            let solo = looped.query(q).unwrap();
+            prop_assert_eq!(got, &solo, "batch vs per-query loop, q={}", q);
+        }
+        // Cost accounting is per query, batched or not.
+        prop_assert_eq!(batched.queries_issued(), looped.queries_issued());
+        prop_assert_eq!(batched.queries_issued(), batch.len() as u64);
+
+        // Determinism: re-issuing the same batch changes nothing.
+        prop_assert_eq!(batched.query_batch(&batch).unwrap(), outs);
+    }
+
     /// k = 1 forces overflow on every non-singleton result; strategies
     /// must still agree on which single tuple is served.
     #[test]

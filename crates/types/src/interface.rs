@@ -83,6 +83,32 @@ pub trait HiddenDatabase {
     /// Executes one query.
     fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError>;
 
+    /// Executes a batch of queries, returning one outcome per query, in
+    /// input order.
+    ///
+    /// A batch is semantically nothing more than a loop:
+    /// `query_batch(qs)?[i]` must be bit-identical to `query(&qs[i])?`
+    /// issued at the same point in the session, and each query is charged
+    /// individually toward [`queries_issued`](HiddenDatabase::queries_issued).
+    /// The default implementation *is* that loop. Implementations may
+    /// override it to answer the batch more efficiently — the simulator in
+    /// `hdc-server` plans a batch jointly and shares per-predicate work —
+    /// but must preserve the per-query equivalence; crawlers batch sibling
+    /// queries (slice fetches, split probes) purely as a performance hint.
+    ///
+    /// Error semantics: the default loop stops at the first failing query
+    /// and discards the successful prefix's outcomes (decorators such as
+    /// budget or recording wrappers still observe — and charge or cache —
+    /// that prefix). Implementations may instead validate the whole batch
+    /// up front and reject it without executing anything, as the
+    /// in-process server does for invalid queries. Callers that need
+    /// exact cost accounting across a mid-batch failure should compare
+    /// [`queries_issued`](HiddenDatabase::queries_issued) before and
+    /// after the call.
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
     /// Number of queries issued so far (for cost accounting). Default
     /// implementations that cannot count may return 0.
     fn queries_issued(&self) -> u64 {
@@ -101,6 +127,10 @@ impl<T: HiddenDatabase + ?Sized> HiddenDatabase for &mut T {
 
     fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
         (**self).query(q)
+    }
+
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        (**self).query_batch(queries)
     }
 
     fn queries_issued(&self) -> u64 {
@@ -195,6 +225,49 @@ mod tests {
         }
         assert_eq!(run(&mut db), 1);
         assert_eq!(db.issued, 1);
+    }
+
+    #[test]
+    fn default_query_batch_is_the_per_query_loop() {
+        let mut batched = tiny();
+        let mut looped = tiny();
+        let queries = vec![
+            Query::new(vec![Predicate::Range { lo: 0, hi: 1 }]),
+            Query::any(1),
+            Query::new(vec![Predicate::Range { lo: 0, hi: 1 }]), // duplicate
+            Query::new(vec![Predicate::Range { lo: 9, hi: 9 }]), // empty
+        ];
+        let outs = batched.query_batch(&queries).unwrap();
+        let want: Vec<QueryOutcome> = queries.iter().map(|q| looped.query(q).unwrap()).collect();
+        assert_eq!(outs, want);
+        assert_eq!(batched.queries_issued(), looped.queries_issued());
+        assert!(batched.query_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn default_query_batch_stops_at_first_error() {
+        let mut db = tiny();
+        let queries = vec![
+            Query::any(1),
+            Query::new(vec![Predicate::Eq(0)]), // invalid: Eq on numeric
+            Query::any(1),
+        ];
+        assert!(matches!(
+            db.query_batch(&queries),
+            Err(DbError::InvalidQuery(_))
+        ));
+        // The valid prefix was executed (and charged) before the failure.
+        assert_eq!(db.queries_issued(), 1);
+    }
+
+    #[test]
+    fn mut_ref_blanket_forwards_query_batch() {
+        let mut db = tiny();
+        let dyn_db: &mut dyn HiddenDatabase = &mut db;
+        let outs = dyn_db.query_batch(&[Query::any(1), Query::any(1)]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0], outs[1], "deterministic server repeats itself");
+        assert_eq!(db.issued, 2);
     }
 
     #[test]
