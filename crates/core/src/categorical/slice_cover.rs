@@ -190,35 +190,64 @@ pub(crate) fn extended_dfs(
     table: &mut SliceTable,
     leaf: &LeafMode<'_>,
 ) -> Result<(), Abort> {
-    extended_dfs_filtered(session, table, leaf, None)
+    extended_dfs_from(
+        session,
+        table,
+        leaf,
+        DfsRoot {
+            query: Query::any(table.arity),
+            level: 0,
+            filter: None,
+        },
+    )
 }
 
-/// [`extended_dfs`] restricted to a subset of the root attribute's values
-/// (`None` = all). The multi-session sharded crawler partitions the root
-/// domain across sessions with this hook; each shard crawls a disjoint
-/// union of first-level subtrees.
-pub(crate) fn extended_dfs_filtered(
+/// Where an extended-DFS crawl starts.
+///
+/// The plain algorithm starts at the tree root (`Query::any`, level 0,
+/// no filter). The multi-session sharded crawler instead starts each
+/// shard at an interior node: a subset of the level-0 values
+/// (`level = 0` + filter), or — for over-partitioned plans that
+/// sub-split one level-0 value — the node that pins that value
+/// (`level = 1` + a filter on the second level's values). The start node
+/// is treated like the root: assumed to overflow and never issued, its
+/// children handled directly.
+pub(crate) struct DfsRoot<'a> {
+    /// The start node's query (its pinned tree-level predicates).
+    pub query: Query,
+    /// The start node's depth: how many tree levels `query` pins.
+    pub level: usize,
+    /// Restricts the start node's expansion to these values of the
+    /// attribute at `level` (`None` = all). Deeper levels are never
+    /// filtered — a shard owns complete subtrees.
+    pub filter: Option<&'a [u32]>,
+}
+
+/// [`extended_dfs`] from an arbitrary start node (see [`DfsRoot`]).
+pub(crate) fn extended_dfs_from(
     session: &mut Session<'_>,
     table: &mut SliceTable,
     leaf: &LeafMode<'_>,
-    root_values: Option<&[u32]>,
+    root: DfsRoot<'_>,
 ) -> Result<(), Abort> {
     let levels = table.levels();
     assert!(
         levels > 0,
         "extended-DFS needs at least one categorical attribute"
     );
-    // Every stacked node is known to overflow (the root by convention —
-    // it is never issued — and every other entry was observed to
-    // overflow when its parent expanded).
-    let mut stack: Vec<(Query, usize)> = vec![(Query::any(table.arity), 0)];
+    assert!(root.level < levels, "start node must be an interior node");
+    let filter_level = root.level;
+    // Every stacked node is known to overflow (the start node by
+    // convention — it is never issued — and every other entry was
+    // observed to overflow when its parent expanded).
+    let mut stack: Vec<(Query, usize)> = vec![(root.query, root.level)];
     while let Some((q, level)) = stack.pop() {
         debug_assert!(level < levels, "leaves are handled inline, never stacked");
         let attr = table.attr(level);
         let child_level = level + 1;
         let values: Vec<u32> = (0..table.domain_size(level))
             .filter(|&value| {
-                level != 0 || root_values.is_none_or(|filter| filter.contains(&value))
+                level != filter_level || root.filter.is_none_or(|filter| filter.contains(&value))
             })
             .collect();
         let mut point_leaves: Vec<Query> = Vec::new();

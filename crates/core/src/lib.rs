@@ -61,5 +61,5 @@ pub use hybrid::Hybrid;
 pub use numeric::binary_shrink::BinaryShrink;
 pub use numeric::rank_shrink::RankShrink;
 pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
-pub use sharded::{ShardSpec, Sharded, ShardedReport};
+pub use sharded::{PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats};
 pub use validate::verify_complete;

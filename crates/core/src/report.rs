@@ -37,6 +37,35 @@ pub struct CrawlMetrics {
     pub leaf_subcrawls: u64,
 }
 
+impl CrawlMetrics {
+    /// Adds `other`'s counters into `self`, field by field.
+    ///
+    /// Every place that combines reports (the sharded merge, per-identity
+    /// aggregation) must go through this method: a new counter added to
+    /// the struct then only needs one merge site, instead of being
+    /// silently dropped by hand-rolled additions scattered around the
+    /// codebase. The `fully_populated_metrics_survive_a_merge` test
+    /// enforces the coverage.
+    pub fn merge_from(&mut self, other: &CrawlMetrics) {
+        // Destructure so adding a field is a compile error here, not a
+        // silently-ignored counter.
+        let CrawlMetrics {
+            two_way_splits,
+            three_way_splits,
+            slice_fetches,
+            slice_overflows,
+            local_answers,
+            leaf_subcrawls,
+        } = other;
+        self.two_way_splits += two_way_splits;
+        self.three_way_splits += three_way_splits;
+        self.slice_fetches += slice_fetches;
+        self.slice_overflows += slice_overflows;
+        self.local_answers += local_answers;
+        self.leaf_subcrawls += leaf_subcrawls;
+    }
+}
+
 /// The result of a crawl.
 #[derive(Clone, Debug)]
 pub struct CrawlReport {
@@ -192,6 +221,47 @@ mod tests {
             metrics: CrawlMetrics::default(),
             progress,
         }
+    }
+
+    /// Every field of a fully-populated metrics value must survive a
+    /// merge into a fresh one. The exhaustive struct literal (no
+    /// `..Default::default()`) means adding a field breaks this test at
+    /// compile time until both the literal and
+    /// [`CrawlMetrics::merge_from`] cover it.
+    #[test]
+    fn fully_populated_metrics_survive_a_merge() {
+        let populated = CrawlMetrics {
+            two_way_splits: 1,
+            three_way_splits: 2,
+            slice_fetches: 3,
+            slice_overflows: 4,
+            local_answers: 5,
+            leaf_subcrawls: 6,
+        };
+        let mut merged = CrawlMetrics::default();
+        merged.merge_from(&populated);
+        assert_eq!(merged, populated, "merge_from dropped a field");
+        // Merging twice doubles every counter — addition, not overwrite.
+        merged.merge_from(&populated);
+        let CrawlMetrics {
+            two_way_splits,
+            three_way_splits,
+            slice_fetches,
+            slice_overflows,
+            local_answers,
+            leaf_subcrawls,
+        } = merged;
+        assert_eq!(
+            [
+                two_way_splits,
+                three_way_splits,
+                slice_fetches,
+                slice_overflows,
+                local_answers,
+                leaf_subcrawls
+            ],
+            [2, 4, 6, 8, 10, 12]
+        );
     }
 
     #[test]

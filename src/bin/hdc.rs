@@ -57,7 +57,8 @@ fn print_usage() {
          \u{20}  hdc datasets\n\
          \u{20}      Print the evaluation datasets (the paper's Figure 9 table).\n\
          \u{20}  hdc crawl --dataset <name> --algo <algo> [--k N] [--seed N]\n\
-         \u{20}            [--scale PCT] [--sessions N] [--oracle] [--budget N]\n\
+         \u{20}            [--scale PCT] [--sessions N] [--oversubscribe N]\n\
+         \u{20}            [--oracle] [--budget N]\n\
          \u{20}      Crawl one dataset and report cost, metrics, and progress.\n\
          \u{20}  hdc sweep --dataset <name> --algos a,b,c [--ks 64,128,...]\n\
          \u{20}            [--seed N] [--scale PCT]\n\
@@ -200,6 +201,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     let seed: u64 = flags.parse("seed", 42)?;
     let scale: u32 = flags.parse("scale", 100)?;
     let sessions: usize = flags.parse("sessions", 1)?;
+    let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
     let budget: u64 = flags.parse("budget", u64::MAX)?;
     let use_oracle = flags.get("oracle").is_some();
 
@@ -215,14 +217,24 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
         theory::ideal_cost(ds.n() as f64, k as f64)
     );
 
-    if sessions > 1 {
+    if sessions == 0 {
+        return Err("--sessions must be ≥ 1".into());
+    }
+    if oversubscribe == 0 {
+        return Err("--oversubscribe must be ≥ 1".into());
+    }
+    // An over-partitioned plan is meaningful even on one session (finer
+    // progress granularity, and the plan a fleet of identities would
+    // use), so any non-default flag routes through the sharded crawler.
+    if sessions > 1 || oversubscribe > 1 {
         if use_oracle || budget != u64::MAX {
-            return Err("--sessions cannot be combined with --oracle/--budget".into());
+            return Err("--sessions/--oversubscribe cannot be combined with --oracle/--budget".into());
         }
         if algo != "hybrid" {
-            return Err("--sessions requires --algo hybrid".into());
+            return Err("--sessions/--oversubscribe require --algo hybrid".into());
         }
         let report = Sharded::new(sessions)
+            .oversubscribed(oversubscribe)
             .crawl(|_s| {
                 HiddenDbServer::new(
                     ds.schema.clone(),
@@ -234,16 +246,20 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         verify_complete(&ds.tuples, &report.merged).map_err(|e| e.to_string())?;
         println!(
-            "sharded over {sessions} sessions: {} total queries, busiest session {}",
+            "sharded over {sessions} sessions ({} shards, {} stolen): \
+             {} total queries, busiest session {}",
+            report.shards.len(),
+            report.steals(),
             report.merged.queries,
             report.max_session_queries()
         );
         for (s, r) in report.per_session.iter().enumerate() {
-            println!(
-                "  session {s}: {} queries, {} tuples",
-                r.queries,
-                r.tuples.len()
-            );
+            let (shards, tuples) = report
+                .shards
+                .iter()
+                .filter(|run| run.worker == s)
+                .fold((0u64, 0u64), |(n, t), run| (n + 1, t + run.tuples));
+            println!("  session {s}: {} queries, {tuples} tuples, {shards} shards", r.queries);
         }
         return Ok(());
     }
