@@ -1,0 +1,133 @@
+//! Barrier-crawl results: the standard crawl report plus per-tuple
+//! discovery depth.
+
+use hdc_core::CrawlReport;
+use hdc_types::Tuple;
+
+/// One distinct tuple value's first sighting during a barrier crawl.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Discovery {
+    /// The tuple value (duplicates share one discovery — the top-k
+    /// window cannot distinguish occurrences of an identical tuple, so
+    /// depth is a property of the point, not of the occurrence).
+    pub tuple: Tuple,
+    /// Discovery depth: how many discriminating refinements were stacked
+    /// below the crawl root when the tuple first appeared in a result
+    /// window. Depth 0 is the root's own k-visible frontier.
+    pub depth: u32,
+}
+
+/// The result of a barrier crawl: complete extraction accounting plus
+/// the rank-inference data the second paper's experiments are about.
+#[derive(Clone, Debug)]
+pub struct BarrierReport {
+    /// The standard crawl accounting — extracted bag, query cost,
+    /// resolved/overflow tallies, metrics (including `barrier_pivots`
+    /// and `barrier_deep_tuples`), and the progress curve.
+    pub report: CrawlReport,
+    /// Every distinct tuple value in first-sighting order, with its
+    /// discovery depth. Deterministic: the traversal order depends only
+    /// on the database's responses, never on batching or scheduling.
+    pub discoveries: Vec<Discovery>,
+    /// The deepest discovery (0 for a crawl whose root resolved).
+    pub max_depth: u32,
+}
+
+impl BarrierReport {
+    /// Assembles a report from the crawl accounting and the tracker's
+    /// first-sighting log.
+    pub(crate) fn assemble(report: CrawlReport, discoveries: Vec<Discovery>) -> Self {
+        let max_depth = discoveries.iter().map(|d| d.depth).max().unwrap_or(0);
+        BarrierReport {
+            report,
+            discoveries,
+            max_depth,
+        }
+    }
+
+    /// Distinct tuples visible at the crawl root (depth 0) — the
+    /// k-visible frontier a one-shot prober would see.
+    pub fn frontier(&self) -> usize {
+        self.discoveries.iter().filter(|d| d.depth == 0).count()
+    }
+
+    /// Distinct tuples first seen *below* the frontier (depth ≥ 1) —
+    /// everything the top-k barrier hid.
+    pub fn beyond_frontier(&self) -> usize {
+        self.discoveries.len() - self.frontier()
+    }
+
+    /// Count of distinct tuples first seen at each depth
+    /// (`histogram[d]` = discoveries at depth `d`; length
+    /// `max_depth + 1`, empty for an empty crawl).
+    pub fn depth_histogram(&self) -> Vec<u64> {
+        if self.discoveries.is_empty() {
+            return Vec::new();
+        }
+        let mut hist = vec![0u64; self.max_depth as usize + 1];
+        for d in &self.discoveries {
+            hist[d.depth as usize] += 1;
+        }
+        hist
+    }
+
+    /// Mean discovery depth over distinct tuples (0.0 for an empty
+    /// crawl) — the "how deep does the barrier bury the data" statistic.
+    pub fn mean_depth(&self) -> f64 {
+        if self.discoveries.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.discoveries.iter().map(|d| u64::from(d.depth)).sum();
+        total as f64 / self.discoveries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::CrawlMetrics;
+    use hdc_types::tuple::int_tuple;
+
+    fn blank_report() -> CrawlReport {
+        CrawlReport {
+            algorithm: "barrier",
+            tuples: vec![],
+            queries: 0,
+            resolved: 0,
+            overflowed: 0,
+            pruned: 0,
+            metrics: CrawlMetrics::default(),
+            progress: vec![],
+        }
+    }
+
+    fn d(v: i64, depth: u32) -> Discovery {
+        Discovery {
+            tuple: int_tuple(&[v]),
+            depth,
+        }
+    }
+
+    #[test]
+    fn aggregates_over_discoveries() {
+        let r = BarrierReport::assemble(
+            blank_report(),
+            vec![d(1, 0), d(2, 0), d(3, 1), d(4, 3), d(5, 1)],
+        );
+        assert_eq!(r.max_depth, 3);
+        assert_eq!(r.frontier(), 2);
+        assert_eq!(r.beyond_frontier(), 3);
+        assert_eq!(r.depth_histogram(), vec![2, 2, 0, 1]);
+        assert!((r.mean_depth() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_crawl() {
+        let r = BarrierReport::assemble(blank_report(), vec![]);
+        assert_eq!(r.max_depth, 0);
+        assert_eq!(r.frontier(), 0);
+        assert_eq!(r.beyond_frontier(), 0);
+        assert!(r.depth_histogram().is_empty());
+        assert_eq!(r.mean_depth(), 0.0);
+    }
+}

@@ -89,37 +89,38 @@ impl SliceTable {
         Query::any(self.arity).with_pred(self.cat_dims[pos], Predicate::Eq(value))
     }
 
-    /// Returns the recorded response for a slice, issuing the query on
-    /// first use (the lazy heuristic; the eager variant calls
-    /// [`SliceTable::prefetch_all`] first, making every later fetch free).
-    pub(crate) fn fetch(
-        &mut self,
-        session: &mut Session<'_>,
-        pos: usize,
-        value: u32,
-    ) -> Result<&SliceResult, Abort> {
-        self.fetch_many(session, pos, std::slice::from_ref(&value))?;
-        Ok(self.entries[pos][value as usize]
-            .as_ref()
-            .expect("just filled"))
+    /// The recorded response for a slice, or `None` if it has not been
+    /// fetched yet. A plain lookup: callers that may still need to issue
+    /// the query go through [`SliceTable::fetch_many`] first.
+    pub(crate) fn get(&self, pos: usize, value: u32) -> Option<&SliceResult> {
+        self.entries[pos][value as usize].as_ref()
     }
 
     /// Fetches the missing slices among `values` at tree level `pos` as a
     /// single batch (sibling slice queries share the server's batch
-    /// planning). Already-recorded slices are skipped, so this composes
-    /// with both the eager and the lazy variant; the queries issued are
-    /// exactly the per-value [`SliceTable::fetch`] misses.
+    /// planning). Already-recorded slices are **cache hits**: they are
+    /// skipped — and tallied in
+    /// [`CrawlMetrics::slice_cache_hits`](crate::CrawlMetrics::slice_cache_hits)
+    /// — so this composes with both the eager and the lazy variant, and
+    /// the slice lists one extended-DFS node fetched are shared by every
+    /// later `MAX_BATCH` window (its own or a sibling subtree's) that
+    /// requests them in the same session. The queries issued are exactly
+    /// the first-request misses; the hit counter makes the memoization
+    /// visible without changing any query set or cost.
     pub(crate) fn fetch_many(
         &mut self,
         session: &mut Session<'_>,
         pos: usize,
         values: &[u32],
     ) -> Result<(), Abort> {
-        let missing: Vec<u32> = values
-            .iter()
-            .copied()
-            .filter(|&v| self.entries[pos][v as usize].is_none())
-            .collect();
+        let mut missing: Vec<u32> = Vec::new();
+        for &v in values {
+            if self.entries[pos][v as usize].is_none() {
+                missing.push(v);
+            } else {
+                session.metrics().slice_cache_hits += 1;
+            }
+        }
         // Windowed so a wide domain (eager preprocessing fetches whole
         // levels) never rides one unbounded all-or-nothing batch.
         for window in missing.chunks(MAX_BATCH) {
@@ -256,11 +257,14 @@ pub(crate) fn extended_dfs_from(
         // MAX_BATCH-sized windows; each window's local answers are
         // reported before the next is fetched (progressiveness on
         // failure: at most one window's outcomes are ever forfeited).
+        // After the window's one `fetch_many`, every per-value lookup is
+        // a plain table read — the window's slice list is materialized
+        // exactly once, never re-derived per value.
         for window in values.chunks(MAX_BATCH) {
             table.fetch_many(session, level, window)?;
             for &value in window {
                 let child_q = q.with_pred(attr, Predicate::Eq(value));
-                match table.fetch(session, level, value)? {
+                match table.get(level, value).expect("window just fetched") {
                     SliceResult::Resolved(tuples) => {
                         // The slice holds every tuple with A_attr = value;
                         // the child's result is its subset matching the

@@ -61,5 +61,6 @@ pub use hybrid::Hybrid;
 pub use numeric::binary_shrink::BinaryShrink;
 pub use numeric::rank_shrink::RankShrink;
 pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
+pub use session::{run_crawl, Abort, Session, MAX_BATCH};
 pub use sharded::{PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats};
 pub use validate::verify_complete;

@@ -10,7 +10,7 @@ use hdc_types::{Predicate, Query};
 ///
 /// # Panics
 /// Panics if the predicate on `a` is a categorical equality.
-pub(crate) fn extent(q: &Query, a: usize) -> (i64, i64) {
+pub fn extent(q: &Query, a: usize) -> (i64, i64) {
     match q.pred(a) {
         Predicate::Range { lo, hi } => (lo, hi),
         Predicate::Any => (i64::MIN, i64::MAX),
@@ -20,7 +20,7 @@ pub(crate) fn extent(q: &Query, a: usize) -> (i64, i64) {
 
 /// Whether attribute `a` is exhausted on `q` (its extent covers a single
 /// value — §2.1).
-pub(crate) fn is_exhausted(q: &Query, a: usize) -> bool {
+pub fn is_exhausted(q: &Query, a: usize) -> bool {
     let (lo, hi) = extent(q, a);
     lo == hi
 }
@@ -31,7 +31,7 @@ pub(crate) fn is_exhausted(q: &Query, a: usize) -> bool {
 /// # Panics
 /// Debug-asserts `lo < x ≤ hi`; under that precondition `x − 1` cannot
 /// underflow.
-pub(crate) fn split2(q: &Query, a: usize, x: i64) -> (Query, Query) {
+pub fn split2(q: &Query, a: usize, x: i64) -> (Query, Query) {
     let (lo, hi) = extent(q, a);
     debug_assert!(lo < x && x <= hi, "split point {x} outside ({lo}, {hi}]");
     let left = q.with_pred(a, Predicate::Range { lo, hi: x - 1 });
@@ -42,7 +42,7 @@ pub(crate) fn split2(q: &Query, a: usize, x: i64) -> (Query, Query) {
 /// 3-way split of `q` at `x` along `a` (§2.1, Figure 2b): `[lo, x−1]`,
 /// `[x, x]`, `[x+1, hi]`. The side rectangles are `None` when their extent
 /// would be empty (`x` on a boundary) — the paper discards those.
-pub(crate) fn split3(q: &Query, a: usize, x: i64) -> (Option<Query>, Query, Option<Query>) {
+pub fn split3(q: &Query, a: usize, x: i64) -> (Option<Query>, Query, Option<Query>) {
     let (lo, hi) = extent(q, a);
     debug_assert!(lo <= x && x <= hi, "split point {x} outside [{lo}, {hi}]");
     let left = (x > lo).then(|| q.with_pred(a, Predicate::Range { lo, hi: x - 1 }));

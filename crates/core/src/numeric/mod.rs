@@ -1,5 +1,5 @@
 //! Algorithms for numeric data spaces (§2 of the paper).
 
 pub mod binary_shrink;
-pub(crate) mod extent;
+pub mod extent;
 pub mod rank_shrink;

@@ -35,6 +35,20 @@ pub struct CrawlMetrics {
     pub local_answers: u64,
     /// Rank-shrink sub-crawls launched at categorical leaves (hybrid §5).
     pub leaf_subcrawls: u64,
+    /// Slice requests served from the memoized slice table without a
+    /// server query (the cross-batch slice-list cache: a slice fetched by
+    /// one `MAX_BATCH` window — or by the eager preprocessing phase — is
+    /// reused by every later request in the same session).
+    pub slice_cache_hits: u64,
+    /// Barrier crawler: discriminating expansions performed — each one
+    /// turns the k-visible window of an overflowing query into pivot
+    /// predicates that demote the known high-ranked tuples out of the
+    /// result window (`hdc-barrier`).
+    pub barrier_pivots: u64,
+    /// Barrier crawler: distinct tuples whose first sighting was *below*
+    /// the k-visible frontier (discovery depth ≥ 1) — the tuples the
+    /// top-k barrier hides from a naive prober.
+    pub barrier_deep_tuples: u64,
 }
 
 impl CrawlMetrics {
@@ -56,6 +70,9 @@ impl CrawlMetrics {
             slice_overflows,
             local_answers,
             leaf_subcrawls,
+            slice_cache_hits,
+            barrier_pivots,
+            barrier_deep_tuples,
         } = other;
         self.two_way_splits += two_way_splits;
         self.three_way_splits += three_way_splits;
@@ -63,6 +80,9 @@ impl CrawlMetrics {
         self.slice_overflows += slice_overflows;
         self.local_answers += local_answers;
         self.leaf_subcrawls += leaf_subcrawls;
+        self.slice_cache_hits += slice_cache_hits;
+        self.barrier_pivots += barrier_pivots;
+        self.barrier_deep_tuples += barrier_deep_tuples;
     }
 }
 
@@ -237,6 +257,9 @@ mod tests {
             slice_overflows: 4,
             local_answers: 5,
             leaf_subcrawls: 6,
+            slice_cache_hits: 7,
+            barrier_pivots: 8,
+            barrier_deep_tuples: 9,
         };
         let mut merged = CrawlMetrics::default();
         merged.merge_from(&populated);
@@ -250,6 +273,9 @@ mod tests {
             slice_overflows,
             local_answers,
             leaf_subcrawls,
+            slice_cache_hits,
+            barrier_pivots,
+            barrier_deep_tuples,
         } = merged;
         assert_eq!(
             [
@@ -258,9 +284,12 @@ mod tests {
                 slice_fetches,
                 slice_overflows,
                 local_answers,
-                leaf_subcrawls
+                leaf_subcrawls,
+                slice_cache_hits,
+                barrier_pivots,
+                barrier_deep_tuples
             ],
-            [2, 4, 6, 8, 10, 12]
+            [2, 4, 6, 8, 10, 12, 14, 16, 18]
         );
     }
 

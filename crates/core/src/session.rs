@@ -1,15 +1,25 @@
 //! Crawl sessions: query accounting, output collection, progress curves.
+//!
+//! This layer is public API: it is the building block not just for the
+//! algorithms in this crate but for *external* crawler crates — the
+//! top-k-barrier crawler in `hdc-barrier` drives its discriminating
+//! probes through the same [`Session::run_batch`] path, so every crawler
+//! in the workspace shares one implementation of cost accounting, oracle
+//! pruning, batched issuing, and progress curves.
 
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
 
 use crate::dependency::ValidityOracle;
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 
-/// Internal abort signal raised inside an algorithm; the session converts
-/// it into a [`CrawlError`] carrying the partial report.
+/// Abort signal raised inside an algorithm body; the session converts it
+/// into a [`CrawlError`] carrying the partial report (see [`run_crawl`]).
 #[derive(Debug)]
-pub(crate) enum Abort {
+pub enum Abort {
+    /// The interface failed (budget exhausted, invalid query, transport).
     Db(DbError),
+    /// Problem 1 is unsolvable: the query pins a point of the data space
+    /// that still overflowed (more than `k` duplicates).
     Unsolvable(Query),
 }
 
@@ -26,7 +36,7 @@ pub(crate) enum Abort {
 /// iterate sibling lists in windows of this size, reporting extracted
 /// tuples between windows, so a failure forfeits at most one window's
 /// outcomes. Split probes (2–3 queries) are naturally below the window.
-pub(crate) const MAX_BATCH: usize = 16;
+pub const MAX_BATCH: usize = 16;
 
 /// A single crawl in flight.
 ///
@@ -41,7 +51,7 @@ pub(crate) const MAX_BATCH: usize = 16;
 /// contacting — or being charged by — the server. Soundness of the oracle
 /// implies the crawl remains complete, and "the query cost can only go
 /// down".
-pub(crate) struct Session<'a> {
+pub struct Session<'a> {
     db: &'a mut dyn HiddenDatabase,
     oracle: Option<&'a dyn ValidityOracle>,
     algorithm: &'static str,
@@ -75,13 +85,13 @@ impl<'a> Session<'a> {
     }
 
     /// Mutable access to the algorithm-internal counters.
-    pub(crate) fn metrics(&mut self) -> &mut CrawlMetrics {
+    pub fn metrics(&mut self) -> &mut CrawlMetrics {
         &mut self.metrics
     }
 
     /// Issues a query (or answers it from the oracle) and updates the
     /// accounting.
-    pub(crate) fn run(&mut self, q: &Query) -> Result<QueryOutcome, Abort> {
+    pub fn run(&mut self, q: &Query) -> Result<QueryOutcome, Abort> {
         if let Some(oracle) = self.oracle {
             if !oracle.may_match(q) {
                 // Provably empty: answered locally, free of charge.
@@ -118,7 +128,7 @@ impl<'a> Session<'a> {
     /// charged query. Callers with many siblings should issue them in
     /// [`MAX_BATCH`]-sized windows, reporting between windows, so a
     /// failure forfeits at most one window's outcomes.
-    pub(crate) fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
         match queries {
             [] => return Ok(Vec::new()),
             [q] => return Ok(vec![self.run(q)?]),
@@ -187,7 +197,7 @@ impl<'a> Session<'a> {
 
     /// Registers extracted tuples (from a resolved query or a local
     /// answer).
-    pub(crate) fn report(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+    pub fn report(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
         self.output.extend(tuples);
         self.push_progress();
     }
@@ -240,8 +250,9 @@ impl<'a> Session<'a> {
     }
 }
 
-/// Runs `body` inside a fresh session, converting aborts into errors.
-pub(crate) fn run_crawl<'a, F>(
+/// Runs `body` inside a fresh session, converting aborts into errors:
+/// the standard top-level driver every crawler in the workspace uses.
+pub fn run_crawl<'a, F>(
     algorithm: &'static str,
     db: &'a mut dyn HiddenDatabase,
     oracle: Option<&'a dyn ValidityOracle>,

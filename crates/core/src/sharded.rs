@@ -508,6 +508,33 @@ impl Sharded {
         D: HiddenDatabase + Send,
         F: Fn(usize) -> D + Sync,
     {
+        self.crawl_with(factory, |spec, db| {
+            let schema = db.schema().clone();
+            spec.crawl(db, &schema)
+        })
+    }
+
+    /// Runs a sharded crawl with a **caller-supplied per-shard crawler**.
+    ///
+    /// [`Sharded::crawl`] hard-wires the paper's hybrid algorithm
+    /// ([`ShardSpec::crawl`]); this generalization lets other crawlers
+    /// ride the same plan, pool, retirement, and merge machinery — the
+    /// top-k-barrier crawler (`hdc-barrier`) parallelizes across
+    /// identities exactly this way. The contract `shard_crawl` must
+    /// uphold is the scheduler's determinism contract: its query sequence
+    /// (and hence cost and bag) may depend only on the shard spec and the
+    /// database, never on which worker runs it or what ran before on the
+    /// connection.
+    pub fn crawl_with<D, F, G>(
+        &self,
+        factory: F,
+        shard_crawl: G,
+    ) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+        G: Fn(&ShardSpec, &mut D) -> Result<CrawlReport, CrawlError> + Sync,
+    {
         let probe = factory(0);
         let schema = probe.schema().clone();
         drop(probe);
@@ -519,7 +546,7 @@ impl Sharded {
             &factory,
             |db: &mut D, ctx, spec: ShardSpec| {
                 let begun = Instant::now();
-                let result = spec.crawl(db, &schema);
+                let result = shard_crawl(&spec, db);
                 // A database failure means this identity is dead (quota
                 // exhausted, transport gone): retire the worker instead
                 // of burning one doomed query per remaining shard. An

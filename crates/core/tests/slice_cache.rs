@@ -1,0 +1,239 @@
+//! The cross-batch slice-list cache: invariance + hit accounting.
+//!
+//! The extended-DFS slice table memoizes every fetched slice for the
+//! whole session, so the slice lists one node's `MAX_BATCH` windows
+//! materialize are served for free to every later request — the node's
+//! own per-value lookups, sibling subtrees at the same level, and (for
+//! the eager variant) the entire DFS after preprocessing.
+//! `CrawlMetrics::slice_cache_hits` now counts those free servings.
+//!
+//! The cache must be *invisible* to everything except the counter: this
+//! suite asserts (differentially, over random instances) that
+//!
+//! * the query sequence reaching the database is identical whether the
+//!   database has a native batch path or answers with the per-query
+//!   loop (so the cache interacts with neither batching nor costs);
+//! * no slice query is ever issued twice in one session — the memo *is*
+//!   the reason costs stay at the Lemma 4 bound;
+//! * hits are really counted: the eager variant's DFS re-requests every
+//!   prefetched slice, so its hit count is at least its fetch count.
+
+use proptest::prelude::*;
+
+use hdc_core::{verify_complete, Crawler, Hybrid, SliceCover};
+use hdc_server::{HiddenDbServer, ServerConfig};
+use hdc_types::{
+    AttrKind, DbError, HiddenDatabase, Query, QueryOutcome, Schema, Tuple, TupleBag, Value,
+};
+
+/// A generated categorical/mixed instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    k: usize,
+}
+
+impl Instance {
+    fn solvable(&self) -> bool {
+        TupleBag::from_tuples(self.tuples.iter().cloned()).max_multiplicity() <= self.k
+    }
+
+    fn server(&self, seed: u64) -> HiddenDbServer {
+        HiddenDbServer::new(
+            self.schema.clone(),
+            self.tuples.clone(),
+            ServerConfig { k: self.k, seed },
+        )
+        .unwrap()
+    }
+}
+
+/// 1–3 categorical attributes (some domains wider than `MAX_BATCH` so
+/// one node really spans several windows), optionally one numeric tail
+/// so the Hybrid leaf path is exercised too.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(2u32..24, 1..4),
+        any::<bool>(),
+        2usize..10,
+        0usize..150,
+        any::<u64>(),
+    )
+        .prop_map(|(domains, numeric_tail, k, n, seed)| {
+            let mut builder = Schema::builder();
+            for (i, &u) in domains.iter().enumerate() {
+                builder = builder.categorical(format!("c{i}"), u);
+            }
+            if numeric_tail {
+                builder = builder.numeric("x", 0, 40);
+            }
+            let schema = builder.build().unwrap();
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let tuples: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    Tuple::new(
+                        (0..schema.arity())
+                            .map(|a| match schema.kind(a) {
+                                AttrKind::Categorical { size } => {
+                                    Value::Cat((next() % u64::from(size)) as u32)
+                                }
+                                AttrKind::Numeric { min, max } => {
+                                    let span = (max - min + 1) as u64;
+                                    Value::Int(min + (next() % span) as i64)
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Instance { schema, tuples, k }
+        })
+}
+
+/// Records the flattened query sequence reaching the inner database.
+struct Trace<D> {
+    inner: D,
+    seq: Vec<Query>,
+}
+
+impl<D: HiddenDatabase> HiddenDatabase for Trace<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        self.seq.push(q.clone());
+        self.inner.query(q)
+    }
+
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        self.seq.extend(queries.iter().cloned());
+        self.inner.query_batch(queries)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+}
+
+/// Strips the native batch path (default per-query loop).
+struct PerQueryLoop<D>(D);
+
+impl<D: HiddenDatabase> HiddenDatabase for PerQueryLoop<D> {
+    fn schema(&self) -> &Schema {
+        self.0.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.0.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        self.0.query(q)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.0.queries_issued()
+    }
+}
+
+fn crawlers() -> Vec<(&'static str, Box<dyn Crawler>)> {
+    vec![
+        ("eager", Box::new(SliceCover::eager())),
+        ("lazy", Box::new(SliceCover::lazy())),
+        ("hybrid", Box::new(Hybrid::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Query sequences, costs, bags, and the hit counter itself are all
+    /// identical between batched and per-query execution, no slice query
+    /// is ever issued twice, and the crawl stays complete.
+    #[test]
+    fn slice_cache_is_invisible_to_query_sets_and_costs(inst in instance_strategy()) {
+        prop_assume!(inst.solvable());
+        for (name, crawler) in crawlers() {
+            if !crawler.supports(&inst.schema) {
+                continue; // slice-cover needs all-categorical schemas
+            }
+            let mut batched = Trace { inner: inst.server(19), seq: Vec::new() };
+            let out_b = crawler.crawl(&mut batched).unwrap();
+            prop_assert!(verify_complete(&inst.tuples, &out_b).is_ok(), "{}", name);
+
+            let mut looped = Trace { inner: PerQueryLoop(inst.server(19)), seq: Vec::new() };
+            let out_l = crawler.crawl(&mut looped).unwrap();
+
+            prop_assert_eq!(&batched.seq, &looped.seq, "{}: query sequences diverged", name);
+            prop_assert_eq!(out_b.queries, out_l.queries, "{}", name);
+            prop_assert_eq!(
+                out_b.metrics.slice_cache_hits,
+                out_l.metrics.slice_cache_hits,
+                "{}: hit accounting must not depend on batching",
+                name
+            );
+
+            // The memo's contract: a slice query (exactly one constrained
+            // attribute, categorical equality) is never paid for twice.
+            // Hybrid is exempt *by design*: an overflowed slice keeps only
+            // its bit (§3.2), so the rank-shrink sub-crawl at that leaf
+            // must re-issue the slice query as its root to get a pivot
+            // window.
+            if name == "hybrid" {
+                continue;
+            }
+            let mut slice_queries: Vec<&Query> = batched
+                .seq
+                .iter()
+                .filter(|q| {
+                    q.constrained_count() == 1
+                        && q.preds().iter().any(|p| matches!(p, hdc_types::Predicate::Eq(_)))
+                })
+                .collect();
+            let total = slice_queries.len();
+            slice_queries.sort_by_key(|q| format!("{q}"));
+            slice_queries.dedup();
+            prop_assert_eq!(total, slice_queries.len(), "{}: a slice was re-issued", name);
+            prop_assert_eq!(
+                out_b.metrics.slice_fetches, total as u64,
+                "{}: every slice fetch is a distinct issued slice query",
+                name
+            );
+        }
+    }
+
+    /// The eager variant proves the counter: preprocessing fetches every
+    /// slice, so the DFS afterwards runs entirely on cache hits — at
+    /// least one hit per slice the DFS consults, and never fewer hits
+    /// than the lazy variant sees on the same instance.
+    #[test]
+    fn eager_preprocessing_turns_the_dfs_into_cache_hits(inst in instance_strategy()) {
+        prop_assume!(inst.solvable());
+        prop_assume!(inst.schema.is_categorical());
+        let mut db = inst.server(29);
+        let eager = SliceCover::eager().crawl(&mut db).unwrap();
+        // The root expansion alone re-requests the whole first level.
+        let first_level = match inst.schema.kind(0) {
+            AttrKind::Categorical { size } => u64::from(size),
+            AttrKind::Numeric { .. } => unreachable!("all-categorical instance"),
+        };
+        prop_assert!(
+            eager.metrics.slice_cache_hits >= first_level,
+            "eager crawl saw {} hits, expected at least the {} root-level re-requests",
+            eager.metrics.slice_cache_hits,
+            first_level
+        );
+    }
+}

@@ -43,6 +43,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("datasets") => cmd_datasets(),
         Some("crawl") => cmd_crawl(&parse_flags(&args[1..])?),
+        Some("barrier") => cmd_barrier(&parse_flags(&args[1..])?),
         Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
         Some("hard") => cmd_hard(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -60,6 +61,10 @@ fn print_usage() {
          \u{20}            [--scale PCT] [--sessions N] [--oversubscribe N]\n\
          \u{20}            [--oracle] [--budget N]\n\
          \u{20}      Crawl one dataset and report cost, metrics, and progress.\n\
+         \u{20}  hdc barrier --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
+         \u{20}            [--sessions N] [--oversubscribe N]\n\
+         \u{20}      Top-k-barrier crawl (second paper): recover the tuples\n\
+         \u{20}      below the k-visible frontier and report discovery depths.\n\
          \u{20}  hdc sweep --dataset <name> --algos a,b,c [--ks 64,128,...]\n\
          \u{20}            [--seed N] [--scale PCT]\n\
          \u{20}      Cost table across algorithms and k values.\n\
@@ -310,6 +315,110 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                 "progressiveness: max deviation from diagonal {:.3}",
                 report.progress_deviation()
             );
+            Ok(())
+        }
+        Err(CrawlError::Unsolvable { witness, partial }) => {
+            println!(
+                "UNCRAWLABLE at k = {k}: point `{witness}` holds more than {k} tuples \
+                 ({} tuples salvaged in {} queries)",
+                partial.tuples.len(),
+                partial.queries
+            );
+            Ok(())
+        }
+        Err(CrawlError::Db { error, partial }) => {
+            println!(
+                "stopped: {error} — {} tuples salvaged in {} queries",
+                partial.tuples.len(),
+                partial.queries
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_barrier(flags: &Flags) -> Result<(), String> {
+    let dataset = flags.require("dataset")?.to_string();
+    let k: usize = flags.parse("k", 256)?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let scale: u32 = flags.parse("scale", 100)?;
+    let sessions: usize = flags.parse("sessions", 1)?;
+    let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
+    if sessions == 0 {
+        return Err("--sessions must be ≥ 1".into());
+    }
+    if oversubscribe == 0 {
+        return Err("--oversubscribe must be ≥ 1".into());
+    }
+
+    let ds = load_dataset(&dataset, scale, seed)?;
+    println!(
+        "dataset {} — n = {}, d = {}, k = {k}",
+        ds.name,
+        ds.n(),
+        ds.d()
+    );
+    let crawler = BarrierCrawler::new();
+
+    if sessions > 1 || oversubscribe > 1 {
+        let report = crawler
+            .crawl_sharded(Sharded::new(sessions).oversubscribed(oversubscribe), |_s| {
+                HiddenDbServer::new(
+                    ds.schema.clone(),
+                    ds.tuples.clone(),
+                    ServerConfig { k, seed },
+                )
+                .expect("valid dataset")
+            })
+            .map_err(|e| e.to_string())?;
+        verify_complete(&ds.tuples, &report.merged).map_err(|e| e.to_string())?;
+        println!(
+            "sharded barrier over {sessions} sessions ({} shards, {} stolen): \
+             {} total queries, busiest session {}",
+            report.shards.len(),
+            report.steals(),
+            report.merged.queries,
+            report.max_session_queries()
+        );
+        let m = report.merged.metrics;
+        println!(
+            "barrier metrics: {} pivots, {} tuples surfaced from below per-shard frontiers",
+            m.barrier_pivots, m.barrier_deep_tuples
+        );
+        return Ok(());
+    }
+
+    let server = HiddenDbServer::new(
+        ds.schema.clone(),
+        ds.tuples.clone(),
+        ServerConfig { k, seed },
+    )
+    .expect("valid dataset");
+    let mut db = server;
+    match crawler.crawl_report(&mut db) {
+        Ok(out) => {
+            verify_complete(&ds.tuples, &out.report).map_err(|e| e.to_string())?;
+            println!(
+                "barrier: {} tuples in {} queries ({} resolved, {} overflowed)",
+                out.report.tuples.len(),
+                out.report.queries,
+                out.report.resolved,
+                out.report.overflowed
+            );
+            println!(
+                "frontier {} (k-visible at the root), beyond frontier {} \
+                 ({} pivot expansions, mean depth {:.2})",
+                out.frontier(),
+                out.beyond_frontier(),
+                out.report.metrics.barrier_pivots,
+                out.mean_depth()
+            );
+            let hist = out.depth_histogram();
+            let mut table = TextTable::new(&["depth", "tuples discovered"]);
+            for (depth, count) in hist.iter().enumerate() {
+                table.row(&[&depth, count]);
+            }
+            table.print();
             Ok(())
         }
         Err(CrawlError::Unsolvable { witness, partial }) => {

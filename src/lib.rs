@@ -16,7 +16,10 @@
 //!   lower-bound instances;
 //! * [`core`] — the algorithms: `rank-shrink` (numeric, `O(d·n/k)`),
 //!   `slice-cover`/`lazy-slice-cover` (categorical), `hybrid` (mixed), and
-//!   the `binary-shrink`/`DFS` baselines.
+//!   the `binary-shrink`/`DFS` baselines;
+//! * [`barrier`] — the second paper's crawler (Thirumuruganathan, Zhang &
+//!   Das): rank-inference crawling beyond the k-visible frontier, with
+//!   per-tuple discovery depths.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hdc_barrier as barrier;
 pub use hdc_core as core;
 pub use hdc_data as data;
 pub use hdc_server as server;
@@ -52,6 +56,7 @@ pub use hdc_types as types;
 
 /// One-line import for applications and examples.
 pub mod prelude {
+    pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery};
     pub use hdc_core::{
         verify_complete, BinaryShrink, CrawlError, CrawlMetrics, CrawlReport, Crawler,
         DatasetOracle, Dfs, Hybrid, PairRuleOracle, ProgressPoint, RankShrink, Sharded,

@@ -1,0 +1,27 @@
+//! A signpost, not a test suite.
+//!
+//! This file exists so that a bare `cargo test` — which runs **only the
+//! root facade package's targets** and silently skips every member
+//! crate's suites (the server engine's differential tests, the sharded
+//! scheduler's proptests, the barrier crawler's oracle tests, …) —
+//! prints this target's name in its "Running …" lines, pointing at the
+//! real command. The `zz_` prefix sorts it last, so the pointer is the
+//! final thing a bare run shows.
+//!
+//! Tier-1 verification is:
+//!
+//! ```text
+//! cargo build --release && cargo test --workspace -q
+//! ```
+//!
+//! or, via the aliases in `.cargo/config.toml`, just `cargo t`.
+
+#[test]
+fn reminder_a_bare_cargo_test_runs_only_the_facade_package() {
+    // Visible with `--nocapture`; the file and test names carry the
+    // message even without it.
+    eprintln!(
+        "NOTE: `cargo test` without `--workspace` runs only the root facade package. \
+         Use `cargo test --workspace -q` (alias: `cargo t`) for the full suite."
+    );
+}
