@@ -1,15 +1,16 @@
 //! The rank-inference barrier crawler.
 
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 use hdc_core::numeric::extent::{extent, split2, split3};
 use hdc_core::{
-    run_crawl, Abort, CrawlError, CrawlReport, Crawler, Session, ShardSpec, Sharded,
-    ShardedReport, MAX_BATCH,
+    run_crawl, run_crawl_observed, Abort, CrawlError, CrawlObserver, CrawlReport, Crawler,
+    Session, ShardCrawler, ShardSpec, Sharded, MAX_BATCH,
 };
 use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, QueryOutcome, Schema, Tuple};
 
-use crate::report::{BarrierReport, Discovery};
+use crate::report::{merge_histograms, BarrierReport, Discovery, ShardedBarrierReport};
 
 /// The top-k-barrier crawler (see the crate docs for the algorithm).
 ///
@@ -98,9 +99,23 @@ impl BarrierCrawler {
     /// Crawls the whole database, returning the full barrier report
     /// (per-tuple discovery depths alongside the crawl accounting).
     pub fn crawl_report(&self, db: &mut dyn HiddenDatabase) -> Result<BarrierReport, CrawlError> {
+        self.crawl_report_observed(db, None)
+    }
+
+    /// [`BarrierCrawler::crawl_report`] with a [`CrawlObserver`] threaded
+    /// through the session: queries, tuples, and progress points stream
+    /// as they happen, and the observer can stop the crawl early
+    /// ([`CrawlError::Stopped`] then carries the partial report — the
+    /// discovery depths mined up to the stop are lost with it, as they
+    /// ride the [`BarrierReport`] of successful crawls only).
+    pub fn crawl_report_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<BarrierReport, CrawlError> {
         let schema = db.schema().clone();
         let mut tracker = DepthTracker::default();
-        let report = run_crawl("barrier", db, None, |session| {
+        let report = run_crawl_observed("barrier", db, None, observer, |session| {
             self.run_barrier(session, &schema, schema.full_query(), &mut tracker)
         })?;
         Ok(BarrierReport::assemble(report, tracker.log))
@@ -133,25 +148,65 @@ impl BarrierCrawler {
     /// Parallelizes a barrier crawl across client identities on the
     /// work-stealing pool: the same plans, retirement, salvage, and
     /// merge semantics as [`Sharded::crawl`], with this crawler running
-    /// each shard (via [`Sharded::crawl_with`]).
+    /// each shard (via [`Sharded::crawl_observed`]).
     ///
-    /// Per-tuple depths stay per shard (use [`BarrierCrawler::crawl_shard`]
-    /// directly to keep them); the merged report still aggregates the
-    /// barrier counters — `barrier_pivots`, `barrier_deep_tuples` — in
-    /// its [`hdc_core::CrawlMetrics`].
+    /// The merge is **depth-aware**: each shard's per-tuple depth
+    /// histogram (relative to its own covering roots) survives the merge
+    /// as an element-wise sum in
+    /// [`ShardedBarrierReport::depth_histogram`], so the "how deep does
+    /// the barrier bury the data" statistic can be benched at scale —
+    /// previously only the `CrawlMetrics` aggregates outlived the merge.
+    /// Individual [`Discovery`] logs stay per shard (use
+    /// [`BarrierCrawler::crawl_shard`] directly to keep them).
     pub fn crawl_sharded<D, F>(
         &self,
         sharded: Sharded,
         factory: F,
-    ) -> Result<ShardedReport, CrawlError>
+    ) -> Result<ShardedBarrierReport, CrawlError>
     where
         D: HiddenDatabase + Send,
         F: Fn(usize) -> D + Sync,
     {
-        sharded.crawl_with(factory, |spec, db| {
-            let schema = db.schema().clone();
-            self.crawl_shard(db, &schema, spec).map(|r| r.report)
-        })
+        self.crawl_sharded_observed(sharded, factory, None)
+    }
+
+    /// [`BarrierCrawler::crawl_sharded`] with a [`CrawlObserver`]
+    /// attached to the merge path (one
+    /// [`hdc_core::ShardEvent`] per merged shard, in plan order; see
+    /// [`Sharded::crawl_observed`] for the stop semantics).
+    pub fn crawl_sharded_observed<D, F>(
+        &self,
+        sharded: Sharded,
+        factory: F,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<ShardedBarrierReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+    {
+        // Depth histograms ride a side channel out of the worker threads:
+        // `crawl_with`'s contract only moves `CrawlReport`s, and summing
+        // histograms is commutative, so collection order doesn't matter.
+        let histograms: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+        let report = sharded.crawl_observed(
+            factory,
+            |spec, db| {
+                let schema = db.schema().clone();
+                let out = self.crawl_shard(db, &schema, spec)?;
+                histograms
+                    .lock()
+                    .expect("histogram channel poisoned")
+                    .push(out.depth_histogram());
+                Ok(out.report)
+            },
+            observer,
+        )?;
+        let merged = merge_histograms(
+            histograms
+                .into_inner()
+                .expect("histogram channel poisoned"),
+        );
+        Ok(ShardedBarrierReport::assemble(report, merged))
     }
 
     /// The crawl driver: issue the root, then repeatedly expand the
@@ -315,8 +370,28 @@ impl Crawler for BarrierCrawler {
         true // numeric, categorical, and mixed spaces alike
     }
 
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
-        self.crawl_report(db).map(|r| r.report)
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_report_observed(db, observer).map(|r| r.report)
+    }
+}
+
+/// Plugs the barrier crawler into the one-stop builder:
+/// `Crawl::builder().strategy(Strategy::Custom(&BarrierCrawler::new()))`
+/// runs it solo or — through `sessions(n)` — across identities on the
+/// work-stealing pool, with the same per-shard query sequences as
+/// [`BarrierCrawler::crawl_sharded`].
+impl ShardCrawler for BarrierCrawler {
+    fn crawl_spec(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        spec: &ShardSpec,
+    ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_shard(db, schema, spec).map(|r| r.report)
     }
 }
 
@@ -498,9 +573,9 @@ mod tests {
                     .unwrap()
                 })
                 .unwrap_or_else(|e| panic!("sessions={sessions} factor={factor}: {e}"));
-            verify_complete(&rows, &report.merged)
+            verify_complete(&rows, &report.sharded.merged)
                 .unwrap_or_else(|e| panic!("sessions={sessions} factor={factor}: {e}"));
-            assert!(report.merged.metrics.barrier_pivots > 0);
+            assert!(report.sharded.merged.metrics.barrier_pivots > 0);
         }
     }
 
@@ -529,18 +604,18 @@ mod tests {
             .crawl_sharded(Sharded::new(3).oversubscribed(2), |_s| make())
             .unwrap();
         let plan = Sharded::plan_oversubscribed(&schema, 3, 2);
-        assert_eq!(stolen.shards.len(), plan.len());
+        assert_eq!(stolen.sharded.shards.len(), plan.len());
         let mut seq_total = 0u64;
         for (i, spec) in plan.iter().enumerate() {
             let mut db = make();
             let solo = crawler.crawl_shard(&mut db, &schema, spec).unwrap();
             assert_eq!(
-                solo.report.queries, stolen.shards[i].report.queries,
+                solo.report.queries, stolen.sharded.shards[i].report.queries,
                 "shard {i} cost depends on scheduling"
             );
-            assert_eq!(solo.report.tuples.len() as u64, stolen.shards[i].tuples);
+            assert_eq!(solo.report.tuples.len() as u64, stolen.sharded.shards[i].tuples);
             seq_total += solo.report.queries;
         }
-        assert_eq!(stolen.merged.queries, seq_total);
+        assert_eq!(stolen.sharded.merged.queries, seq_total);
     }
 }

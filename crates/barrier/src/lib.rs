@@ -92,4 +92,4 @@ pub mod crawler;
 pub mod report;
 
 pub use crawler::BarrierCrawler;
-pub use report::{BarrierReport, Discovery};
+pub use report::{BarrierReport, Discovery, ShardedBarrierReport};

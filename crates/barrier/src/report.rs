@@ -1,7 +1,7 @@
 //! Barrier-crawl results: the standard crawl report plus per-tuple
-//! discovery depth.
+//! discovery depth (solo and depth-aware sharded variants).
 
-use hdc_core::CrawlReport;
+use hdc_core::{CrawlReport, ShardedReport};
 use hdc_types::Tuple;
 
 /// One distinct tuple value's first sighting during a barrier crawl.
@@ -82,6 +82,81 @@ impl BarrierReport {
     }
 }
 
+/// Element-wise sum of per-shard depth histograms (padded to the longest).
+pub(crate) fn merge_histograms(histograms: Vec<Vec<u64>>) -> Vec<u64> {
+    let len = histograms.iter().map(Vec::len).max().unwrap_or(0);
+    let mut merged = vec![0u64; len];
+    for hist in histograms {
+        for (slot, count) in merged.iter_mut().zip(hist) {
+            *slot += count;
+        }
+    }
+    merged
+}
+
+/// The result of a **sharded** barrier crawl: the standard work-stealing
+/// [`ShardedReport`] plus the merged discovery-depth distribution.
+///
+/// Depths are relative to each shard's own covering roots (a shard's
+/// "frontier" is what its covering queries make visible), so the merged
+/// histogram sums per-shard histograms element-wise — depth 0 counts
+/// every tuple visible at *some* shard root, deeper buckets count tuples
+/// that needed that many discriminating refinements inside their shard.
+/// Before this type existed the sharded merge dropped the depths
+/// entirely (only the `CrawlMetrics` aggregates survived).
+#[derive(Debug)]
+pub struct ShardedBarrierReport {
+    /// The standard sharded crawl result: merged bag/accounting,
+    /// per-identity aggregates, per-shard runs, pool counters.
+    pub sharded: ShardedReport,
+    /// Merged depth histogram: `depth_histogram[d]` = distinct tuples
+    /// first seen at depth `d` of their shard's crawl. Empty for an
+    /// empty crawl.
+    pub depth_histogram: Vec<u64>,
+    /// The deepest discovery across all shards (0 for crawls whose
+    /// roots all resolved).
+    pub max_depth: u32,
+}
+
+impl ShardedBarrierReport {
+    pub(crate) fn assemble(sharded: ShardedReport, depth_histogram: Vec<u64>) -> Self {
+        let max_depth = depth_histogram.len().saturating_sub(1) as u32;
+        ShardedBarrierReport {
+            sharded,
+            depth_histogram,
+            max_depth,
+        }
+    }
+
+    /// Distinct tuples visible at some shard root (depth 0) — the union
+    /// of the per-shard k-visible frontiers.
+    pub fn frontier(&self) -> u64 {
+        self.depth_histogram.first().copied().unwrap_or(0)
+    }
+
+    /// Distinct tuples first seen below their shard's frontier
+    /// (depth ≥ 1).
+    pub fn beyond_frontier(&self) -> u64 {
+        self.depth_histogram.iter().skip(1).sum()
+    }
+
+    /// Mean discovery depth over distinct tuples (0.0 for an empty
+    /// crawl).
+    pub fn mean_depth(&self) -> f64 {
+        let total: u64 = self.depth_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .depth_histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +204,15 @@ mod tests {
         assert_eq!(r.beyond_frontier(), 0);
         assert!(r.depth_histogram().is_empty());
         assert_eq!(r.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_pads_and_sums() {
+        assert_eq!(
+            merge_histograms(vec![vec![2, 1], vec![3], vec![1, 0, 4]]),
+            vec![6, 1, 4]
+        );
+        assert!(merge_histograms(vec![]).is_empty());
+        assert!(merge_histograms(vec![vec![], vec![]]).is_empty());
     }
 }

@@ -256,10 +256,10 @@ proptest! {
                 unreachable!()
             }
         };
-        prop_assert!(verify_complete(&inst.tuples, &stolen.merged).is_ok());
+        prop_assert!(verify_complete(&inst.tuples, &stolen.sharded.merged).is_ok());
 
         let plan = Sharded::plan_oversubscribed(&inst.schema, sessions, factor);
-        prop_assert_eq!(plan.len(), stolen.shards.len());
+        prop_assert_eq!(plan.len(), stolen.sharded.shards.len());
         let mut seq_total = 0u64;
         let mut seq_bag = TupleBag::new();
         for (i, spec) in plan.iter().enumerate() {
@@ -267,7 +267,7 @@ proptest! {
             let solo = crawler.crawl_shard(&mut db, &inst.schema, spec).unwrap();
             prop_assert_eq!(
                 solo.report.queries,
-                stolen.shards[i].report.queries,
+                stolen.sharded.shards[i].report.queries,
                 "shard {} cost changed under stealing",
                 i
             );
@@ -276,8 +276,80 @@ proptest! {
                 seq_bag.insert(t);
             }
         }
-        prop_assert_eq!(stolen.merged.queries, seq_total);
-        let stolen_bag: TupleBag = stolen.merged.tuples.iter().collect();
+        prop_assert_eq!(stolen.sharded.merged.queries, seq_total);
+        let stolen_bag: TupleBag = stolen.sharded.merged.tuples.iter().collect();
         prop_assert!(stolen_bag.multiset_eq(&seq_bag));
+    }
+}
+
+/// The one-stop builder's `Strategy::Custom` path is a *front end* over
+/// this crawler, not a fork: solo runs match `crawl_report` bit for bit,
+/// sharded runs match `crawl_sharded` (same merged bag/cost, same
+/// per-shard costs, same depth-aware histogram).
+mod builder_front_end {
+    use super::*;
+    use hdc_core::{Crawl, Strategy};
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn builder_custom_solo_matches_crawl_report(inst in instance_strategy()) {
+            prop_assume!(inst.solvable());
+            let crawler = BarrierCrawler::new();
+            let legacy = crawler.crawl_report(&mut inst.server(17)).unwrap();
+            let built = Crawl::builder()
+                .strategy(Strategy::Custom(&crawler))
+                .run(&mut inst.server(17))
+                .unwrap();
+            prop_assert_eq!(built.algorithm, "barrier");
+            prop_assert_eq!(built.queries, legacy.report.queries);
+            prop_assert_eq!(built.resolved, legacy.report.resolved);
+            prop_assert_eq!(built.overflowed, legacy.report.overflowed);
+            prop_assert_eq!(&built.progress, &legacy.report.progress);
+            prop_assert_eq!(&built.tuples, &legacy.report.tuples);
+        }
+
+        #[test]
+        fn builder_custom_sharded_matches_crawl_sharded(
+            inst in instance_strategy(),
+            sessions in 2usize..4,
+            factor in 1usize..4,
+        ) {
+            prop_assume!(inst.solvable());
+            let crawler = BarrierCrawler::new();
+            let legacy = crawler
+                .crawl_sharded(
+                    Sharded::new(sessions).oversubscribed(factor),
+                    |_s| inst.server(19),
+                )
+                .unwrap();
+            let built = Crawl::builder()
+                .strategy(Strategy::Custom(&crawler))
+                .sessions(sessions)
+                .oversubscribe(factor)
+                .run_sharded(|_s| inst.server(19))
+                .unwrap();
+            prop_assert_eq!(built.merged.queries, legacy.sharded.merged.queries);
+            prop_assert_eq!(&built.merged.tuples, &legacy.sharded.merged.tuples);
+            prop_assert_eq!(built.shards.len(), legacy.sharded.shards.len());
+            for (a, b) in built.shards.iter().zip(&legacy.sharded.shards) {
+                prop_assert_eq!(&a.spec, &b.spec);
+                prop_assert_eq!(a.report.queries, b.report.queries);
+                prop_assert_eq!(a.tuples, b.tuples);
+            }
+            // The depth-aware merge reconciles with the metrics both ways.
+            prop_assert_eq!(
+                legacy.beyond_frontier(),
+                built.merged.metrics.barrier_deep_tuples
+            );
+            // Shards cover disjoint subspaces, so the summed per-shard
+            // discovery counts are exactly the distinct tuple values of
+            // the merged bag.
+            prop_assert_eq!(
+                legacy.depth_histogram.iter().sum::<u64>() as usize,
+                TupleBag::from_tuples(built.merged.tuples.iter().cloned()).distinct()
+            );
+        }
     }
 }

@@ -22,7 +22,16 @@
 //!   latency — the paper's metered-front-end regime; this container has
 //!   one core, so backlog parallelism is what scales, exactly as in
 //!   `BENCH_pr3.json`. Bags are cross-checked against ground truth at
-//!   every session count.
+//!   every session count, and each row records the **depth-aware
+//!   merge**: the merged discovery-depth histogram (per-shard depths
+//!   summed element-wise, cross-checked against the metrics
+//!   aggregates).
+//!
+//! The Hybrid context crawl runs through the one-stop
+//! `Crawl::builder()` with a streaming observer, and its
+//! progressiveness statistic is computed from the `on_progress` event
+//! stream — asserted identical to the report's own curve, so the
+//! recorded number doubles as an end-to-end check of the event path.
 //!
 //! Workloads are the `BENCH_pr3` trio (Yahoo/Adult stand-ins + a uniform
 //! control). Output: `BENCH_pr4.json` (override with `BENCH_OUT`;
@@ -32,7 +41,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hdc_barrier::BarrierCrawler;
-use hdc_core::{verify_complete, Crawler, Hybrid, Sharded};
+use hdc_core::{verify_complete, Crawl, ProgressRecorder, Sharded, Strategy};
 use hdc_data::synth::SyntheticSpec;
 use hdc_data::{adult, ops, yahoo, Dataset};
 use hdc_server::{HiddenDbServer, LegacyEvaluator, ServerConfig};
@@ -169,6 +178,10 @@ struct EvalRow {
     k: usize,
     queries: u64,
     hybrid_queries: u64,
+    /// Max deviation of the hybrid progressiveness curve from the
+    /// diagonal, computed from the builder's streamed `on_progress`
+    /// events (cross-checked against the report's own curve).
+    hybrid_progress_deviation: f64,
     frontier: usize,
     beyond_frontier: usize,
     max_depth: u32,
@@ -185,7 +198,12 @@ struct ScaleRow {
     busiest: u64,
     shards: usize,
     steals: u64,
+    /// The depth-aware merge: element-wise sum of per-shard discovery
+    /// depth histograms (depths relative to each shard's roots).
+    depth_histogram: Vec<u64>,
+    max_depth: u32,
 }
+
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -226,11 +244,30 @@ fn main() {
 
         // Context row: the first paper's Hybrid on the same instance, so
         // the JSON records how the barrier's probe volume compares to
-        // the established crawler's on identical data.
+        // the established crawler's on identical data. Driven through
+        // the one-stop builder with a streaming observer, so the
+        // progressiveness statistic comes from the event stream — and is
+        // cross-checked against the report's own curve.
         let mut hybrid_db = serve(&w.ds, w.k);
-        let hybrid = Hybrid::new()
-            .crawl(&mut hybrid_db)
+        // `ProgressRecorder` is itself a CrawlObserver — the same type
+        // that builds the report's curve internally — so the streamed
+        // events can be accumulated and checked against the report
+        // without any local re-implementation.
+        let mut curve = ProgressRecorder::new();
+        let hybrid = Crawl::builder()
+            .strategy(Strategy::Hybrid)
+            .observer(&mut curve)
+            .run(&mut hybrid_db)
             .unwrap_or_else(|e| panic!("{}: hybrid reference crawl failed: {e}", w.name));
+        assert_eq!(
+            curve.points(),
+            &hybrid.progress[..],
+            "{}: event-derived progressiveness curve diverged from the report's",
+            w.name
+        );
+        // Event curve ≡ report curve (asserted above), so the report's
+        // own statistic *is* the event-derived one.
+        let hybrid_progress_deviation = hybrid.progress_deviation();
 
         let mut engine_times = Vec::new();
         let mut legacy_times = Vec::new();
@@ -251,6 +288,7 @@ fn main() {
             k: w.k,
             queries: reference.report.queries,
             hybrid_queries: hybrid.queries,
+            hybrid_progress_deviation,
             frontier: reference.frontier(),
             beyond_frontier: reference.beyond_frontier(),
             max_depth: reference.max_depth,
@@ -298,10 +336,20 @@ fn main() {
                     )
                     .unwrap_or_else(|e| panic!("{}: sharded barrier failed: {e}", w.name));
                 let wall = begun.elapsed().as_secs_f64();
-                let got: TupleBag = report.merged.tuples.iter().collect();
+                let got: TupleBag = report.sharded.merged.tuples.iter().collect();
                 assert!(
                     got.multiset_eq(&truth_bag),
                     "{}: sharded barrier bag diverged at {} sessions",
+                    w.name,
+                    sessions
+                );
+                // The depth-aware merge keeps the full distribution, so
+                // the deep-tuple count must reconcile with the metrics
+                // aggregate at every session count.
+                assert_eq!(
+                    report.beyond_frontier(),
+                    report.sharded.merged.metrics.barrier_deep_tuples,
+                    "{}: merged depth histogram diverged from metrics at {} sessions",
                     w.name,
                     sessions
                 );
@@ -309,10 +357,12 @@ fn main() {
                     workload: w.name,
                     sessions,
                     wall,
-                    total_queries: report.merged.queries,
-                    busiest: report.max_session_queries(),
-                    shards: report.shards.len(),
-                    steals: report.steals(),
+                    total_queries: report.sharded.merged.queries,
+                    busiest: report.sharded.max_session_queries(),
+                    shards: report.sharded.shards.len(),
+                    steals: report.sharded.steals(),
+                    depth_histogram: report.depth_histogram.clone(),
+                    max_depth: report.max_depth,
                 };
                 if best.as_ref().is_none_or(|b| row.wall < b.wall) {
                     best = Some(row);
@@ -320,8 +370,15 @@ fn main() {
             }
             let row = best.expect("at least one sample");
             eprintln!(
-                "  s={:>2}  wall {:>7.2}s   total {:>6}q  busiest {:>6}q  {} shards, {} stolen",
-                row.sessions, row.wall, row.total_queries, row.busiest, row.shards, row.steals
+                "  s={:>2}  wall {:>7.2}s   total {:>6}q  busiest {:>6}q  {} shards, {} stolen, \
+                 max depth {}",
+                row.sessions,
+                row.wall,
+                row.total_queries,
+                row.busiest,
+                row.shards,
+                row.steals,
+                row.max_depth
             );
             scale_rows.push(row);
         }
@@ -350,7 +407,9 @@ fn main() {
          wall-clock engine vs seed LegacyEvaluator on identical data/priorities (identical query \
          sequences, cross-checked), and sharded barrier crawl wall-clock vs sessions on the \
          work-stealing pool (factor {OVERSUB}, simulated {}us per-query round-trip, single-core \
-         container, bags cross-checked at every session count)\",\n",
+         container, bags cross-checked at every session count, merged discovery-depth histogram \
+         recorded per row via the depth-aware sharded merge); hybrid context crawls run through \
+         Crawl::builder() with progressiveness computed from the streamed on_progress events\",\n",
         per_query.as_micros()
     ));
     json.push_str(&format!("  \"latency_us\": {},\n", per_query.as_micros()));
@@ -359,7 +418,8 @@ fn main() {
     for (i, r) in eval_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"n\": {}, \"k\": {}, \"queries\": {}, \
-             \"hybrid_queries\": {}, \"frontier\": {}, \"beyond_frontier\": {}, \
+             \"hybrid_queries\": {}, \"hybrid_progress_deviation\": {:.4}, \
+             \"frontier\": {}, \"beyond_frontier\": {}, \
              \"max_depth\": {}, \"pivots\": {}, \
              \"engine_wall_secs\": {:.3}, \"legacy_wall_secs\": {:.3}, \
              \"engine_vs_legacy\": {:.3}}}{}\n",
@@ -368,6 +428,7 @@ fn main() {
             r.k,
             r.queries,
             r.hybrid_queries,
+            r.hybrid_progress_deviation,
             r.frontier,
             r.beyond_frontier,
             r.max_depth,
@@ -386,10 +447,17 @@ fn main() {
             .find(|b| b.workload == r.workload && b.sessions == 1)
             .expect("sessions=1 row exists")
             .wall;
+        let hist = r
+            .depth_histogram
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"sessions\": {}, \"wall_secs\": {:.3}, \
              \"speedup_vs_1\": {:.3}, \"total_queries\": {}, \"max_session_queries\": {}, \
-             \"shards\": {}, \"steals\": {}}}{}\n",
+             \"shards\": {}, \"steals\": {}, \"max_depth\": {}, \
+             \"depth_histogram\": [{}]}}{}\n",
             r.workload,
             r.sessions,
             r.wall,
@@ -398,6 +466,8 @@ fn main() {
             r.busiest,
             r.shards,
             r.steals,
+            r.max_depth,
+            hist,
             if i + 1 == scale_rows.len() { "" } else { "," }
         ));
     }

@@ -11,8 +11,9 @@ use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, Schema};
 
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
+use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session, MAX_BATCH};
+use crate::session::{run_crawl_observed, Abort, Session, MAX_BATCH};
 
 /// The DFS baseline crawler for purely categorical schemas.
 #[derive(Default)]
@@ -91,10 +92,14 @@ impl Crawler for Dfs<'_> {
         schema.is_categorical()
     }
 
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(self.supports(&schema), "DFS requires a categorical schema");
-        run_crawl(self.name(), db, self.oracle, |session| {
+        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
             self.run(session, &schema)
         })
     }

@@ -19,24 +19,33 @@
 //! which plugs a rank-shrink sub-crawl in at the leaves instead of point
 //! queries.
 
-use hdc_types::{HiddenDatabase, Predicate, Query, Schema, Tuple};
+use hdc_types::{HiddenDatabase, Predicate, Query, QueryOutcome, Schema, Tuple};
 
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::numeric::rank_shrink::RankShrink;
+use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session, MAX_BATCH};
+use crate::session::{run_crawl_observed, Abort, Session, MAX_BATCH};
 
 /// A recorded slice-query response.
 ///
 /// Overflowing slices keep only the overflow bit, exactly as §3.2
-/// prescribes ("if q overflows, we remember nothing but a bit").
+/// prescribes ("if q overflows, we remember nothing but a bit") — except
+/// at the leaf level of a single-categorical-attribute numeric-leaf
+/// crawl, where the k-window is kept too (see
+/// [`SliceTable::cache_leaf_windows`]).
 #[derive(Debug)]
 pub(crate) enum SliceResult {
     /// The slice resolved; its complete result is cached.
     Resolved(Vec<Tuple>),
-    /// The slice overflowed (`|q(D)| > k`).
-    Overflowed,
+    /// The slice overflowed (`|q(D)| > k`). `window` carries the
+    /// truncated k-window only when leaf-window caching is on and the
+    /// slice sits at the leaf level; it is `None` otherwise.
+    Overflowed {
+        /// The k tuples the overflowing slice returned, when cached.
+        window: Option<Vec<Tuple>>,
+    },
 }
 
 /// The slice-query lookup table (memoizing, so it also implements the
@@ -48,6 +57,9 @@ pub(crate) struct SliceTable {
     arity: usize,
     /// `entries[pos][value]`: response of slice `cat_dims[pos] = value`.
     entries: Vec<Vec<Option<SliceResult>>>,
+    /// Keep the k-window of overflowed *leaf-level* slices (see
+    /// [`SliceTable::cache_leaf_windows`]).
+    keep_leaf_windows: bool,
 }
 
 impl SliceTable {
@@ -66,7 +78,23 @@ impl SliceTable {
             cat_dims: cat_dims.to_vec(),
             arity: schema.arity(),
             entries,
+            keep_leaf_windows: false,
         }
+    }
+
+    /// Keeps the k-window of overflowed slices at the **leaf level**
+    /// (the table's last tree level) instead of only the overflow bit.
+    ///
+    /// This matters exactly when the tree has one level and the leaves
+    /// are numeric sub-crawls (the §5 hybrid with `cat = 1`, or a
+    /// single-attribute sharded plan): there a leaf's query *is* its
+    /// slice query, and the rank-shrink sub-crawl would otherwise have
+    /// to re-issue it as its root just to obtain a pivot window — the
+    /// server is deterministic, so the recorded window is exactly what
+    /// the re-issue would return. Memory cost is O(k) per overflowed
+    /// leaf slice, bounded by `U_leaf` windows.
+    pub(crate) fn cache_leaf_windows(&mut self) {
+        self.keep_leaf_windows = true;
     }
 
     /// Number of tree levels (= categorical attributes).
@@ -132,7 +160,9 @@ impl SliceTable {
                     session.metrics().slice_overflows += 1;
                 }
                 let entry = if out.overflow {
-                    SliceResult::Overflowed
+                    let window = (self.keep_leaf_windows && pos + 1 == self.levels())
+                        .then_some(out.tuples);
+                    SliceResult::Overflowed { window }
                 } else {
                     SliceResult::Resolved(out.tuples)
                 };
@@ -277,7 +307,7 @@ pub(crate) fn extended_dfs_from(
                         session.metrics().local_answers += 1;
                         session.report(matched);
                     }
-                    SliceResult::Overflowed => {
+                    SliceResult::Overflowed { window: leaf_window } => {
                         let is_slice = child_q.constrained_count() == 1;
                         if child_level == levels {
                             match leaf {
@@ -292,7 +322,26 @@ pub(crate) fn extended_dfs_from(
                                 }
                                 LeafMode::Numeric { rank, dims } => {
                                     session.metrics().leaf_subcrawls += 1;
-                                    rank.run_subspace(session, child_q, dims)?;
+                                    match (is_slice, leaf_window) {
+                                        (true, Some(w)) => {
+                                            // The leaf's root *is* this
+                                            // slice and its k-window is
+                                            // cached: seed rank-shrink
+                                            // with the recorded response
+                                            // instead of re-issuing the
+                                            // query (deterministic server
+                                            // → identical outcome, one
+                                            // query saved per overflowing
+                                            // leaf).
+                                            session.metrics().slice_cache_hits += 1;
+                                            let known =
+                                                QueryOutcome::overflowed(w.clone());
+                                            rank.run_subspace_seeded(
+                                                session, child_q, known, dims,
+                                            )?;
+                                        }
+                                        _ => rank.run_subspace(session, child_q, dims)?,
+                                    }
                                 }
                             }
                         } else {
@@ -394,14 +443,18 @@ impl Crawler for SliceCover<'_> {
         schema.is_categorical()
     }
 
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "slice-cover requires a categorical schema"
         );
         let cat_dims: Vec<usize> = (0..schema.arity()).collect();
-        run_crawl(self.name(), db, self.oracle, |session| {
+        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
             let mut table = SliceTable::new(&schema, &cat_dims);
             if self.eager {
                 table.prefetch_all(session)?;
@@ -414,6 +467,7 @@ impl Crawler for SliceCover<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::run_crawl;
     use crate::validate::verify_complete;
     use hdc_server::{HiddenDbServer, ServerConfig};
     use hdc_types::tuple::cat_tuple;
@@ -461,7 +515,10 @@ mod tests {
             let mut table = SliceTable::new(&schema, &[0, 1]);
             table.prefetch_all(session)?;
             // A1 = 1 (paper) = value 0: overflow. A1 = 2 → {t5}.
-            assert!(matches!(table.entries[0][0], Some(SliceResult::Overflowed)));
+            assert!(matches!(
+                table.entries[0][0],
+                Some(SliceResult::Overflowed { .. })
+            ));
             match &table.entries[0][1] {
                 Some(SliceResult::Resolved(ts)) => {
                     assert_eq!(TupleBag::from_tuples(ts.clone()).len(), 1);
@@ -469,7 +526,10 @@ mod tests {
                 }
                 other => panic!("A1=2 should resolve, got {other:?}"),
             }
-            assert!(matches!(table.entries[0][2], Some(SliceResult::Overflowed)));
+            assert!(matches!(
+                table.entries[0][2],
+                Some(SliceResult::Overflowed { .. })
+            ));
             match &table.entries[0][3] {
                 Some(SliceResult::Resolved(ts)) => assert_eq!(ts, &[cat_tuple(&[3, 1])]),
                 other => panic!("A1=4 should resolve, got {other:?}"),
@@ -640,6 +700,84 @@ mod tests {
         assert_eq!(
             report.metrics.leaf_subcrawls, 0,
             "pure categorical: point leaves"
+        );
+    }
+
+    /// The leaf k-window cache, measured differentially in-tree: on a
+    /// `cat = 1` mixed schema every overflowing level-0 slice spawns a
+    /// rank-shrink leaf whose root *is* that slice, so caching the
+    /// overflowed windows saves exactly one query per overflowing slice
+    /// — with a bit-identical bag and otherwise identical traversal.
+    /// (Multi-categorical schemas like the Yahoo/Adult stand-ins have
+    /// multi-predicate leaf queries that are never slices: their delta
+    /// is structurally zero, which
+    /// `hybrid::tests::leaf_window_cache_is_inert_on_multi_categorical_real_datasets`
+    /// pins on the real dataset generators.)
+    #[test]
+    fn leaf_window_cache_saves_one_query_per_overflowing_leaf_slice() {
+        use crate::report::CrawlReport;
+        use hdc_types::Value;
+
+        let schema = Schema::builder()
+            .categorical("c", 6)
+            .numeric("x", 0, 999)
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..800u64)
+            .map(|i| {
+                let h = crate::theory::mix(i);
+                Tuple::new(vec![
+                    Value::Cat((h % 6) as u32),
+                    Value::Int(((h >> 8) % 1000) as i64),
+                ])
+            })
+            .collect();
+        let run = |cache: bool| -> CrawlReport {
+            let mut db = HiddenDbServer::new(
+                schema.clone(),
+                tuples.clone(),
+                ServerConfig { k: 16, seed: 3 },
+            )
+            .unwrap();
+            let rank = RankShrink::new();
+            run_crawl("t", &mut db, None, |session| {
+                let mut table = SliceTable::new(&schema, &[0]);
+                if cache {
+                    table.cache_leaf_windows();
+                }
+                extended_dfs(
+                    session,
+                    &mut table,
+                    &LeafMode::Numeric {
+                        rank: &rank,
+                        dims: &[1],
+                    },
+                )
+            })
+            .unwrap()
+        };
+        let old = run(false); // the pre-cache behavior, bit for bit
+        let new = run(true);
+        eprintln!(
+            "cat=1 leaf-window delta: {} -> {} queries ({} overflowing leaf slices)",
+            old.queries, new.queries, new.metrics.slice_overflows
+        );
+        let old_bag = TupleBag::from_tuples(old.tuples.clone());
+        let new_bag = TupleBag::from_tuples(new.tuples.clone());
+        assert!(old_bag.multiset_eq(&new_bag), "cache changed the bag");
+        assert!(
+            new.metrics.slice_overflows > 0,
+            "instance must exercise overflowing leaf slices"
+        );
+        assert_eq!(
+            old.queries,
+            new.queries + new.metrics.slice_overflows,
+            "exactly one query saved per overflowing leaf slice"
+        );
+        assert_eq!(
+            new.metrics.slice_cache_hits,
+            old.metrics.slice_cache_hits + new.metrics.slice_overflows,
+            "each saved re-issue is tallied as a slice-cache hit"
         );
     }
 

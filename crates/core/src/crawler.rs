@@ -2,6 +2,7 @@
 
 use hdc_types::{HiddenDatabase, Schema};
 
+use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
 
 /// A hidden-database crawling algorithm.
@@ -9,6 +10,13 @@ use crate::report::{CrawlError, CrawlReport};
 /// Implementations are stateless configuration objects; all run state
 /// lives in the crawl session, so one crawler value can drive many crawls
 /// (the benchmark harness reuses them across sweeps).
+///
+/// The required entry point is [`Crawler::crawl_observed`] — every
+/// crawler must thread an optional [`CrawlObserver`] through its session
+/// (all in-workspace crawlers do so via
+/// [`crate::session::run_crawl_observed`]) so the one-stop
+/// [`crate::CrawlBuilder`] can stream events from any strategy.
+/// [`Crawler::crawl`] is the observer-less convenience wrapper.
 pub trait Crawler {
     /// Stable algorithm name used in reports and experiment tables.
     fn name(&self) -> &'static str;
@@ -17,12 +25,25 @@ pub trait Crawler {
     /// (e.g. [`crate::RankShrink`] requires all-numeric attributes).
     fn supports(&self, schema: &Schema) -> bool;
 
-    /// Extracts the complete tuple bag through the top-`k` interface.
+    /// Extracts the complete tuple bag through the top-`k` interface,
+    /// streaming crawl events to `observer` (see [`CrawlObserver`] for
+    /// the event and early-stop semantics).
     ///
     /// On success the report holds exactly the database's bag. On failure
     /// the error carries a partial report with everything extracted before
-    /// the failure.
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError>;
+    /// the failure (including an observer-requested stop,
+    /// [`CrawlError::Stopped`]).
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError>;
+
+    /// Extracts the complete tuple bag through the top-`k` interface:
+    /// [`Crawler::crawl_observed`] without an observer.
+    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+        self.crawl_observed(db, None)
+    }
 }
 
 #[cfg(test)]
@@ -41,7 +62,11 @@ mod tests {
             true
         }
 
-        fn crawl(&self, _db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+        fn crawl_observed(
+            &self,
+            _db: &mut dyn HiddenDatabase,
+            _observer: Option<&mut dyn CrawlObserver>,
+        ) -> Result<CrawlReport, CrawlError> {
             Ok(CrawlReport {
                 algorithm: self.name(),
                 tuples: vec![],

@@ -17,8 +17,14 @@
 //!
 //! # Usage
 //!
+//! The one-stop entry point is [`Crawl::builder`] ([`orchestrate`]
+//! module): it resolves [`Strategy::Auto`] to the paper's choice for the
+//! schema, applies budgets, routes multi-session crawls through the
+//! work-stealing [`Sharded`] pool, and streams crawl events to a
+//! [`CrawlObserver`] (with observer-driven early termination).
+//!
 //! ```
-//! use hdc_core::{Crawler, RankShrink};
+//! use hdc_core::{Crawl, Strategy};
 //! use hdc_server::{HiddenDbServer, ServerConfig};
 //! use hdc_types::tuple::int_tuple;
 //! use hdc_types::Schema;
@@ -28,16 +34,23 @@
 //! let mut db =
 //!     HiddenDbServer::new(schema, rows.clone(), ServerConfig { k: 16, seed: 7 }).unwrap();
 //!
-//! let report = RankShrink::new().crawl(&mut db).unwrap();
+//! // Auto resolves to rank-shrink on this numeric schema.
+//! let report = Crawl::builder().strategy(Strategy::Auto).run(&mut db).unwrap();
+//! assert_eq!(report.algorithm, "rank-shrink");
 //! assert_eq!(report.tuples.len(), rows.len());          // every tuple extracted
 //! assert!(report.queries < 500);                         // with far fewer queries
 //! ```
+//!
+//! The per-algorithm constructors (`RankShrink::new().crawl(&mut db)`,
+//! …) remain as thin wrappers over the same code paths, proven
+//! bit-identical to the builder by the `builder_equiv` differential
+//! suite.
 //!
 //! Every crawl returns a [`CrawlReport`] carrying the extracted bag, the
 //! query count (the paper's cost metric), and the progress curve used for
 //! the Figure 13 progressiveness experiment. Failures ([`CrawlError`])
 //! carry the partial report, so budget-limited crawls keep what they paid
-//! for.
+//! for — as do observer-stopped crawls ([`CrawlError::Stopped`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +60,7 @@ pub mod crawler;
 pub mod dependency;
 pub mod hybrid;
 pub mod numeric;
+pub mod orchestrate;
 pub mod report;
 pub mod session;
 pub mod sharded;
@@ -60,7 +74,10 @@ pub use dependency::{DatasetOracle, PairRuleOracle, ValidityOracle};
 pub use hybrid::Hybrid;
 pub use numeric::binary_shrink::BinaryShrink;
 pub use numeric::rank_shrink::RankShrink;
+pub use orchestrate::{
+    Crawl, CrawlBuilder, CrawlObserver, Flow, ProgressRecorder, ShardCrawler, ShardEvent, Strategy,
+};
 pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
-pub use session::{run_crawl, Abort, Session, MAX_BATCH};
+pub use session::{run_crawl, run_crawl_observed, Abort, Session, MAX_BATCH};
 pub use sharded::{PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats};
 pub use validate::verify_complete;

@@ -11,8 +11,9 @@ use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, QueryOutcome, Schema
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::numeric::extent::{extent, is_exhausted, midpoint_ceil, split2};
+use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session};
+use crate::session::{run_crawl_observed, Abort, Session};
 
 /// Configuration for the binary-shrink baseline.
 ///
@@ -100,13 +101,17 @@ impl Crawler for BinaryShrink<'_> {
         schema.is_numeric()
     }
 
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "binary-shrink requires a numeric schema"
         );
-        run_crawl(self.name(), db, self.oracle, |session| {
+        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
             self.run(session, &schema)
         })
     }

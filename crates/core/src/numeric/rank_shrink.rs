@@ -19,8 +19,9 @@ use hdc_types::{HiddenDatabase, Query, QueryOutcome, Schema};
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::numeric::extent::{extent, is_exhausted, split2, split3};
+use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl, Abort, Session};
+use crate::session::{run_crawl_observed, Abort, Session};
 
 /// Configuration for rank-shrink.
 ///
@@ -96,14 +97,29 @@ impl<'o> RankShrink<'o> {
         root: Query,
         dims: &[usize],
     ) -> Result<(), Abort> {
+        let out = session.run(&root)?;
+        self.run_subspace_seeded(session, root, out, dims)
+    }
+
+    /// [`RankShrink::run_subspace`] with the root's outcome already
+    /// known, so no query is issued for the root itself. The §5 hybrid
+    /// uses this when a leaf's root is an overflowed slice whose
+    /// k-window the slice table cached: the server is deterministic, so
+    /// the recorded window is exactly what re-issuing would return.
+    pub(crate) fn run_subspace_seeded(
+        &self,
+        session: &mut Session<'_>,
+        root: Query,
+        root_out: QueryOutcome,
+        dims: &[usize],
+    ) -> Result<(), Abort> {
         // (query, outcome, position in `dims` from which splitting
         // continues); attributes before that position are exhausted. The
         // rectangles of one split are issued as a single batch — they
         // share every predicate except the split attribute, which the
         // server's batch planner exploits — while the recursion tree, and
         // with it the query cost, stays exactly the sequential one.
-        let out = session.run(&root)?;
-        let mut stack: Vec<(Query, QueryOutcome, usize)> = vec![(root, out, 0)];
+        let mut stack: Vec<(Query, QueryOutcome, usize)> = vec![(root, root_out, 0)];
         let mut child_qs: Vec<Query> = Vec::with_capacity(3);
         let mut child_dis: Vec<usize> = Vec::with_capacity(3);
         while let Some((q, out, mut di)) = stack.pop() {
@@ -177,14 +193,18 @@ impl Crawler for RankShrink<'_> {
         schema.is_numeric()
     }
 
-    fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+    fn crawl_observed(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "rank-shrink requires a numeric schema"
         );
         let dims: Vec<usize> = (0..schema.arity()).collect();
-        run_crawl(self.name(), db, self.oracle, |session| {
+        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
             self.run_subspace(session, Query::any(schema.arity()), &dims)
         })
     }

@@ -111,19 +111,23 @@ pub struct CrawlReport {
 }
 
 impl CrawlReport {
-    /// Fraction of issued queries that resolved.
+    /// Fraction of issued queries that resolved — 0.0 for an empty crawl
+    /// (no queries issued), so the rate is always a finite value in
+    /// [0, 1] that experiment tables can aggregate without guarding.
     pub fn resolution_rate(&self) -> f64 {
         if self.queries == 0 {
-            1.0
+            0.0
         } else {
             self.resolved as f64 / self.queries as f64
         }
     }
 
-    /// Queries per extracted tuple (∞ if nothing was extracted).
+    /// Queries per extracted tuple — 0.0 when nothing was extracted
+    /// (an empty crawl spent nothing *per tuple*; returning a finite
+    /// value keeps downstream averages and JSON emitters well-defined).
     pub fn queries_per_tuple(&self) -> f64 {
         if self.tuples.is_empty() {
-            f64::INFINITY
+            0.0
         } else {
             self.queries as f64 / self.tuples.len() as f64
         }
@@ -184,6 +188,15 @@ pub enum CrawlError {
         /// Everything extracted before detection.
         partial: Box<CrawlReport>,
     },
+    /// A [`crate::CrawlObserver`] stopped the crawl early
+    /// ([`crate::Flow::Stop`]). Not a failure of the database or the
+    /// data — the caller asked to stop spending (e.g. a coverage target
+    /// was reached), and the partial report holds everything extracted
+    /// and charged up to that point.
+    Stopped {
+        /// Everything extracted before the stop.
+        partial: Box<CrawlReport>,
+    },
 }
 
 impl CrawlError {
@@ -192,6 +205,7 @@ impl CrawlError {
         match self {
             CrawlError::Db { partial, .. } => partial,
             CrawlError::Unsolvable { partial, .. } => partial,
+            CrawlError::Stopped { partial } => partial,
         }
     }
 
@@ -200,6 +214,7 @@ impl CrawlError {
         match self {
             CrawlError::Db { partial, .. } => *partial,
             CrawlError::Unsolvable { partial, .. } => *partial,
+            CrawlError::Stopped { partial } => *partial,
         }
     }
 }
@@ -217,6 +232,12 @@ impl fmt::Display for CrawlError {
                 f,
                 "database is not crawlable at k: point query `{witness}` overflowed \
                  (>k duplicates); {} tuples extracted",
+                partial.tuples.len()
+            ),
+            CrawlError::Stopped { partial } => write!(
+                f,
+                "crawl stopped by observer after {} queries / {} tuples",
+                partial.queries,
                 partial.tuples.len()
             ),
         }
@@ -300,8 +321,10 @@ mod tests {
         assert!((r.queries_per_tuple() - 0.5).abs() < 1e-12);
     }
 
+    /// Empty crawls must yield finite, zero rates — not NaN, ∞, or a
+    /// fictitious 100% resolution — so aggregations never need guards.
     #[test]
-    fn zero_query_report() {
+    fn zero_query_report_rates_are_zero() {
         let r = CrawlReport {
             algorithm: "t",
             tuples: vec![],
@@ -312,9 +335,29 @@ mod tests {
             metrics: CrawlMetrics::default(),
             progress: vec![],
         };
-        assert_eq!(r.resolution_rate(), 1.0);
-        assert!(r.queries_per_tuple().is_infinite());
+        assert_eq!(r.resolution_rate(), 0.0);
+        assert_eq!(r.queries_per_tuple(), 0.0);
         assert_eq!(r.progress_deviation(), 0.0);
+        assert!(r.resolution_rate().is_finite());
+        assert!(r.queries_per_tuple().is_finite());
+    }
+
+    /// Queries without extractions (e.g. a crawl stopped before the
+    /// first tuple): still a finite queries-per-tuple.
+    #[test]
+    fn queries_without_tuples_rate_is_zero_not_infinite() {
+        let r = CrawlReport {
+            algorithm: "t",
+            tuples: vec![],
+            queries: 17,
+            resolved: 3,
+            overflowed: 14,
+            pruned: 0,
+            metrics: CrawlMetrics::default(),
+            progress: vec![],
+        };
+        assert_eq!(r.queries_per_tuple(), 0.0);
+        assert!((r.resolution_rate() - 3.0 / 17.0).abs() < 1e-12);
     }
 
     #[test]
@@ -370,5 +413,15 @@ mod tests {
             partial: Box::new(report(vec![])),
         };
         assert!(e.to_string().contains("not crawlable"));
+    }
+
+    #[test]
+    fn stopped_carries_partial() {
+        let e = CrawlError::Stopped {
+            partial: Box::new(report(vec![])),
+        };
+        assert_eq!(e.partial().tuples.len(), 10);
+        assert!(e.to_string().contains("stopped by observer"));
+        assert_eq!(e.into_partial().queries, 5);
     }
 }

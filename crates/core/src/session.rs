@@ -1,15 +1,20 @@
-//! Crawl sessions: query accounting, output collection, progress curves.
+//! Crawl sessions: query accounting, output collection, progress curves,
+//! and streaming crawl events.
 //!
 //! This layer is public API: it is the building block not just for the
 //! algorithms in this crate but for *external* crawler crates — the
 //! top-k-barrier crawler in `hdc-barrier` drives its discriminating
 //! probes through the same [`Session::run_batch`] path, so every crawler
 //! in the workspace shares one implementation of cost accounting, oracle
-//! pruning, batched issuing, and progress curves.
+//! pruning, batched issuing, progress curves, and
+//! [`CrawlObserver`] event delivery (including observer-driven early
+//! termination — see the [`crate::orchestrate`] module docs for the
+//! exact semantics).
 
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
 
 use crate::dependency::ValidityOracle;
+use crate::orchestrate::{CrawlObserver, Flow, ProgressRecorder};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 
 /// Abort signal raised inside an algorithm body; the session converts it
@@ -21,6 +26,10 @@ pub enum Abort {
     /// Problem 1 is unsolvable: the query pins a point of the data space
     /// that still overflowed (more than `k` duplicates).
     Unsolvable(Query),
+    /// A [`CrawlObserver`] returned [`Flow::Stop`]: the session refuses
+    /// to issue further queries, and the crawl unwinds with
+    /// [`CrawlError::Stopped`] carrying everything extracted so far.
+    Stopped,
 }
 
 /// The batch window algorithms should use when they have many siblings
@@ -51,9 +60,20 @@ pub const MAX_BATCH: usize = 16;
 /// contacting — or being charged by — the server. Soundness of the oracle
 /// implies the crawl remains complete, and "the query cost can only go
 /// down".
+///
+/// A session can also carry a [`CrawlObserver`]: charged queries, newly
+/// reported tuples, and progress-point changes are streamed to it as they
+/// happen, and any callback returning [`Flow::Stop`] marks the session
+/// stopped — the in-flight operation finishes its accounting, and the
+/// next attempt to issue a query aborts with [`Abort::Stopped`]. Stop
+/// means *stop spending*: charged outcomes are never discarded. The
+/// progress curve itself is built by a default observer
+/// ([`ProgressRecorder`]), so a curve reconstructed from the event stream
+/// equals [`CrawlReport::progress`].
 pub struct Session<'a> {
     db: &'a mut dyn HiddenDatabase,
     oracle: Option<&'a dyn ValidityOracle>,
+    observer: Option<&'a mut dyn CrawlObserver>,
     algorithm: &'static str,
     queries: u64,
     resolved: u64,
@@ -61,7 +81,9 @@ pub struct Session<'a> {
     pruned: u64,
     metrics: CrawlMetrics,
     output: Vec<Tuple>,
-    progress: Vec<ProgressPoint>,
+    /// The default observer: accumulates [`CrawlReport::progress`].
+    recorder: ProgressRecorder,
+    stopped: bool,
 }
 
 impl<'a> Session<'a> {
@@ -69,10 +91,12 @@ impl<'a> Session<'a> {
         algorithm: &'static str,
         db: &'a mut dyn HiddenDatabase,
         oracle: Option<&'a dyn ValidityOracle>,
+        observer: Option<&'a mut dyn CrawlObserver>,
     ) -> Self {
         Session {
             db,
             oracle,
+            observer,
             algorithm,
             queries: 0,
             resolved: 0,
@@ -80,7 +104,8 @@ impl<'a> Session<'a> {
             pruned: 0,
             metrics: CrawlMetrics::default(),
             output: Vec::new(),
-            progress: Vec::new(),
+            recorder: ProgressRecorder::new(),
+            stopped: false,
         }
     }
 
@@ -89,9 +114,28 @@ impl<'a> Session<'a> {
         &mut self.metrics
     }
 
+    /// Delivers one event to the external observer (if any), latching a
+    /// [`Flow::Stop`] into the session's stopped flag. A free function
+    /// over the two fields so callers can hold disjoint borrows of the
+    /// rest of the session (e.g. a slice of `output`).
+    fn notify(
+        observer: &mut Option<&'a mut dyn CrawlObserver>,
+        stopped: &mut bool,
+        event: impl FnOnce(&mut dyn CrawlObserver) -> Flow,
+    ) {
+        if let Some(obs) = observer.as_deref_mut() {
+            if event(obs) == Flow::Stop {
+                *stopped = true;
+            }
+        }
+    }
+
     /// Issues a query (or answers it from the oracle) and updates the
     /// accounting.
     pub fn run(&mut self, q: &Query) -> Result<QueryOutcome, Abort> {
+        if self.stopped {
+            return Err(Abort::Stopped);
+        }
         if let Some(oracle) = self.oracle {
             if !oracle.may_match(q) {
                 // Provably empty: answered locally, free of charge.
@@ -106,6 +150,9 @@ impl<'a> Session<'a> {
         } else {
             self.resolved += 1;
         }
+        Self::notify(&mut self.observer, &mut self.stopped, |o| {
+            o.on_query(q, &out)
+        });
         self.push_progress();
         Ok(out)
     }
@@ -129,6 +176,9 @@ impl<'a> Session<'a> {
     /// [`MAX_BATCH`]-sized windows, reporting between windows, so a
     /// failure forfeits at most one window's outcomes.
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
+        if self.stopped {
+            return Err(Abort::Stopped);
+        }
         match queries {
             [] => return Ok(Vec::new()),
             [q] => return Ok(vec![self.run(q)?]),
@@ -172,13 +222,19 @@ impl<'a> Session<'a> {
         let before = self.db.queries_issued();
         match self.db.query_batch(queries) {
             Ok(outs) => {
-                for out in &outs {
+                // Every outcome of the batch is accounted (and streamed)
+                // even if an observer stops mid-batch: the queries are
+                // already charged, and stop only gates *future* issuing.
+                for (q, out) in queries.iter().zip(&outs) {
                     self.queries += 1;
                     if out.overflow {
                         self.overflowed += 1;
                     } else {
                         self.resolved += 1;
                     }
+                    Self::notify(&mut self.observer, &mut self.stopped, |o| {
+                        o.on_query(q, out)
+                    });
                     self.push_progress();
                 }
                 Ok(outs)
@@ -196,9 +252,17 @@ impl<'a> Session<'a> {
     }
 
     /// Registers extracted tuples (from a resolved query or a local
-    /// answer).
+    /// answer). Fires [`CrawlObserver::on_tuples`] with the newly added
+    /// tuples when at least one was added.
     pub fn report(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        let start = self.output.len();
         self.output.extend(tuples);
+        if self.output.len() > start {
+            let added = &self.output[start..];
+            Self::notify(&mut self.observer, &mut self.stopped, |o| {
+                o.on_tuples(added)
+            });
+        }
         self.push_progress();
     }
 
@@ -207,18 +271,16 @@ impl<'a> Session<'a> {
             queries: self.queries,
             tuples: self.output.len() as u64,
         };
-        if self.progress.last() == Some(&point) {
+        if self.recorder.last() == Some(&point) {
             return;
         }
-        // Collapse consecutive points at the same query count so the curve
-        // has one point per query.
-        if let Some(last) = self.progress.last_mut() {
-            if last.queries == point.queries {
-                last.tuples = point.tuples;
-                return;
-            }
-        }
-        self.progress.push(point);
+        // The default observer builds the report's curve (collapsing
+        // same-query-count updates in place); the external observer sees
+        // every changed point.
+        let _ = self.recorder.on_progress(point);
+        Self::notify(&mut self.observer, &mut self.stopped, |o| {
+            o.on_progress(point)
+        });
     }
 
     /// Finishes the session successfully.
@@ -233,6 +295,7 @@ impl<'a> Session<'a> {
         match abort {
             Abort::Db(error) => CrawlError::Db { error, partial },
             Abort::Unsolvable(witness) => CrawlError::Unsolvable { witness, partial },
+            Abort::Stopped => CrawlError::Stopped { partial },
         }
     }
 
@@ -245,13 +308,14 @@ impl<'a> Session<'a> {
             overflowed: self.overflowed,
             pruned: self.pruned,
             metrics: self.metrics,
-            progress: self.progress,
+            progress: self.recorder.into_points(),
         }
     }
 }
 
 /// Runs `body` inside a fresh session, converting aborts into errors:
 /// the standard top-level driver every crawler in the workspace uses.
+/// Equivalent to [`run_crawl_observed`] without an observer.
 pub fn run_crawl<'a, F>(
     algorithm: &'static str,
     db: &'a mut dyn HiddenDatabase,
@@ -261,7 +325,31 @@ pub fn run_crawl<'a, F>(
 where
     F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
 {
-    let mut session = Session::new(algorithm, db, oracle);
+    run_crawl_observed(algorithm, db, oracle, None, body)
+}
+
+/// [`run_crawl`] with a [`CrawlObserver`] threaded through the session:
+/// the driver external crawler crates use to support the
+/// [`crate::CrawlBuilder`] event path (the in-crate algorithms go through
+/// it via [`crate::Crawler::crawl_observed`]).
+///
+/// The observer gets its own lifetime parameter (`'o: 'a`) so callers
+/// can pass `Option<&mut dyn CrawlObserver>` borrows unrelated to the
+/// database's: `&mut dyn` trait objects are invariant in their object
+/// lifetime, and the re-coercion down to the session's lifetime happens
+/// once, here, instead of at every call site.
+pub fn run_crawl_observed<'a, 'o: 'a, F>(
+    algorithm: &'static str,
+    db: &'a mut dyn HiddenDatabase,
+    oracle: Option<&'a dyn ValidityOracle>,
+    observer: Option<&'o mut dyn CrawlObserver>,
+    body: F,
+) -> Result<CrawlReport, CrawlError>
+where
+    F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
+{
+    let observer = observer.map(|o| o as &mut dyn CrawlObserver);
+    let mut session = Session::new(algorithm, db, oracle, observer);
     match body(&mut session) {
         Ok(()) => Ok(session.finish()),
         Err(abort) => Err(session.fail(abort)),

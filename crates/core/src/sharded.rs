@@ -73,6 +73,7 @@ pub use workpool::{PoolStats, Source as TaskSource, Verdict, WorkerStats};
 
 use crate::categorical::slice_cover::{extended_dfs_from, DfsRoot, LeafMode, SliceTable};
 use crate::numeric::rank_shrink::RankShrink;
+use crate::orchestrate::{CrawlObserver, Flow, ShardEvent};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport};
 use crate::session::run_crawl;
 
@@ -231,6 +232,13 @@ impl ShardSpec {
                 let mut level_order = vec![*attr];
                 level_order.extend(cat_dims.iter().copied().filter(|a| a != attr));
                 let mut table = SliceTable::new(schema, &level_order);
+                if !num_dims.is_empty() && level_order.len() == 1 {
+                    // cat = 1: a numeric leaf's root is its slice query —
+                    // cache the overflowed leaf windows so the sub-crawl
+                    // needn't re-issue them (same rule as solo Hybrid, so
+                    // sharded and solo costs stay aligned).
+                    table.cache_leaf_windows();
+                }
                 let leaf = leaf_mode(&rank, &num_dims);
                 extended_dfs_from(
                     session,
@@ -535,10 +543,60 @@ impl Sharded {
         F: Fn(usize) -> D + Sync,
         G: Fn(&ShardSpec, &mut D) -> Result<CrawlReport, CrawlError> + Sync,
     {
+        self.crawl_observed(factory, shard_crawl, None)
+    }
+
+    /// [`Sharded::crawl_with`] with a [`CrawlObserver`] attached to the
+    /// **merge path**: one [`ShardEvent`] fires per completed shard, in
+    /// deterministic plan order, as the shard's results are folded into
+    /// the merged report. (Per-shard sessions run on worker threads,
+    /// where a `&mut` observer cannot follow — within-shard query/tuple
+    /// events are a solo-crawl feature.)
+    ///
+    /// Returning [`Flow::Stop`] from `on_shard` stops the merge: the
+    /// cost of every executed shard is still absorbed (partial reports
+    /// never lie about spend), but only the tuples of the shards merged
+    /// before the stop are kept, and the crawl returns
+    /// [`CrawlError::Stopped`] with that prefix-consistent partial —
+    /// unless some shard actually *failed*, in which case the failure
+    /// (`Db`/`Unsolvable`) is returned instead, carrying the same
+    /// partial: a dead identity must never be misread as a voluntary
+    /// stop.
+    pub fn crawl_observed<D, F, G>(
+        &self,
+        factory: F,
+        shard_crawl: G,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+        G: Fn(&ShardSpec, &mut D) -> Result<CrawlReport, CrawlError> + Sync,
+    {
         let probe = factory(0);
         let schema = probe.schema().clone();
         drop(probe);
-        let plan = Self::plan_oversubscribed(&schema, self.sessions, self.oversubscribe);
+        self.crawl_observed_with_schema(&schema, factory, shard_crawl, observer)
+    }
+
+    /// [`Sharded::crawl_observed`] for callers that already know the
+    /// schema (the crawl builder probes it once to resolve
+    /// [`crate::Strategy::Auto`]): skips the extra probe connection a
+    /// second `factory(0)` would open — against a real metered site,
+    /// connections are not free.
+    pub(crate) fn crawl_observed_with_schema<D, F, G>(
+        &self,
+        schema: &Schema,
+        factory: F,
+        shard_crawl: G,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+        G: Fn(&ShardSpec, &mut D) -> Result<CrawlReport, CrawlError> + Sync,
+    {
+        let plan = Self::plan_oversubscribed(schema, self.sessions, self.oversubscribe);
 
         let pool = workpool::Pool::new(self.sessions);
         let (slots, pool_stats) = pool.run(
@@ -568,7 +626,7 @@ impl Sharded {
                 )
             },
         );
-        merge_results(slots, pool_stats, self.sessions)
+        merge_results(slots, pool_stats, self.sessions, observer)
     }
 }
 
@@ -584,6 +642,10 @@ struct PendingRun {
 enum Failure {
     Db(DbError),
     Unsolvable(Query),
+    /// An observer stopped the crawl (either a shard's own crawl was
+    /// stopped by a custom crawler's internal observer, or `on_shard`
+    /// stopped the merge).
+    Stopped,
 }
 
 fn blank_report(algorithm: &'static str) -> CrawlReport {
@@ -615,40 +677,82 @@ fn absorb_counts(into: &mut CrawlReport, from: &CrawlReport) {
 /// Merges per-shard outcomes into one report (or one failure carrying
 /// everything salvaged across all shards). Tuples are **moved** out of
 /// the shard reports into the merged bag — never cloned — in plan order.
+/// Each merged shard fires one [`ShardEvent`] at the observer; a
+/// [`Flow::Stop`] stops the merge (costs of the remaining shards are
+/// still absorbed so the partial never under-reports spend, but their
+/// tuples are dropped and no further events fire).
 fn merge_results(
     slots: Vec<Option<PendingRun>>,
     pool: PoolStats,
     sessions: usize,
+    mut observer: Option<&mut dyn CrawlObserver>,
 ) -> Result<ShardedReport, CrawlError> {
+    let total = slots.len();
     let mut merged = blank_report("sharded-hybrid");
     let mut per_session: Vec<CrawlReport> =
         (0..sessions).map(|_| blank_report("sharded-session")).collect();
     let mut shards = Vec::with_capacity(slots.len());
     let mut failure: Option<Failure> = None;
-    for slot in slots {
+    let mut stopped = false;
+    for (index, slot) in slots.into_iter().enumerate() {
         // A `None` slot is a shard no surviving worker could run (every
         // identity retired first); the pool counts them in `unrun` and
         // the failure that killed the identities is already recorded.
         let Some(run) = slot else { continue };
+        // The first *real* failure (Db/Unsolvable) in plan order is the
+        // one re-raised; a per-shard Stopped (a custom crawler's own
+        // observer) is recorded only while no real failure exists and
+        // never shadows one that surfaces later in the walk — a dead
+        // identity must not be misread as a voluntary stop.
+        let real_failure_recorded =
+            matches!(failure, Some(Failure::Db(_)) | Some(Failure::Unsolvable(_)));
         let (mut report, failed) = match run.result {
             Ok(report) => (report, false),
             Err(CrawlError::Db { error, partial }) => {
-                if failure.is_none() {
+                if !real_failure_recorded {
                     failure = Some(Failure::Db(error));
                 }
                 (*partial, true)
             }
             Err(CrawlError::Unsolvable { witness, partial }) => {
-                if failure.is_none() {
+                if !real_failure_recorded {
                     failure = Some(Failure::Unsolvable(witness));
                 }
                 (*partial, true)
             }
+            Err(CrawlError::Stopped { partial }) => {
+                if failure.is_none() {
+                    failure = Some(Failure::Stopped);
+                }
+                (*partial, true)
+            }
         };
+        if stopped {
+            // Merge stopped by the observer: keep the accounting truthful
+            // (these queries were spent) but drop the tuples.
+            absorb_counts(&mut merged, &report);
+            absorb_counts(&mut per_session[run.worker], &report);
+            continue;
+        }
         let tuples = report.tuples.len() as u64;
         merged.tuples.append(&mut report.tuples);
         absorb_counts(&mut merged, &report);
         absorb_counts(&mut per_session[run.worker], &report);
+        if let Some(obs) = observer.as_deref_mut() {
+            let event = ShardEvent {
+                index,
+                total,
+                spec: &run.spec,
+                worker: run.worker,
+                source: run.source,
+                queries: report.queries,
+                tuples,
+                failed,
+            };
+            if obs.on_shard(&event) == Flow::Stop {
+                stopped = true;
+            }
+        }
         shards.push(ShardRun {
             spec: run.spec,
             worker: run.worker,
@@ -657,6 +761,20 @@ fn merge_results(
             tuples,
             failed,
             report,
+        });
+    }
+    if stopped {
+        // A real shard failure outranks the observer's stop: callers
+        // must not misread a dead identity or an uncrawlable instance
+        // as a voluntary early exit. (Failures are recorded during the
+        // full slot walk, stop or not, so one surfacing after the stop
+        // index still wins.) The partial carries every shard's cost but
+        // only the tuples merged before the stop.
+        let partial = Box::new(merged);
+        return Err(match failure {
+            Some(Failure::Db(error)) => CrawlError::Db { error, partial },
+            Some(Failure::Unsolvable(witness)) => CrawlError::Unsolvable { witness, partial },
+            Some(Failure::Stopped) | None => CrawlError::Stopped { partial },
         });
     }
     match failure {
@@ -672,6 +790,9 @@ fn merge_results(
         }),
         Some(Failure::Unsolvable(witness)) => Err(CrawlError::Unsolvable {
             witness,
+            partial: Box::new(merged),
+        }),
+        Some(Failure::Stopped) => Err(CrawlError::Stopped {
             partial: Box::new(merged),
         }),
     }
@@ -1227,6 +1348,115 @@ mod tests {
     #[should_panic(expected = "at least one session")]
     fn zero_sessions_rejected() {
         Sharded::new(0);
+    }
+
+    /// The merge-path observer: one `ShardEvent` per shard in plan
+    /// order, and a `Flow::Stop` trims the merged bag to the shards
+    /// seen so far while the query accounting stays complete (spent is
+    /// spent).
+    #[test]
+    fn on_shard_events_stream_in_plan_order_and_stop_trims_the_merge() {
+        use crate::orchestrate::{CrawlObserver, Flow, ShardEvent};
+
+        struct ShardLog {
+            seen: Vec<(usize, u64)>,
+            stop_at: Option<usize>,
+        }
+
+        impl CrawlObserver for ShardLog {
+            fn on_shard(&mut self, event: &ShardEvent<'_>) -> Flow {
+                self.seen.push((event.index, event.tuples));
+                if self.stop_at == Some(event.index) {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        let make = factory(&schema, &tuples, 32);
+        let shard_crawl = |spec: &ShardSpec, db: &mut HiddenDbServer| {
+            let schema = db.schema().clone();
+            spec.crawl(db, &schema)
+        };
+
+        // No stop: every shard fires once, in plan order.
+        let mut log = ShardLog {
+            seen: Vec::new(),
+            stop_at: None,
+        };
+        let full = Sharded::new(2)
+            .oversubscribed(3)
+            .crawl_observed(&make, shard_crawl, Some(&mut log))
+            .unwrap();
+        assert_eq!(log.seen.len(), full.shards.len());
+        for (i, &(index, tuples)) in log.seen.iter().enumerate() {
+            assert_eq!(index, i, "events must arrive in plan order");
+            assert_eq!(tuples, full.shards[i].tuples);
+        }
+
+        // Stop after the second event: the partial keeps the first two
+        // shards' tuples but charges every shard's queries.
+        let mut log = ShardLog {
+            seen: Vec::new(),
+            stop_at: Some(1),
+        };
+        let err = Sharded::new(2)
+            .oversubscribed(3)
+            .crawl_observed(&make, shard_crawl, Some(&mut log))
+            .unwrap_err();
+        assert_eq!(log.seen.len(), 2, "no events after the stop");
+        let CrawlError::Stopped { partial } = err else {
+            panic!("expected a stopped merge");
+        };
+        let expected_tuples: u64 = full.shards[..2].iter().map(|r| r.tuples).sum();
+        assert_eq!(partial.tuples.len() as u64, expected_tuples);
+        assert_eq!(
+            partial.queries, full.merged.queries,
+            "spent queries stay in the accounting even past the stop"
+        );
+    }
+
+    /// A real shard failure outranks an observer stop: a dead identity
+    /// must surface as `Db`, never be misread as a voluntary stop.
+    #[test]
+    fn shard_failure_outranks_observer_stop() {
+        use crate::orchestrate::{CrawlObserver, Flow, ShardEvent};
+
+        struct StopImmediately;
+        impl CrawlObserver for StopImmediately {
+            fn on_shard(&mut self, _event: &ShardEvent<'_>) -> Flow {
+                Flow::Stop
+            }
+        }
+
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        // Identity 0 is crippled: at least one shard fails with a
+        // budget error, whatever the observer does.
+        let mut stopper = StopImmediately;
+        let result = Sharded::new(3).crawl_observed(
+            |s| {
+                let server = HiddenDbServer::new(
+                    schema.clone(),
+                    tuples.clone(),
+                    ServerConfig { k: 32, seed: 17 },
+                )
+                .unwrap();
+                Budgeted::new(server, if s == 0 { 2 } else { u64::MAX })
+            },
+            |spec, db| {
+                let schema = db.schema().clone();
+                spec.crawl(db, &schema)
+            },
+            Some(&mut stopper),
+        );
+        assert!(
+            matches!(result, Err(CrawlError::Db { .. })),
+            "expected the budget failure to win over the stop, got {result:?}"
+        );
     }
 
     /// Plans must partition the space: pairwise-disjoint shard queries

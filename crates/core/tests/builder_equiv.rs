@@ -1,0 +1,354 @@
+//! Differential suite for the one-stop [`CrawlBuilder`]: the builder is
+//! a *front end*, not a fork — every strategy × {solo, sharded} ×
+//! {budgeted, unbudgeted} run must be **bit-identical** to the legacy
+//! entry point it wraps (same bag, same query count and tallies, same
+//! progress curve, same per-shard costs), `Strategy::Auto` must select
+//! the paper's choice per schema kind (§2.2 / §3.2 / §5), and an
+//! observer stop must yield a partial report that is a prefix-consistent
+//! subset of the full crawl.
+
+use proptest::prelude::*;
+use proptest::Strategy as PropStrategy;
+
+use hdc_core::{
+    Crawl, CrawlError, CrawlObserver, CrawlReport, Crawler, Flow, Hybrid, RankShrink, Sharded,
+    SliceCover, Strategy, MAX_BATCH,
+};
+use hdc_types::{
+    AttrKind, Budgeted, HiddenDatabase, Query, QueryOutcome, Schema, Tuple, TupleBag, Value,
+};
+
+/// A generated test instance: schema + tuples + k.
+#[derive(Debug, Clone)]
+struct Instance {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    k: usize,
+}
+
+impl Instance {
+    fn solvable(&self) -> bool {
+        TupleBag::from_tuples(self.tuples.iter().cloned()).max_multiplicity() <= self.k
+    }
+
+    fn server(&self, seed: u64) -> hdc_server::HiddenDbServer {
+        hdc_server::HiddenDbServer::new(
+            self.schema.clone(),
+            self.tuples.clone(),
+            hdc_server::ServerConfig { k: self.k, seed },
+        )
+        .unwrap()
+    }
+}
+
+/// Schemas with 1–3 attributes of both kinds, small domains so
+/// duplicates, overflow, and unsolvable instances all occur.
+fn instance_strategy() -> impl PropStrategy<Value = Instance> {
+    (
+        proptest::collection::vec((any::<bool>(), 2u32..7, 1i64..25), 1..4),
+        2usize..10,
+        0usize..120,
+        any::<u64>(),
+    )
+        .prop_map(|(attrs, k, n, seed)| {
+            let mut builder = Schema::builder();
+            let mut kinds = Vec::new();
+            for (i, &(is_cat, u, w)) in attrs.iter().enumerate() {
+                if is_cat {
+                    builder = builder.categorical(format!("c{i}"), u);
+                    kinds.push(AttrKind::Categorical { size: u });
+                } else {
+                    builder = builder.numeric(format!("n{i}"), -w, w);
+                    kinds.push(AttrKind::Numeric { min: -w, max: w });
+                }
+            }
+            let schema = builder.build().unwrap();
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let tuples: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    Tuple::new(
+                        kinds
+                            .iter()
+                            .map(|&kind| match kind {
+                                AttrKind::Categorical { size } => {
+                                    Value::Cat((next() % u64::from(size)) as u32)
+                                }
+                                AttrKind::Numeric { min, max } => {
+                                    let span = (max - min + 1) as u64;
+                                    Value::Int(min + (next() % span) as i64)
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Instance { schema, tuples, k }
+        })
+}
+
+/// Every (strategy, legacy crawler) pair applicable to the schema. Auto
+/// is always included — its legacy counterpart is the paper's choice.
+fn applicable(schema: &Schema) -> Vec<(Strategy<'static>, Box<dyn Crawler>)> {
+    let mut pairs: Vec<(Strategy<'static>, Box<dyn Crawler>)> = vec![
+        (Strategy::Hybrid, Box::new(Hybrid::new())),
+        (
+            Strategy::Auto,
+            match Strategy::Auto.resolve(schema) {
+                Strategy::RankShrink => Box::new(RankShrink::new()),
+                Strategy::SliceCover { lazy: true } => Box::new(SliceCover::lazy()),
+                _ => Box::new(Hybrid::new()),
+            },
+        ),
+    ];
+    if schema.is_numeric() {
+        pairs.push((Strategy::RankShrink, Box::new(RankShrink::new())));
+        pairs.push((
+            Strategy::BinaryShrink,
+            Box::new(hdc_core::BinaryShrink::new()),
+        ));
+    }
+    if schema.is_categorical() {
+        pairs.push((
+            Strategy::SliceCover { lazy: true },
+            Box::new(SliceCover::lazy()),
+        ));
+        pairs.push((
+            Strategy::SliceCover { lazy: false },
+            Box::new(SliceCover::eager()),
+        ));
+        pairs.push((Strategy::Dfs, Box::new(hdc_core::Dfs::new())));
+    }
+    pairs
+}
+
+/// Full bit-identity between two crawl results (success or failure).
+fn assert_identical(
+    name: &str,
+    legacy: &Result<CrawlReport, CrawlError>,
+    built: &Result<CrawlReport, CrawlError>,
+) -> Result<(), TestCaseError> {
+    let (a, b) = match (legacy, built) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(ea), Err(eb)) => {
+            prop_assert_eq!(
+                std::mem::discriminant(ea),
+                std::mem::discriminant(eb),
+                "{}: error kinds diverged",
+                name
+            );
+            (ea.partial(), eb.partial())
+        }
+        (a, b) => {
+            prop_assert!(
+                false,
+                "{}: one run succeeded and the other failed (legacy ok = {}, builder ok = {})",
+                name,
+                a.is_ok(),
+                b.is_ok()
+            );
+            unreachable!()
+        }
+    };
+    prop_assert_eq!(a.algorithm, b.algorithm, "{}", name);
+    prop_assert_eq!(a.queries, b.queries, "{}", name);
+    prop_assert_eq!(a.resolved, b.resolved, "{}", name);
+    prop_assert_eq!(a.overflowed, b.overflowed, "{}", name);
+    prop_assert_eq!(a.pruned, b.pruned, "{}", name);
+    prop_assert_eq!(&a.progress, &b.progress, "{}", name);
+    prop_assert_eq!(&a.tuples, &b.tuples, "{}: bags diverged", name);
+    Ok(())
+}
+
+/// Stops after observing `limit` charged queries.
+struct StopAfter {
+    limit: u64,
+    seen: u64,
+}
+
+impl CrawlObserver for StopAfter {
+    fn on_query(&mut self, _q: &Query, _out: &QueryOutcome) -> Flow {
+        self.seen += 1;
+        if self.seen >= self.limit {
+            Flow::Stop
+        } else {
+            Flow::Continue
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Solo: builder ≡ legacy constructor + `Crawler::crawl`, for every
+    /// applicable strategy, with and without a budget (the budgeted
+    /// legacy run hand-wraps the server in `Budgeted`, exactly what the
+    /// builder is supposed to replace).
+    #[test]
+    fn builder_solo_is_bit_identical_to_legacy(
+        inst in instance_strategy(),
+        raw_budget in 0u64..60, // 0 = unbudgeted (compat proptest has no option::of)
+    ) {
+        let budget = (raw_budget > 0).then_some(raw_budget);
+        for (strategy, crawler) in applicable(&inst.schema) {
+            let name = format!("{strategy:?} budget={budget:?}");
+
+            let legacy = match budget {
+                Some(limit) => {
+                    let mut db = Budgeted::new(inst.server(23), limit);
+                    crawler.crawl(&mut db)
+                }
+                None => crawler.crawl(&mut inst.server(23)),
+            };
+
+            let mut server = inst.server(23);
+            let mut builder = Crawl::builder().strategy(strategy);
+            if let Some(limit) = budget {
+                builder = builder.budget(limit);
+            }
+            let built = builder.run(&mut server);
+
+            assert_identical(&name, &legacy, &built)?;
+        }
+    }
+
+    /// Sharded: builder ≡ `Sharded::new(..).oversubscribed(..).crawl`,
+    /// including identical per-shard costs (the scheduler's determinism
+    /// contract seen through the new front end), with and without a
+    /// per-identity budget.
+    #[test]
+    fn builder_sharded_is_bit_identical_to_legacy(
+        inst in instance_strategy(),
+        sessions in 2usize..4,
+        factor in 1usize..4,
+        raw_budget in proptest::collection::vec(5u64..60, 0..2), // empty = unbudgeted
+    ) {
+        prop_assume!(inst.solvable());
+        let budget = raw_budget.first().copied();
+        let legacy = match budget {
+            Some(limit) => Sharded::new(sessions)
+                .oversubscribed(factor)
+                .crawl(|_s| Budgeted::new(inst.server(31), limit)),
+            None => Sharded::new(sessions)
+                .oversubscribed(factor)
+                .crawl(|_s| inst.server(31)),
+        };
+        let mut builder = Crawl::builder()
+            .strategy(Strategy::Hybrid)
+            .sessions(sessions)
+            .oversubscribe(factor);
+        if let Some(limit) = budget {
+            builder = builder.budget(limit);
+        }
+        let built = builder.run_sharded(|_s| inst.server(31));
+
+        match (legacy, built) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.merged.queries, b.merged.queries);
+                prop_assert_eq!(&a.merged.tuples, &b.merged.tuples);
+                prop_assert_eq!(a.shards.len(), b.shards.len());
+                for (sa, sb) in a.shards.iter().zip(&b.shards) {
+                    prop_assert_eq!(&sa.spec, &sb.spec);
+                    prop_assert_eq!(
+                        sa.report.queries, sb.report.queries,
+                        "per-shard cost diverged"
+                    );
+                    prop_assert_eq!(sa.tuples, sb.tuples);
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                prop_assert_eq!(std::mem::discriminant(&ea), std::mem::discriminant(&eb));
+                // Which shards completed before retirement is a
+                // scheduling accident, so partials are not compared —
+                // matching failure kinds is the contract.
+            }
+            (a, b) => prop_assert!(
+                false,
+                "one run succeeded and the other failed (legacy ok = {}, builder ok = {})",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// `Strategy::Auto` picks the paper's choice, verified end to end by
+    /// the algorithm name the report carries.
+    #[test]
+    fn auto_selects_the_papers_strategy(inst in instance_strategy()) {
+        let expected = if inst.schema.is_numeric() {
+            "rank-shrink"
+        } else if inst.schema.is_categorical() {
+            "lazy-slice-cover"
+        } else {
+            "hybrid"
+        };
+        let result = Crawl::builder().run(&mut inst.server(7));
+        let report = match &result {
+            Ok(r) => r,
+            Err(e) => e.partial(),
+        };
+        prop_assert_eq!(report.algorithm, expected);
+    }
+
+    /// Early stop: a crawl stopped after Q observed queries yields a
+    /// partial report that is a *prefix* of the full crawl — the exact
+    /// same query charges, progress points, and output-order tuples up
+    /// to the stop, with at most one in-flight batch window beyond Q.
+    #[test]
+    fn stopped_crawl_is_a_prefix_of_the_full_crawl(
+        inst in instance_strategy(),
+        stop_after in 1u64..40,
+    ) {
+        prop_assume!(inst.solvable());
+        let full = match Crawl::builder().run(&mut inst.server(13)) {
+            Ok(report) => report,
+            Err(e) => {
+                prop_assert!(false, "solvable instance failed: {e}");
+                unreachable!()
+            }
+        };
+
+        let mut stopper = StopAfter { limit: stop_after, seen: 0 };
+        let mut server = inst.server(13);
+        let stopped = match Crawl::builder().observer(&mut stopper).run(&mut server) {
+            Ok(report) => {
+                // The crawl finished before a post-stop issue attempt:
+                // either under the threshold outright, or on the very
+                // batch whose outcomes latched the stop.
+                prop_assert!(report.queries <= stop_after + MAX_BATCH as u64);
+                return Ok(());
+            }
+            Err(CrawlError::Stopped { partial }) => *partial,
+            Err(e) => {
+                prop_assert!(false, "unexpected failure: {e}");
+                unreachable!()
+            }
+        };
+
+        // Stop lands between query rounds: everything charged up to (and
+        // including) the round in flight is kept, nothing more issued.
+        prop_assert!(stopped.queries >= stop_after.min(full.queries));
+        prop_assert!(stopped.queries <= stop_after + MAX_BATCH as u64);
+        prop_assert_eq!(stopped.queries, server.queries_issued());
+
+        // Prefix consistency: identical progress points and identical
+        // tuples, in output order, up to the stop.
+        prop_assert!(stopped.progress.len() <= full.progress.len());
+        prop_assert_eq!(
+            &stopped.progress[..],
+            &full.progress[..stopped.progress.len()],
+            "stopped progress curve is not a prefix of the full curve"
+        );
+        prop_assert!(stopped.tuples.len() <= full.tuples.len());
+        prop_assert_eq!(
+            &stopped.tuples[..],
+            &full.tuples[..stopped.tuples.len()],
+            "stopped bag is not a prefix of the full bag"
+        );
+    }
+}

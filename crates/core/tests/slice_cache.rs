@@ -187,13 +187,11 @@ proptest! {
 
             // The memo's contract: a slice query (exactly one constrained
             // attribute, categorical equality) is never paid for twice.
-            // Hybrid is exempt *by design*: an overflowed slice keeps only
-            // its bit (§3.2), so the rank-shrink sub-crawl at that leaf
-            // must re-issue the slice query as its root to get a pivot
-            // window.
-            if name == "hybrid" {
-                continue;
-            }
+            // This now includes Hybrid: its one by-design re-issue — the
+            // rank-shrink sub-crawl rooted at an overflowed leaf slice —
+            // is gone, because the slice table caches the k-window of
+            // overflowed leaf-level slices and seeds the sub-crawl with
+            // the recorded response.
             let mut slice_queries: Vec<&Query> = batched
                 .seq
                 .iter()

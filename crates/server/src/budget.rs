@@ -1,79 +1,15 @@
-//! Query-budget decorator.
+//! Query-budget decorators.
+//!
+//! The single-quota [`Budgeted`] decorator now lives in `hdc-types`
+//! (a quota is a property of the *interface*, and the crawl
+//! orchestration layer in `hdc-core` applies it without depending on
+//! this simulator crate); it is re-exported here so existing imports
+//! keep working. The per-period [`DailyQuota`] stays here alongside the
+//! record/replay machinery it composes with.
 
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
 
-/// Wraps any [`HiddenDatabase`] with a hard query quota.
-///
-/// Real hidden databases "have a control on how many queries can be
-/// submitted by the same IP address within a period of time" (§1.1) —
-/// minimizing query count is the paper's whole cost model. `Budgeted`
-/// simulates the enforcement side: once `limit` queries have been issued,
-/// every further query fails with [`DbError::BudgetExhausted`]. Crawlers
-/// must surface the failure together with the tuples extracted so far
-/// (exercised by the failure-injection tests).
-#[derive(Debug)]
-pub struct Budgeted<D> {
-    inner: D,
-    limit: u64,
-    issued: u64,
-}
-
-impl<D: HiddenDatabase> Budgeted<D> {
-    /// Allows at most `limit` queries through to `inner`.
-    pub fn new(inner: D, limit: u64) -> Self {
-        Budgeted {
-            inner,
-            limit,
-            issued: 0,
-        }
-    }
-
-    /// Queries still allowed.
-    pub fn remaining(&self) -> u64 {
-        self.limit - self.issued
-    }
-
-    /// The configured limit.
-    pub fn limit(&self) -> u64 {
-        self.limit
-    }
-
-    /// Consumes the decorator, returning the inner database.
-    pub fn into_inner(self) -> D {
-        self.inner
-    }
-
-    /// Shared access to the inner database.
-    pub fn inner(&self) -> &D {
-        &self.inner
-    }
-}
-
-impl<D: HiddenDatabase> HiddenDatabase for Budgeted<D> {
-    fn schema(&self) -> &Schema {
-        self.inner.schema()
-    }
-
-    fn k(&self) -> usize {
-        self.inner.k()
-    }
-
-    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
-        if self.issued >= self.limit {
-            return Err(DbError::BudgetExhausted {
-                issued: self.issued,
-                limit: self.limit,
-            });
-        }
-        let out = self.inner.query(q)?;
-        self.issued += 1;
-        Ok(out)
-    }
-
-    fn queries_issued(&self) -> u64 {
-        self.issued
-    }
-}
+pub use hdc_types::Budgeted;
 
 /// A per-period quota: like [`Budgeted`], but the allowance renews each
 /// simulated "day" — the shape real sites enforce ("how many queries can

@@ -1,0 +1,91 @@
+//! Query-budget decorator over the top-k interface.
+//!
+//! This lives in the interface crate (rather than the server simulator)
+//! because a quota is a property of the *interface*, not of any
+//! particular backend: real hidden databases "have a control on how many
+//! queries can be submitted by the same IP address within a period of
+//! time" (§1.1), whatever serves the responses. Keeping it here lets the
+//! crawl orchestration layer (`hdc_core`'s `CrawlBuilder`) apply budgets
+//! to any [`HiddenDatabase`] — the in-process simulator, a decorator
+//! stack, or a real web form — without depending on the simulator crate.
+
+use crate::error::DbError;
+use crate::interface::{HiddenDatabase, QueryOutcome};
+use crate::query::Query;
+use crate::schema::Schema;
+
+/// Wraps any [`HiddenDatabase`] with a hard query quota.
+///
+/// Minimizing query count is the paper's whole cost model; `Budgeted`
+/// simulates the enforcement side: once `limit` queries have been issued,
+/// every further query fails with [`DbError::BudgetExhausted`]. Crawlers
+/// must surface the failure together with the tuples extracted so far
+/// (exercised by the failure-injection tests in `hdc-server` and
+/// `hdc-core`).
+///
+/// Batches go through the trait's default per-query loop, so a quota is
+/// charged (and enforced) query by query even mid-batch — the successful
+/// prefix of a failing batch is still counted.
+#[derive(Debug)]
+pub struct Budgeted<D> {
+    inner: D,
+    limit: u64,
+    issued: u64,
+}
+
+impl<D: HiddenDatabase> Budgeted<D> {
+    /// Allows at most `limit` queries through to `inner`.
+    pub fn new(inner: D, limit: u64) -> Self {
+        Budgeted {
+            inner,
+            limit,
+            issued: 0,
+        }
+    }
+
+    /// Queries still allowed.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.issued
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Consumes the decorator, returning the inner database.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Shared access to the inner database.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: HiddenDatabase> HiddenDatabase for Budgeted<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        if self.issued >= self.limit {
+            return Err(DbError::BudgetExhausted {
+                issued: self.issued,
+                limit: self.limit,
+            });
+        }
+        let out = self.inner.query(q)?;
+        self.issued += 1;
+        Ok(out)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.issued
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod bag;
+pub mod budget;
 pub mod error;
 pub mod interface;
 pub mod predicate;
@@ -35,6 +36,7 @@ pub mod tuple;
 pub mod value;
 
 pub use bag::TupleBag;
+pub use budget::Budgeted;
 pub use error::{DbError, SchemaError};
 pub use interface::{HiddenDatabase, QueryOutcome};
 pub use predicate::Predicate;

@@ -17,11 +17,93 @@
 //! dependency set to `rand`/`proptest`/`criterion`).
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use hidden_db_crawler::core::theory;
 use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
 use hidden_db_crawler::prelude::*;
+
+/// Live crawl feedback on stderr: a progress line repainted in place
+/// (every [`PROGRESS_STRIDE`] queries), an optional tuple-coverage
+/// target that stops the crawl early, and one line per merged shard of
+/// a multi-session crawl.
+struct CliObserver {
+    target: Option<u64>,
+    last_paint: u64,
+    dirty: bool,
+    stopping: bool,
+}
+
+/// Queries between progress-line repaints (keeps stderr readable on
+/// crawls issuing 10⁵+ queries).
+const PROGRESS_STRIDE: u64 = 64;
+
+impl CliObserver {
+    fn new(target: Option<u64>) -> Self {
+        CliObserver {
+            target,
+            last_paint: 0,
+            dirty: false,
+            stopping: false,
+        }
+    }
+
+    fn paint(&mut self, point: ProgressPoint) {
+        eprint!("\r  {:>8} queries  {:>8} tuples", point.queries, point.tuples);
+        let _ = std::io::stderr().flush();
+        self.dirty = true;
+    }
+
+    /// Terminates an in-place progress line so normal output continues
+    /// on a fresh line.
+    fn finish(&mut self) {
+        if self.dirty {
+            eprintln!();
+            self.dirty = false;
+        }
+    }
+}
+
+impl CrawlObserver for CliObserver {
+    fn on_progress(&mut self, point: ProgressPoint) -> Flow {
+        if let Some(target) = self.target {
+            if point.tuples >= target {
+                // Latch: the in-flight batch still accounts (and fires
+                // events) after the first Stop; repaint only once.
+                if !self.stopping {
+                    self.stopping = true;
+                    self.paint(point);
+                }
+                return Flow::Stop;
+            }
+        }
+        if point.queries >= self.last_paint + PROGRESS_STRIDE {
+            self.last_paint = point.queries;
+            self.paint(point);
+        }
+        Flow::Continue
+    }
+
+    fn on_shard(&mut self, event: &ShardEvent<'_>) -> Flow {
+        self.finish();
+        let source = match event.source {
+            TaskSource::Stolen { from } => format!(", stolen from {from}"),
+            TaskSource::Seeded | TaskSource::Injected => String::new(),
+        };
+        eprintln!(
+            "  shard {:>3}/{}: {:>6} queries, {:>7} tuples  (worker {}{}{})",
+            event.index + 1,
+            event.total,
+            event.queries,
+            event.tuples,
+            event.worker,
+            source,
+            if event.failed { ", FAILED" } else { "" }
+        );
+        Flow::Continue
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,8 +141,11 @@ fn print_usage() {
          \u{20}      Print the evaluation datasets (the paper's Figure 9 table).\n\
          \u{20}  hdc crawl --dataset <name> --algo <algo> [--k N] [--seed N]\n\
          \u{20}            [--scale PCT] [--sessions N] [--oversubscribe N]\n\
-         \u{20}            [--oracle] [--budget N]\n\
-         \u{20}      Crawl one dataset and report cost, metrics, and progress.\n\
+         \u{20}            [--oracle] [--budget N] [--target TUPLES]\n\
+         \u{20}      Crawl one dataset and report cost, metrics, and progress\n\
+         \u{20}      (live progress line on stderr; --target stops early at a\n\
+         \u{20}      tuple-coverage goal; --budget with --sessions is a\n\
+         \u{20}      per-identity quota).\n\
          \u{20}  hdc barrier --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
          \u{20}            [--sessions N] [--oversubscribe N]\n\
          \u{20}      Top-k-barrier crawl (second paper): recover the tuples\n\
@@ -73,8 +158,9 @@ fn print_usage() {
          \u{20}      Run the §4 lower-bound constructions.\n\
          \n\
          DATASETS: yahoo | nsf | adult | adult-numeric\n\
-         ALGOS:    hybrid | rank-shrink | binary-shrink | dfs |\n\
+         ALGOS:    auto | hybrid | rank-shrink | binary-shrink | dfs |\n\
          \u{20}         slice-cover | lazy-slice-cover\n\
+         \u{20}         (auto picks the paper's choice for the schema)\n\
          \n\
          Costs are query counts — the paper's metric. Crawls always verify\n\
          multiset completeness against the generated ground truth."
@@ -199,6 +285,20 @@ fn cmd_datasets() -> Result<(), String> {
     Ok(())
 }
 
+/// Maps a CLI algorithm name to a builder [`Strategy`].
+fn strategy_for(algo: &str) -> Result<Strategy<'static>, String> {
+    Ok(match algo {
+        "auto" => Strategy::Auto,
+        "hybrid" => Strategy::Hybrid,
+        "rank-shrink" => Strategy::RankShrink,
+        "binary-shrink" => Strategy::BinaryShrink,
+        "dfs" => Strategy::Dfs,
+        "slice-cover" => Strategy::SliceCover { lazy: false },
+        "lazy-slice-cover" => Strategy::SliceCover { lazy: true },
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
 fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     let dataset = flags.require("dataset")?.to_string();
     let algo = flags.require("algo")?.to_string();
@@ -208,6 +308,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     let sessions: usize = flags.parse("sessions", 1)?;
     let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
     let budget: u64 = flags.parse("budget", u64::MAX)?;
+    let target: u64 = flags.parse("target", 0)?;
     let use_oracle = flags.get("oracle").is_some();
 
     let ds = load_dataset(&dataset, scale, seed)?;
@@ -228,27 +329,64 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     if oversubscribe == 0 {
         return Err("--oversubscribe must be ≥ 1".into());
     }
+    let strategy = strategy_for(&algo)?;
+    let resolved = strategy.resolve(&ds.schema);
+    if algo == "auto" {
+        println!("auto strategy: {resolved:?}");
+    }
+    let mut observer = CliObserver::new((target > 0).then_some(target));
+
     // An over-partitioned plan is meaningful even on one session (finer
     // progress granularity, and the plan a fleet of identities would
-    // use), so any non-default flag routes through the sharded crawler.
+    // use), so any non-default flag routes through the sharded pool.
     if sessions > 1 || oversubscribe > 1 {
-        if use_oracle || budget != u64::MAX {
-            return Err("--sessions/--oversubscribe cannot be combined with --oracle/--budget".into());
+        if use_oracle {
+            return Err("--sessions/--oversubscribe cannot be combined with --oracle".into());
         }
-        if algo != "hybrid" {
-            return Err("--sessions/--oversubscribe require --algo hybrid".into());
+        if target > 0 {
+            return Err("--target applies to single-session crawls".into());
         }
-        let report = Sharded::new(sessions)
-            .oversubscribed(oversubscribe)
-            .crawl(|_s| {
-                HiddenDbServer::new(
-                    ds.schema.clone(),
-                    ds.tuples.clone(),
-                    ServerConfig { k, seed },
-                )
-                .expect("valid dataset")
-            })
-            .map_err(|e| e.to_string())?;
+        // One support matrix: the builder's own (it panics on violation;
+        // the CLI asks first to return a friendly error instead).
+        if !strategy.supports_sharded(&ds.schema) {
+            return Err(format!(
+                "--sessions/--oversubscribe: {algo} has no sharded execution on the \
+                 {} schema (use auto, hybrid, rank-shrink on numeric, or \
+                 lazy-slice-cover on categorical data)",
+                ds.name
+            ));
+        }
+        // A --budget here is a per-identity quota, matching how real
+        // sites meter queries per client.
+        let mut builder = Crawl::builder()
+            .strategy(strategy)
+            .sessions(sessions)
+            .oversubscribe(oversubscribe)
+            .observer(&mut observer);
+        if budget != u64::MAX {
+            builder = builder.budget(budget);
+        }
+        let result = builder.run_sharded(|_s| {
+            HiddenDbServer::new(
+                ds.schema.clone(),
+                ds.tuples.clone(),
+                ServerConfig { k, seed },
+            )
+            .expect("valid dataset")
+        });
+        observer.finish();
+        let report = match result {
+            Ok(report) => report,
+            Err(CrawlError::Db { error, partial }) => {
+                println!(
+                    "stopped: {error} — {} tuples salvaged in {} queries",
+                    partial.tuples.len(),
+                    partial.queries
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e.to_string()),
+        };
         verify_complete(&ds.tuples, &report.merged).map_err(|e| e.to_string())?;
         println!(
             "sharded over {sessions} sessions ({} shards, {} stolen): \
@@ -269,26 +407,31 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
 
-    let oracle_store;
-    let oracle: Option<&dyn ValidityOracle> = if use_oracle {
-        oracle_store = DatasetOracle::new(ds.tuples.clone());
-        Some(&oracle_store)
-    } else {
-        None
-    };
-    let crawler = make_crawler(&algo, oracle)?;
-    if !crawler.supports(&ds.schema) {
+    if use_oracle && algo == "slice-cover" {
+        return Err("\"slice-cover\" does not support --oracle".into());
+    }
+    if !strategy.supports(&ds.schema) {
         return Err(format!("{algo} does not support the {} schema", ds.name));
     }
 
-    let server = HiddenDbServer::new(
+    let oracle_store;
+    let mut server = HiddenDbServer::new(
         ds.schema.clone(),
         ds.tuples.clone(),
         ServerConfig { k, seed },
     )
     .expect("valid dataset");
-    let mut db = Budgeted::new(server, budget);
-    match crawler.crawl(&mut db) {
+    let mut builder = Crawl::builder()
+        .strategy(strategy)
+        .budget(budget)
+        .observer(&mut observer);
+    if use_oracle {
+        oracle_store = DatasetOracle::new(ds.tuples.clone());
+        builder = builder.oracle(&oracle_store);
+    }
+    let result = builder.run(&mut server);
+    observer.finish();
+    match result {
         Ok(report) => {
             verify_complete(&ds.tuples, &report).map_err(|e| e.to_string())?;
             println!(
@@ -303,17 +446,28 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
             let m = report.metrics;
             println!(
                 "metrics: {} 2-way / {} 3-way splits, {} slices fetched ({} overflowed), \
-                 {} local answers, {} leaf sub-crawls",
+                 {} local answers, {} leaf sub-crawls, {} slice-cache hits",
                 m.two_way_splits,
                 m.three_way_splits,
                 m.slice_fetches,
                 m.slice_overflows,
                 m.local_answers,
-                m.leaf_subcrawls
+                m.leaf_subcrawls,
+                m.slice_cache_hits
             );
             println!(
                 "progressiveness: max deviation from diagonal {:.3}",
                 report.progress_deviation()
+            );
+            Ok(())
+        }
+        Err(CrawlError::Stopped { partial }) => {
+            println!(
+                "stopped at coverage target: {} tuples in {} queries \
+                 ({:.1}% of the dataset)",
+                partial.tuples.len(),
+                partial.queries,
+                100.0 * partial.tuples.len() as f64 / ds.n().max(1) as f64
             );
             Ok(())
         }
@@ -359,32 +513,52 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
         ds.d()
     );
     let crawler = BarrierCrawler::new();
+    let mut observer = CliObserver::new(None);
 
     if sessions > 1 || oversubscribe > 1 {
-        let report = crawler
-            .crawl_sharded(Sharded::new(sessions).oversubscribed(oversubscribe), |_s| {
+        let result = crawler.crawl_sharded_observed(
+            Sharded::new(sessions).oversubscribed(oversubscribe),
+            |_s| {
                 HiddenDbServer::new(
                     ds.schema.clone(),
                     ds.tuples.clone(),
                     ServerConfig { k, seed },
                 )
                 .expect("valid dataset")
-            })
-            .map_err(|e| e.to_string())?;
-        verify_complete(&ds.tuples, &report.merged).map_err(|e| e.to_string())?;
+            },
+            Some(&mut observer),
+        );
+        observer.finish();
+        let report = result.map_err(|e| e.to_string())?;
+        verify_complete(&ds.tuples, &report.sharded.merged).map_err(|e| e.to_string())?;
         println!(
             "sharded barrier over {sessions} sessions ({} shards, {} stolen): \
              {} total queries, busiest session {}",
-            report.shards.len(),
-            report.steals(),
-            report.merged.queries,
-            report.max_session_queries()
+            report.sharded.shards.len(),
+            report.sharded.steals(),
+            report.sharded.merged.queries,
+            report.sharded.max_session_queries()
         );
-        let m = report.merged.metrics;
+        let m = report.sharded.merged.metrics;
         println!(
             "barrier metrics: {} pivots, {} tuples surfaced from below per-shard frontiers",
             m.barrier_pivots, m.barrier_deep_tuples
         );
+        // The depth-aware merge: per-shard discovery-depth histograms
+        // survive as an element-wise sum (depths relative to each
+        // shard's own covering roots).
+        println!(
+            "merged depths: frontier {} / beyond {} (max depth {}, mean {:.2})",
+            report.frontier(),
+            report.beyond_frontier(),
+            report.max_depth,
+            report.mean_depth()
+        );
+        let mut table = TextTable::new(&["depth", "tuples discovered"]);
+        for (depth, count) in report.depth_histogram.iter().enumerate() {
+            table.row(&[&depth, count]);
+        }
+        table.print();
         return Ok(());
     }
 
@@ -395,7 +569,9 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
     )
     .expect("valid dataset");
     let mut db = server;
-    match crawler.crawl_report(&mut db) {
+    let result = crawler.crawl_report_observed(&mut db, Some(&mut observer));
+    observer.finish();
+    match result {
         Ok(out) => {
             verify_complete(&ds.tuples, &out.report).map_err(|e| e.to_string())?;
             println!(
@@ -433,6 +609,14 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
         Err(CrawlError::Db { error, partial }) => {
             println!(
                 "stopped: {error} — {} tuples salvaged in {} queries",
+                partial.tuples.len(),
+                partial.queries
+            );
+            Ok(())
+        }
+        Err(CrawlError::Stopped { partial }) => {
+            println!(
+                "stopped by observer: {} tuples in {} queries",
                 partial.tuples.len(),
                 partial.queries
             );

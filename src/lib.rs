@@ -23,6 +23,11 @@
 //!
 //! ## Quick start
 //!
+//! One entry point serves every crawl: [`core::Crawl::builder`] picks
+//! the paper-correct algorithm for the schema under
+//! [`core::Strategy::Auto`], applies budgets, fans out across client
+//! identities, and streams events to a [`core::CrawlObserver`].
+//!
 //! ```
 //! use hidden_db_crawler::prelude::*;
 //!
@@ -38,12 +43,24 @@
 //! let mut db = HiddenDbServer::new(schema, tuples.clone(),
 //!     ServerConfig { k: 50, seed: 42 }).unwrap();
 //!
-//! // Crawl it completely with the optimal mixed-space algorithm.
-//! let report = Hybrid::new().crawl(&mut db).unwrap();
+//! // Crawl it completely: Auto resolves to the optimal mixed-space
+//! // algorithm (§5 hybrid), with a query budget applied for free.
+//! let report = Crawl::builder()
+//!     .strategy(Strategy::Auto)
+//!     .budget(100_000)
+//!     .run(&mut db)
+//!     .unwrap();
 //! assert_eq!(report.tuples.len(), tuples.len());
 //! verify_complete(&tuples, &report).unwrap();
 //! println!("extracted {} tuples with {} queries", report.tuples.len(), report.queries);
 //! ```
+//!
+//! The per-algorithm constructors ([`core::Hybrid::new`],
+//! [`core::RankShrink::new`], …) remain as thin wrappers over the same
+//! code paths — builder runs are bit-identical to them (differential
+//! suite: `crates/core/tests/builder_equiv.rs`). See
+//! `examples/builder_quickstart.rs` for streaming observers, early
+//! termination at a coverage target, and multi-session fan-out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,11 +73,12 @@ pub use hdc_types as types;
 
 /// One-line import for applications and examples.
 pub mod prelude {
-    pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery};
+    pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery, ShardedBarrierReport};
     pub use hdc_core::{
-        verify_complete, BinaryShrink, CrawlError, CrawlMetrics, CrawlReport, Crawler,
-        DatasetOracle, Dfs, Hybrid, PairRuleOracle, ProgressPoint, RankShrink, Sharded,
-        ShardedReport, SliceCover, ValidityOracle,
+        verify_complete, BinaryShrink, Crawl, CrawlBuilder, CrawlError, CrawlMetrics,
+        CrawlObserver, CrawlReport, Crawler, DatasetOracle, Dfs, Flow, Hybrid, PairRuleOracle,
+        ProgressPoint, ProgressRecorder, RankShrink, ShardCrawler, ShardEvent, Sharded,
+        ShardedReport, SliceCover, Strategy, TaskSource, ValidityOracle,
     };
     pub use hdc_data::{Dataset, DatasetStats};
     pub use hdc_server::{Budgeted, HiddenDbServer, ServerConfig};

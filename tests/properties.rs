@@ -4,6 +4,9 @@
 //! formulas.
 
 use proptest::prelude::*;
+// Explicit import: the crawl-builder prelude also exports a `Strategy`
+// (the algorithm selector), and an explicit use beats the two globs.
+use proptest::Strategy;
 
 use hidden_db_crawler::core::theory;
 use hidden_db_crawler::prelude::*;
