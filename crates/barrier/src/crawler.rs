@@ -5,8 +5,8 @@ use std::sync::Mutex;
 
 use hdc_core::numeric::extent::{extent, split2, split3};
 use hdc_core::{
-    run_crawl, run_crawl_observed, Abort, CrawlError, CrawlObserver, CrawlReport, Crawler,
-    Session, ShardCrawler, ShardSpec, Sharded, MAX_BATCH,
+    run_crawl_configured, Abort, CrawlError, CrawlObserver, CrawlReport, Crawler, Session,
+    SessionConfig, ShardCrawler, ShardSpec, Sharded, MAX_BATCH,
 };
 use hdc_types::{AttrKind, HiddenDatabase, Predicate, Query, QueryOutcome, Schema, Tuple};
 
@@ -113,9 +113,24 @@ impl BarrierCrawler {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<BarrierReport, CrawlError> {
+        self.crawl_report_configured(db, observer, SessionConfig::default())
+    }
+
+    /// [`BarrierCrawler::crawl_report_observed`] with a full
+    /// [`SessionConfig`]: a [`hdc_core::RetryPolicy`] reissues transient
+    /// query failures instead of aborting, and a
+    /// [`hdc_core::CancelToken`] stops the crawl from any thread —
+    /// the fault-tolerance knobs the one-stop builder threads through
+    /// [`ShardCrawler::crawl_spec_configured`].
+    pub fn crawl_report_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<BarrierReport, CrawlError> {
         let schema = db.schema().clone();
         let mut tracker = DepthTracker::default();
-        let report = run_crawl_observed("barrier", db, None, observer, |session| {
+        let report = run_crawl_configured("barrier", db, None, observer, config, |session| {
             self.run_barrier(session, &schema, schema.full_query(), &mut tracker)
         })?;
         Ok(BarrierReport::assemble(report, tracker.log))
@@ -135,8 +150,23 @@ impl BarrierCrawler {
         schema: &Schema,
         spec: &ShardSpec,
     ) -> Result<BarrierReport, CrawlError> {
+        self.crawl_shard_configured(db, schema, spec, SessionConfig::default())
+    }
+
+    /// [`BarrierCrawler::crawl_shard`] with a [`SessionConfig`]: this is
+    /// what lets the sharded runtime's retry policy and cancellation
+    /// token reach *inside* each barrier shard session (retries never
+    /// change the query sequence the determinism contract pins down —
+    /// only failed attempts are reissued, and they are never charged).
+    pub fn crawl_shard_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        spec: &ShardSpec,
+        config: SessionConfig<'_>,
+    ) -> Result<BarrierReport, CrawlError> {
         let mut tracker = DepthTracker::default();
-        let report = run_crawl("sharded-barrier", db, None, |session| {
+        let report = run_crawl_configured("sharded-barrier", db, None, None, config, |session| {
             for root in spec.queries(schema) {
                 self.run_barrier(session, schema, root, &mut tracker)?;
             }
@@ -377,6 +407,16 @@ impl Crawler for BarrierCrawler {
     ) -> Result<CrawlReport, CrawlError> {
         self.crawl_report_observed(db, observer).map(|r| r.report)
     }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_report_configured(db, observer, config)
+            .map(|r| r.report)
+    }
 }
 
 /// Plugs the barrier crawler into the one-stop builder:
@@ -392,6 +432,17 @@ impl ShardCrawler for BarrierCrawler {
         spec: &ShardSpec,
     ) -> Result<CrawlReport, CrawlError> {
         self.crawl_shard(db, schema, spec).map(|r| r.report)
+    }
+
+    fn crawl_spec_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        spec: &ShardSpec,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_shard_configured(db, schema, spec, config)
+            .map(|r| r.report)
     }
 }
 

@@ -54,6 +54,7 @@
 //! doomed query per remaining shard.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -127,6 +128,10 @@ pub struct PoolStats {
     pub per_worker: Vec<WorkerStats>,
     /// Tasks never executed because every remaining worker retired.
     pub unrun: usize,
+    /// Whether the run's cancellation flag was set when it finished
+    /// (always `false` for [`Pool::run`], which has no flag). Cancelled
+    /// runs also count their abandoned tasks in [`PoolStats::unrun`].
+    pub cancelled: bool,
 }
 
 impl PoolStats {
@@ -257,6 +262,32 @@ impl Pool {
         I: Fn(usize) -> W + Sync,
         F: Fn(&mut W, &TaskCtx, T) -> (R, Verdict) + Sync,
     {
+        self.run_cancellable(tasks, init, run_task, None)
+    }
+
+    /// [`Pool::run`] with a cooperative cancellation flag: a worker checks
+    /// `cancel` before dequeuing each task and stops taking tasks once it
+    /// reads `true` (the task it is currently inside finishes normally —
+    /// cancellation never discards completed work). Abandoned tasks are
+    /// reported in [`PoolStats::unrun`] and their result slots stay
+    /// `None`; [`PoolStats::cancelled`] records whether the flag was set.
+    ///
+    /// The flag is shared: task closures may hold a reference to the same
+    /// `AtomicBool` and set it mid-run (that is how a stopped crawl shard
+    /// halts its in-flight peers).
+    pub fn run_cancellable<T, W, R, I, F>(
+        &self,
+        tasks: Vec<T>,
+        init: I,
+        run_task: F,
+        cancel: Option<&AtomicBool>,
+    ) -> (Vec<Option<R>>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        I: Fn(usize) -> W + Sync,
+        F: Fn(&mut W, &TaskCtx, T) -> (R, Verdict) + Sync,
+    {
         let n = tasks.len();
         let shared = Shared::seed(self.workers, tasks);
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -278,7 +309,10 @@ impl Pool {
                         let mut state = init(w);
                         let mut stats = WorkerStats::default();
                         start_line.wait();
-                        while let Some((index, task, source)) = shared.next_task(w) {
+                        while !cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                            let Some((index, task, source)) = shared.next_task(w) else {
+                                break;
+                            };
                             let ctx = TaskCtx { worker: w, index, source };
                             let t0 = Instant::now();
                             let (result, verdict) = run_task(&mut state, &ctx, task);
@@ -319,6 +353,7 @@ impl Pool {
             wall: began.elapsed(),
             per_worker,
             unrun: shared.remaining(),
+            cancelled: cancel.is_some_and(|c| c.load(Ordering::Acquire)),
         };
         (results.into_inner().expect("results poisoned"), stats)
     }
@@ -461,5 +496,55 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         Pool::new(0);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_runs_nothing() {
+        let pool = Pool::new(2);
+        let cancel = AtomicBool::new(true);
+        let (results, stats) = pool.run_cancellable(
+            (0..6).collect::<Vec<usize>>(),
+            |_w| (),
+            |_s, _ctx, t| (t, Verdict::Continue),
+            Some(&cancel),
+        );
+        assert!(results.iter().all(|r| r.is_none()));
+        assert_eq!(stats.executed(), 0);
+        assert_eq!(stats.unrun, 6);
+        assert!(stats.cancelled);
+    }
+
+    #[test]
+    fn mid_run_cancel_keeps_completed_work() {
+        // A single worker cancels the run from inside the second task:
+        // both finished tasks keep their results, the rest are abandoned.
+        let pool = Pool::new(1);
+        let cancel = AtomicBool::new(false);
+        let (results, stats) = pool.run_cancellable(
+            (0..8).collect::<Vec<usize>>(),
+            |_w| (),
+            |_s, ctx, t| {
+                if ctx.index == 1 {
+                    cancel.store(true, Ordering::Release);
+                }
+                (t, Verdict::Continue)
+            },
+            Some(&cancel),
+        );
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 2);
+        assert_eq!(stats.executed(), 2);
+        assert_eq!(stats.unrun, 6);
+        assert!(stats.cancelled);
+    }
+
+    #[test]
+    fn uncancelled_runs_report_cancelled_false() {
+        let pool = Pool::new(2);
+        let (_, stats) = pool.run(
+            (0..4).collect::<Vec<usize>>(),
+            |_w| (),
+            |_s, _ctx, t| (t, Verdict::Continue),
+        );
+        assert!(!stats.cancelled);
     }
 }

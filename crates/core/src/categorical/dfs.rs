@@ -13,7 +13,7 @@ use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl_observed, Abort, Session, MAX_BATCH};
+use crate::session::{run_crawl_configured, Abort, Session, SessionConfig, MAX_BATCH};
 
 /// The DFS baseline crawler for purely categorical schemas.
 #[derive(Default)]
@@ -97,9 +97,18 @@ impl Crawler for Dfs<'_> {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, observer, SessionConfig::default())
+    }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(self.supports(&schema), "DFS requires a categorical schema");
-        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
+        run_crawl_configured(self.name(), db, self.oracle, observer, config, |session| {
             self.run(session, &schema)
         })
     }

@@ -26,7 +26,7 @@ use crate::dependency::ValidityOracle;
 use crate::numeric::rank_shrink::RankShrink;
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl_observed, Abort, Session, MAX_BATCH};
+use crate::session::{run_crawl_configured, Abort, Session, SessionConfig, MAX_BATCH};
 
 /// A recorded slice-query response.
 ///
@@ -448,13 +448,22 @@ impl Crawler for SliceCover<'_> {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, observer, SessionConfig::default())
+    }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "slice-cover requires a categorical schema"
         );
         let cat_dims: Vec<usize> = (0..schema.arity()).collect();
-        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
+        run_crawl_configured(self.name(), db, self.oracle, observer, config, |session| {
             let mut table = SliceTable::new(&schema, &cat_dims);
             if self.eager {
                 table.prefetch_all(session)?;

@@ -4,6 +4,7 @@ use hdc_types::{HiddenDatabase, Schema};
 
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
+use crate::session::SessionConfig;
 
 /// A hidden-database crawling algorithm.
 ///
@@ -43,6 +44,26 @@ pub trait Crawler {
     /// [`Crawler::crawl_observed`] without an observer.
     fn crawl(&self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
         self.crawl_observed(db, None)
+    }
+
+    /// [`Crawler::crawl_observed`] with a [`SessionConfig`] — retry
+    /// policy and cancellation — threaded into the crawl session. This is
+    /// how [`crate::CrawlBuilder::retry`] and
+    /// [`crate::CrawlBuilder::cancel`] reach any strategy.
+    ///
+    /// The default implementation **ignores the config** and delegates to
+    /// [`Crawler::crawl_observed`], so existing external crawlers keep
+    /// compiling unchanged; every in-workspace crawler overrides it (via
+    /// [`crate::session::run_crawl_configured`]) to honor retries and
+    /// cancellation. External crawlers should do the same.
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
+        let _ = config;
+        self.crawl_observed(db, observer)
     }
 }
 

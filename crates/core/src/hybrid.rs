@@ -21,7 +21,7 @@ use crate::dependency::ValidityOracle;
 use crate::numeric::rank_shrink::RankShrink;
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::run_crawl_observed;
+use crate::session::{run_crawl_configured, SessionConfig};
 
 /// The hybrid crawler (§5).
 pub struct Hybrid<'o> {
@@ -76,11 +76,20 @@ impl Crawler for Hybrid<'_> {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, observer, SessionConfig::default())
+    }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         let cat_dims = schema.cat_indices();
         let num_dims = schema.num_indices();
         let rank = RankShrink::new();
-        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
+        run_crawl_configured(self.name(), db, self.oracle, observer, config, |session| {
             if cat_dims.is_empty() {
                 // Pure numeric: hybrid degenerates to rank-shrink.
                 return rank.run_subspace(session, Query::any(schema.arity()), &num_dims);

@@ -62,6 +62,8 @@ pub mod hybrid;
 pub mod numeric;
 pub mod orchestrate;
 pub mod report;
+pub mod repository;
+pub mod retry;
 pub mod session;
 pub mod sharded;
 pub mod theory;
@@ -75,9 +77,18 @@ pub use hybrid::Hybrid;
 pub use numeric::binary_shrink::BinaryShrink;
 pub use numeric::rank_shrink::RankShrink;
 pub use orchestrate::{
-    Crawl, CrawlBuilder, CrawlObserver, Flow, ProgressRecorder, ShardCrawler, ShardEvent, Strategy,
+    CancelToken, Crawl, CrawlBuilder, CrawlObserver, Flow, ProgressRecorder, ShardCrawler,
+    ShardEvent, Strategy,
 };
 pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
-pub use session::{run_crawl, run_crawl_observed, Abort, Session, MAX_BATCH};
-pub use sharded::{PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats};
+pub use repository::{
+    CrawlCheckpoint, CrawlRepository, JsonFileRepository, MemoryRepository, ShardSnapshot,
+};
+pub use retry::RetryPolicy;
+pub use session::{
+    run_crawl, run_crawl_configured, run_crawl_observed, Abort, Session, SessionConfig, MAX_BATCH,
+};
+pub use sharded::{
+    CrawlControls, PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats,
+};
 pub use validate::verify_complete;

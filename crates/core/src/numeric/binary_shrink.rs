@@ -13,7 +13,7 @@ use crate::dependency::ValidityOracle;
 use crate::numeric::extent::{extent, is_exhausted, midpoint_ceil, split2};
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl_observed, Abort, Session};
+use crate::session::{run_crawl_configured, Abort, Session, SessionConfig};
 
 /// Configuration for the binary-shrink baseline.
 ///
@@ -106,12 +106,21 @@ impl Crawler for BinaryShrink<'_> {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, observer, SessionConfig::default())
+    }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "binary-shrink requires a numeric schema"
         );
-        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
+        run_crawl_configured(self.name(), db, self.oracle, observer, config, |session| {
             self.run(session, &schema)
         })
     }

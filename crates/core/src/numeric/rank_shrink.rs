@@ -21,7 +21,7 @@ use crate::dependency::ValidityOracle;
 use crate::numeric::extent::{extent, is_exhausted, split2, split3};
 use crate::orchestrate::CrawlObserver;
 use crate::report::{CrawlError, CrawlReport};
-use crate::session::{run_crawl_observed, Abort, Session};
+use crate::session::{run_crawl_configured, Abort, Session, SessionConfig};
 
 /// Configuration for rank-shrink.
 ///
@@ -198,13 +198,22 @@ impl Crawler for RankShrink<'_> {
         db: &mut dyn HiddenDatabase,
         observer: Option<&mut dyn CrawlObserver>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, observer, SessionConfig::default())
+    }
+
+    fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        observer: Option<&mut dyn CrawlObserver>,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let schema = db.schema().clone();
         assert!(
             self.supports(&schema),
             "rank-shrink requires a numeric schema"
         );
         let dims: Vec<usize> = (0..schema.arity()).collect();
-        run_crawl_observed(self.name(), db, self.oracle, observer, |session| {
+        run_crawl_configured(self.name(), db, self.oracle, observer, config, |session| {
             self.run_subspace(session, Query::any(schema.arity()), &dims)
         })
     }

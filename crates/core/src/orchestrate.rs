@@ -88,7 +88,10 @@ use crate::hybrid::Hybrid;
 use crate::numeric::binary_shrink::BinaryShrink;
 use crate::numeric::rank_shrink::RankShrink;
 use crate::report::{CrawlError, CrawlReport, ProgressPoint};
-use crate::sharded::{Sharded, ShardSpec, ShardedReport, TaskSource};
+use crate::repository::CrawlRepository;
+use crate::retry::RetryPolicy;
+use crate::session::SessionConfig;
+use crate::sharded::{CrawlControls, Sharded, ShardSpec, ShardedReport, TaskSource};
 
 /// Control-flow decision returned by every [`CrawlObserver`] callback:
 /// keep crawling, or stop early with a partial report.
@@ -100,6 +103,48 @@ pub enum Flow {
     /// Stop the crawl: no further queries are issued, and the crawl
     /// returns [`CrawlError::Stopped`] carrying the partial report.
     Stop,
+}
+
+/// A thread-safe cancellation flag shared between a crawl and the code
+/// that wants to stop it.
+///
+/// [`Flow::Stop`] from an observer callback stops the *session firing the
+/// callback*, but a sharded crawl runs its sessions on worker threads
+/// where the single `&mut` observer cannot follow — so a `Stop` decided
+/// at the merge used to leave in-flight shards running to completion.
+/// A `CancelToken` closes that gap: hand the same token to
+/// [`crate::CrawlBuilder::cancel`] (or a [`crate::SessionConfig`]) and
+/// flip it from anywhere — another thread, a signal handler, or the
+/// sharded merge itself — and every session checks it before spending
+/// the next query. Cancellation has the same semantics as `Stop`:
+/// *stop spending, keep everything already paid for*
+/// ([`CrawlError::Stopped`] carries the partial report).
+///
+/// The token is latching — once cancelled it stays cancelled.
+#[derive(Debug, Default)]
+pub struct CancelToken(std::sync::atomic::AtomicBool);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Latches the token: every session watching it aborts with
+    /// [`CrawlError::Stopped`] before issuing its next query.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The raw flag, for handing to the work-stealing pool.
+    pub(crate) fn flag(&self) -> &std::sync::atomic::AtomicBool {
+        &self.0
+    }
 }
 
 /// One completed shard of a multi-session crawl, delivered — in plan
@@ -123,6 +168,9 @@ pub struct ShardEvent<'a> {
     /// Whether the shard's crawl failed (its results are the failure's
     /// partial report, already merged).
     pub failed: bool,
+    /// Whether the shard was replayed from a checkpoint (no queries were
+    /// issued by *this* run; `worker`/`source` are placeholders).
+    pub restored: bool,
 }
 
 /// A streaming sink for crawl events.
@@ -227,6 +275,27 @@ pub trait ShardCrawler: Crawler + Sync {
         schema: &Schema,
         spec: &ShardSpec,
     ) -> Result<CrawlReport, CrawlError>;
+
+    /// [`ShardCrawler::crawl_spec`] with a [`SessionConfig`]: the sharded
+    /// runtime calls this so an external crawler can honor the pool's
+    /// retry policy and cancellation token inside its own sessions.
+    ///
+    /// The default ignores the config — an unmodified external crawler
+    /// keeps working, but its shards neither retry transient faults nor
+    /// notice mid-shard cancellation (the pool still retries *around* it
+    /// by identity health, and cancellation still takes effect at the
+    /// next shard boundary). Override it by threading the config into
+    /// [`crate::run_crawl_configured`] to opt in.
+    fn crawl_spec_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        spec: &ShardSpec,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
+        let _ = config;
+        self.crawl_spec(db, schema, spec)
+    }
 }
 
 /// Which algorithm a [`CrawlBuilder`] runs.
@@ -341,6 +410,10 @@ impl Crawl {
             sessions: 1,
             oversubscribe: 1,
             observer: None,
+            retry: RetryPolicy::none(),
+            strikes: 2,
+            cancel: None,
+            repository: None,
         }
     }
 }
@@ -360,6 +433,10 @@ pub struct CrawlBuilder<'a> {
     sessions: usize,
     oversubscribe: usize,
     observer: Option<&'a mut dyn CrawlObserver>,
+    retry: RetryPolicy,
+    strikes: u32,
+    cancel: Option<&'a CancelToken>,
+    repository: Option<&'a mut dyn CrawlRepository>,
 }
 
 impl<'a> CrawlBuilder<'a> {
@@ -420,6 +497,52 @@ impl<'a> CrawlBuilder<'a> {
         self
     }
 
+    /// Applies a [`RetryPolicy`] to transient database errors
+    /// ([`hdc_types::DbError::is_transient`]): failed queries are
+    /// reissued with exponential backoff instead of aborting the crawl,
+    /// and only successful attempts are charged. The default is
+    /// [`RetryPolicy::none`] — fail fast, the legacy behavior.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// How many *consecutive* transient shard failures retire a client
+    /// identity in a sharded crawl (default 2; see
+    /// [`Sharded::transient_strikes`]). Only meaningful with
+    /// [`CrawlBuilder::run_sharded`].
+    ///
+    /// # Panics
+    /// Panics if `strikes == 0`.
+    pub fn transient_strikes(mut self, strikes: u32) -> Self {
+        assert!(strikes >= 1, "at least one strike required");
+        self.strikes = strikes;
+        self
+    }
+
+    /// Attaches a [`CancelToken`]: flipping it from any thread stops the
+    /// crawl (solo or sharded) before its next query, with the same
+    /// keep-what-you-paid-for semantics as [`Flow::Stop`].
+    pub fn cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a [`CrawlRepository`]: the crawl checkpoints every
+    /// completed shard into it and, if the repository already holds a
+    /// checkpoint for the same plan, resumes from it — restored shards
+    /// are replayed from the snapshot without issuing a single query.
+    ///
+    /// For a *solo* run this routes the crawl through the sequential
+    /// sharded plan (one session, [`CrawlBuilder::oversubscribe`] sets
+    /// the checkpoint granularity), so the strategy must have a sharded
+    /// execution ([`Strategy::supports_sharded`]) and the report's
+    /// `algorithm` is `"sharded-hybrid"`.
+    pub fn repository(mut self, repository: &'a mut dyn CrawlRepository) -> Self {
+        self.repository = Some(repository);
+        self
+    }
+
     /// Runs the crawl on one connection.
     ///
     /// Bit-identical to the legacy entry point for the resolved strategy
@@ -432,21 +555,60 @@ impl<'a> CrawlBuilder<'a> {
     /// (use [`CrawlBuilder::run_sharded`]), a strategy that does not
     /// support the schema, or an oracle on a strategy without oracle
     /// support ([`Strategy::Custom`], eager slice-cover).
-    pub fn run(self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
+    pub fn run(mut self, db: &mut dyn HiddenDatabase) -> Result<CrawlReport, CrawlError> {
         assert!(
             self.sessions == 1,
             "sessions > 1 needs one connection per identity: use run_sharded(factory)"
         );
         let schema = db.schema().clone();
         let strategy = self.strategy.resolve(&schema);
+        if let Some(repository) = self.repository.take() {
+            assert!(
+                self.oracle.is_none(),
+                "checkpointed crawls do not support a validity oracle"
+            );
+            assert!(
+                strategy.supports_sharded(&schema),
+                "checkpointing runs the (sequential) sharded plan, and strategy {:?} \
+                 has no sharded execution on this schema — see Strategy::supports_sharded",
+                strategy
+            );
+            let sharded = Sharded::new(1)
+                .oversubscribed(self.oversubscribe)
+                .retry(self.retry.clone());
+            let controls = CrawlControls {
+                observer: self.observer,
+                cancel: self.cancel,
+                repository: Some(repository),
+            };
+            let result = match self.budget {
+                Some(limit) => {
+                    let mut budgeted = Budgeted::new(db, limit);
+                    run_solo_checkpointed(strategy, &sharded, &mut budgeted, &schema, controls)
+                }
+                None => run_solo_checkpointed(strategy, &sharded, db, &schema, controls),
+            };
+            return result.map(|report| report.merged);
+        }
+        let config = SessionConfig {
+            retry: self.retry.clone(),
+            cancel: self.cancel,
+        };
         match self.budget {
             Some(limit) => {
                 // `&mut dyn HiddenDatabase` is itself a `HiddenDatabase`
                 // (blanket impl), so the quota wraps any backend.
                 let mut budgeted = Budgeted::new(db, limit);
-                run_solo(strategy, &mut budgeted, self.oracle, self.observer, &schema)
+                run_solo(
+                    strategy,
+                    &mut budgeted,
+                    self.oracle,
+                    self.observer,
+                    &schema,
+                    config,
+                )
             }
-            None => run_solo(strategy, db, self.oracle, self.observer, &schema),
+            None => run_solo(strategy, db, self.oracle, self.observer, &schema, config),
         }
     }
 
@@ -484,15 +646,23 @@ impl<'a> CrawlBuilder<'a> {
         let schema = probe.schema().clone();
         drop(probe);
         let strategy = self.strategy.resolve(&schema);
-        let sharded = Sharded::new(self.sessions).oversubscribed(self.oversubscribe);
+        let sharded = Sharded::new(self.sessions)
+            .oversubscribed(self.oversubscribe)
+            .retry(self.retry.clone())
+            .transient_strikes(self.strikes);
+        let controls = CrawlControls {
+            observer: self.observer,
+            cancel: self.cancel,
+            repository: self.repository,
+        };
         match self.budget {
             Some(limit) => {
                 // Per-identity quota: each connection carries its own
                 // allowance, like the legacy per-session Budgeted wrap.
                 let budgeted_factory = move |s: usize| Budgeted::new(factory(s), limit);
-                run_sharded_resolved(strategy, sharded, budgeted_factory, self.observer, &schema)
+                run_sharded_resolved(strategy, sharded, budgeted_factory, controls, &schema)
             }
-            None => run_sharded_resolved(strategy, sharded, factory, self.observer, &schema),
+            None => run_sharded_resolved(strategy, sharded, factory, controls, &schema),
         }
     }
 }
@@ -505,6 +675,7 @@ fn run_solo(
     oracle: Option<&dyn ValidityOracle>,
     observer: Option<&mut dyn CrawlObserver>,
     schema: &Schema,
+    config: SessionConfig<'_>,
 ) -> Result<CrawlReport, CrawlError> {
     assert!(
         strategy.supports(schema),
@@ -531,12 +702,39 @@ fn run_solo(
         (Strategy::SliceCover { lazy: false }, Some(_)) => {
             panic!("eager slice-cover does not support a validity oracle")
         }
-        (Strategy::Custom(c), None) => return c.crawl_observed(db, observer),
+        (Strategy::Custom(c), None) => return c.crawl_configured(db, observer, config),
         (Strategy::Custom(c), Some(_)) => {
             panic!("custom strategy {:?} does not support a validity oracle", c.name())
         }
     };
-    crawler.crawl_observed(db, observer)
+    crawler.crawl_configured(db, observer, config)
+}
+
+/// Solo checkpointed dispatch: runs the one-session sharded plan
+/// *sequentially* on the single connection ([`Sharded`]'s sequential
+/// driver), which is what makes shard-boundary checkpoints — and exact
+/// resume — possible without a second connection.
+fn run_solo_checkpointed(
+    strategy: Strategy<'_>,
+    sharded: &Sharded,
+    db: &mut dyn HiddenDatabase,
+    schema: &Schema,
+    controls: CrawlControls<'_>,
+) -> Result<ShardedReport, CrawlError> {
+    if let Strategy::Custom(c) = strategy {
+        return sharded.crawl_sequential_controlled(
+            schema,
+            db,
+            |spec, db, config| c.crawl_spec_configured(db, schema, spec, config),
+            controls,
+        );
+    }
+    sharded.crawl_sequential_controlled(
+        schema,
+        db,
+        |spec, db, config| spec.crawl_configured(db, schema, config),
+        controls,
+    )
 }
 
 /// Sharded dispatch: validates the strategy has a sharded execution and
@@ -547,7 +745,7 @@ fn run_sharded_resolved<D, F>(
     strategy: Strategy<'_>,
     sharded: Sharded,
     factory: F,
-    observer: Option<&mut dyn CrawlObserver>,
+    controls: CrawlControls<'_>,
     schema: &Schema,
 ) -> Result<ShardedReport, CrawlError>
 where
@@ -563,27 +761,27 @@ where
         schema.arity() - schema.cat_count()
     );
     if let Strategy::Custom(c) = strategy {
-        return sharded.crawl_observed_with_schema(
+        return sharded.crawl_controlled_with_schema(
             schema,
             factory,
-            |spec, db| {
+            |spec, db, config| {
                 let schema = db.schema().clone();
-                c.crawl_spec(db, &schema, spec)
+                c.crawl_spec_configured(db, &schema, spec, config)
             },
-            observer,
+            controls,
         );
     }
     // The hybrid family: on numeric-only schemas the plan's shards run
     // rank-shrink, on categorical ones lazy-slice-cover — exactly what
     // `supports_sharded` admitted above, so the dispatch is shared.
-    sharded.crawl_observed_with_schema(
+    sharded.crawl_controlled_with_schema(
         schema,
         factory,
-        |spec, db| {
+        |spec, db, config| {
             let schema = db.schema().clone();
-            spec.crawl(db, &schema)
+            spec.crawl_configured(db, &schema, config)
         },
-        observer,
+        controls,
     )
 }
 

@@ -49,6 +49,12 @@ pub struct CrawlMetrics {
     /// the k-visible frontier (discovery depth ≥ 1) — the tuples the
     /// top-k barrier hides from a naive prober.
     pub barrier_deep_tuples: u64,
+    /// Transient query attempts absorbed by the session's
+    /// [`RetryPolicy`](crate::RetryPolicy): failures that were re-issued
+    /// instead of aborting the crawl. The fault-tolerance theorem in one
+    /// counter — a retried crawl's *charged* cost equals the fault-free
+    /// cost, and this field is exactly the extra attempts it spent.
+    pub transient_retries: u64,
 }
 
 impl CrawlMetrics {
@@ -73,6 +79,7 @@ impl CrawlMetrics {
             slice_cache_hits,
             barrier_pivots,
             barrier_deep_tuples,
+            transient_retries,
         } = other;
         self.two_way_splits += two_way_splits;
         self.three_way_splits += three_way_splits;
@@ -83,6 +90,7 @@ impl CrawlMetrics {
         self.slice_cache_hits += slice_cache_hits;
         self.barrier_pivots += barrier_pivots;
         self.barrier_deep_tuples += barrier_deep_tuples;
+        self.transient_retries += transient_retries;
     }
 }
 
@@ -281,6 +289,7 @@ mod tests {
             slice_cache_hits: 7,
             barrier_pivots: 8,
             barrier_deep_tuples: 9,
+            transient_retries: 10,
         };
         let mut merged = CrawlMetrics::default();
         merged.merge_from(&populated);
@@ -297,6 +306,7 @@ mod tests {
             slice_cache_hits,
             barrier_pivots,
             barrier_deep_tuples,
+            transient_retries,
         } = merged;
         assert_eq!(
             [
@@ -308,9 +318,10 @@ mod tests {
                 leaf_subcrawls,
                 slice_cache_hits,
                 barrier_pivots,
-                barrier_deep_tuples
+                barrier_deep_tuples,
+                transient_retries
             ],
-            [2, 4, 6, 8, 10, 12, 14, 16, 18]
+            [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
         );
     }
 

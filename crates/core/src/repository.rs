@@ -1,0 +1,637 @@
+//! Checkpoint/resume for crawls: durable progress at shard boundaries.
+//!
+//! A long crawl dies for boring reasons — the process is killed, the
+//! machine reboots, a per-identity quota runs dry mid-plan. Because a
+//! sharded plan is a list of *independent* shards whose query sequences
+//! depend only on the shard spec and the database (the scheduler's
+//! determinism contract, see [`crate::sharded`]), everything a finished
+//! shard produced stays valid across a crash: re-running the remaining
+//! shards and concatenating in plan order reconstructs exactly the
+//! report an uninterrupted crawl would have produced.
+//!
+//! [`CrawlRepository`] is the persistence seam: after every completed
+//! shard the crawl stores a [`CrawlCheckpoint`] — the plan's shard
+//! signatures plus one [`ShardSnapshot`] per finished shard — and on
+//! startup it loads the checkpoint and skips every shard already
+//! snapshotted. Two implementations ship: [`MemoryRepository`] (tests,
+//! and processes that resume within their own lifetime) and
+//! [`JsonFileRepository`] (a JSON file written atomically via a
+//! temp-file rename, so a crash mid-store never corrupts the previous
+//! checkpoint).
+//!
+//! The checkpoint embeds the plan's [`ShardSpec`
+//! signatures](crate::ShardSpec::signature): resuming against a
+//! different schema, session count, or oversubscription factor is a
+//! logic error (the shards would not partition the same space) and
+//! panics rather than silently merging mismatched bags.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hdc_types::{Tuple, Value};
+
+use crate::report::CrawlMetrics;
+
+/// Everything one finished shard contributed to the crawl: its position
+/// in the plan, its full query accounting, and its extracted tuples.
+///
+/// A snapshot is sufficient to replay the shard's merge contribution
+/// without touching the database — the determinism contract guarantees
+/// re-crawling the shard would reproduce exactly these values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's position in the plan (0-based).
+    pub index: usize,
+    /// Queries the shard's crawl charged.
+    pub queries: u64,
+    /// Resolved query outcomes.
+    pub resolved: u64,
+    /// Overflowed query outcomes.
+    pub overflowed: u64,
+    /// Oracle-pruned queries (answered locally, never charged).
+    pub pruned: u64,
+    /// Per-mechanism counters.
+    pub metrics: CrawlMetrics,
+    /// The tuples the shard extracted, in extraction order.
+    pub tuples: Vec<Tuple>,
+}
+
+/// A resumable crawl's durable state: the plan it was cut into and the
+/// shards finished so far.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrawlCheckpoint {
+    /// One [`crate::ShardSpec::signature`] per shard, in plan order.
+    /// Resume verifies this against the freshly computed plan.
+    pub plan: Vec<String>,
+    /// Finished shards, in completion order (not plan order).
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl CrawlCheckpoint {
+    /// An empty checkpoint for a plan.
+    pub fn new(plan: Vec<String>) -> Self {
+        CrawlCheckpoint {
+            plan,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Whether the shard at `index` has a snapshot.
+    pub fn has_shard(&self, index: usize) -> bool {
+        self.shards.iter().any(|s| s.index == index)
+    }
+
+    /// Serializes to the `hdc-crawl-checkpoint` JSON format (version 1).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"format\": \"hdc-crawl-checkpoint\", \"version\": 1,\n");
+        out.push_str(" \"plan\": [");
+        for (i, sig) in self.plan.iter().enumerate() {
+            debug_assert!(
+                !sig.contains(['"', '\\']),
+                "shard signatures never need escaping"
+            );
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{sig}\"");
+        }
+        out.push_str("],\n \"shards\": [");
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n  " } else { "\n  " });
+            let _ = write!(
+                out,
+                "{{\"index\": {}, \"queries\": {}, \"resolved\": {}, \
+                 \"overflowed\": {}, \"pruned\": {}, \"metrics\": {}, \"tuples\": [",
+                s.index,
+                s.queries,
+                s.resolved,
+                s.overflowed,
+                s.pruned,
+                metrics_json(&s.metrics),
+            );
+            for (j, t) in s.tuples.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (v, value) in t.values().iter().enumerate() {
+                    if v > 0 {
+                        out.push(',');
+                    }
+                    match value {
+                        Value::Cat(c) => {
+                            let _ = write!(out, "\"c{c}\"");
+                        }
+                        Value::Int(n) => {
+                            let _ = write!(out, "\"i{n}\"");
+                        }
+                    }
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses the `hdc-crawl-checkpoint` JSON format.
+    pub fn from_json(text: &str) -> io::Result<Self> {
+        let value = json::parse(text).map_err(invalid)?;
+        let obj = value.as_obj().ok_or_else(|| invalid("top level must be an object"))?;
+        let format = get(obj, "format")?.as_str().ok_or_else(|| invalid("format"))?;
+        if format != "hdc-crawl-checkpoint" {
+            return Err(invalid(format!("unknown format {format:?}")));
+        }
+        let version = get(obj, "version")?.as_int().ok_or_else(|| invalid("version"))?;
+        if version != 1 {
+            return Err(invalid(format!("unsupported version {version}")));
+        }
+        let plan = get(obj, "plan")?
+            .as_arr()
+            .ok_or_else(|| invalid("plan must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| invalid("plan entries must be strings"))
+            })
+            .collect::<io::Result<Vec<String>>>()?;
+        let mut shards = Vec::new();
+        for sv in get(obj, "shards")?
+            .as_arr()
+            .ok_or_else(|| invalid("shards must be an array"))?
+        {
+            let s = sv.as_obj().ok_or_else(|| invalid("shard must be an object"))?;
+            let tuples = get(s, "tuples")?
+                .as_arr()
+                .ok_or_else(|| invalid("tuples must be an array"))?
+                .iter()
+                .map(|tv| {
+                    let vals = tv
+                        .as_arr()
+                        .ok_or_else(|| invalid("tuple must be an array"))?
+                        .iter()
+                        .map(|v| {
+                            parse_value(v.as_str().ok_or_else(|| invalid("value token"))?)
+                        })
+                        .collect::<io::Result<Vec<Value>>>()?;
+                    Ok(Tuple::new(vals))
+                })
+                .collect::<io::Result<Vec<Tuple>>>()?;
+            shards.push(ShardSnapshot {
+                index: int_field(s, "index")? as usize,
+                queries: int_field(s, "queries")?,
+                resolved: int_field(s, "resolved")?,
+                overflowed: int_field(s, "overflowed")?,
+                pruned: int_field(s, "pruned")?,
+                metrics: parse_metrics(get(s, "metrics")?)?,
+                tuples,
+            });
+        }
+        Ok(CrawlCheckpoint { plan, shards })
+    }
+}
+
+fn metrics_json(m: &CrawlMetrics) -> String {
+    // Destructure so a new counter is a compile error here, not a field
+    // silently dropped from every checkpoint.
+    let CrawlMetrics {
+        two_way_splits,
+        three_way_splits,
+        slice_fetches,
+        slice_overflows,
+        local_answers,
+        leaf_subcrawls,
+        slice_cache_hits,
+        barrier_pivots,
+        barrier_deep_tuples,
+        transient_retries,
+    } = m;
+    format!(
+        "{{\"two_way_splits\": {two_way_splits}, \"three_way_splits\": {three_way_splits}, \
+         \"slice_fetches\": {slice_fetches}, \"slice_overflows\": {slice_overflows}, \
+         \"local_answers\": {local_answers}, \"leaf_subcrawls\": {leaf_subcrawls}, \
+         \"slice_cache_hits\": {slice_cache_hits}, \"barrier_pivots\": {barrier_pivots}, \
+         \"barrier_deep_tuples\": {barrier_deep_tuples}, \"transient_retries\": {transient_retries}}}"
+    )
+}
+
+fn parse_metrics(v: &json::Json) -> io::Result<CrawlMetrics> {
+    let obj = v.as_obj().ok_or_else(|| invalid("metrics must be an object"))?;
+    Ok(CrawlMetrics {
+        two_way_splits: int_field(obj, "two_way_splits")?,
+        three_way_splits: int_field(obj, "three_way_splits")?,
+        slice_fetches: int_field(obj, "slice_fetches")?,
+        slice_overflows: int_field(obj, "slice_overflows")?,
+        local_answers: int_field(obj, "local_answers")?,
+        leaf_subcrawls: int_field(obj, "leaf_subcrawls")?,
+        slice_cache_hits: int_field(obj, "slice_cache_hits")?,
+        barrier_pivots: int_field(obj, "barrier_pivots")?,
+        barrier_deep_tuples: int_field(obj, "barrier_deep_tuples")?,
+        transient_retries: int_field(obj, "transient_retries")?,
+    })
+}
+
+fn parse_value(token: &str) -> io::Result<Value> {
+    let (kind, digits) = token.split_at(usize::from(!token.is_empty()));
+    match kind {
+        "c" => digits
+            .parse::<u32>()
+            .map(Value::Cat)
+            .map_err(|e| invalid(format!("bad categorical token {token:?}: {e}"))),
+        "i" => digits
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| invalid(format!("bad numeric token {token:?}: {e}"))),
+        _ => Err(invalid(format!("unknown value token {token:?}"))),
+    }
+}
+
+fn invalid(msg: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn get<'a>(obj: &'a [(String, json::Json)], key: &str) -> io::Result<&'a json::Json> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| invalid(format!("missing field {key:?}")))
+}
+
+fn int_field(obj: &[(String, json::Json)], key: &str) -> io::Result<u64> {
+    get(obj, key)?
+        .as_int()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| invalid(format!("field {key:?} must be a non-negative integer")))
+}
+
+/// Where a resumable crawl keeps its checkpoint.
+///
+/// `Send` because the sharded crawl stores checkpoints from worker
+/// threads (serialized through a mutex — implementations never see
+/// concurrent calls). Mid-crawl store failures do not kill the crawl
+/// (the crawl itself is fine; only resumability degrades) but are
+/// surfaced at the end as a [`crate::CrawlError::Db`] so they cannot
+/// pass silently.
+pub trait CrawlRepository: Send {
+    /// Loads the previously stored checkpoint, or `None` when no
+    /// checkpoint exists (a fresh crawl).
+    fn load(&mut self) -> io::Result<Option<CrawlCheckpoint>>;
+
+    /// Durably replaces the checkpoint. Called once per completed shard,
+    /// with the complete accumulated state each time — a store is a full
+    /// overwrite, never an append.
+    fn store(&mut self, checkpoint: &CrawlCheckpoint) -> io::Result<()>;
+}
+
+/// An in-process [`CrawlRepository`]: survives between crawls in one
+/// process (tests, and drivers that retry a budget-limited crawl in a
+/// loop), not across a real crash.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryRepository {
+    saved: Option<CrawlCheckpoint>,
+}
+
+impl MemoryRepository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        MemoryRepository::default()
+    }
+
+    /// The stored checkpoint, if any — handy for assertions.
+    pub fn saved(&self) -> Option<&CrawlCheckpoint> {
+        self.saved.as_ref()
+    }
+}
+
+impl CrawlRepository for MemoryRepository {
+    fn load(&mut self) -> io::Result<Option<CrawlCheckpoint>> {
+        Ok(self.saved.clone())
+    }
+
+    fn store(&mut self, checkpoint: &CrawlCheckpoint) -> io::Result<()> {
+        self.saved = Some(checkpoint.clone());
+        Ok(())
+    }
+}
+
+/// A [`CrawlRepository`] backed by one JSON file, written **atomically**:
+/// the checkpoint is serialized to `<path>.tmp` and renamed over the
+/// target, so a crash mid-store leaves the previous checkpoint intact —
+/// the file is always either absent or a complete, parseable checkpoint.
+#[derive(Clone, Debug)]
+pub struct JsonFileRepository {
+    path: PathBuf,
+}
+
+impl JsonFileRepository {
+    /// A repository at `path`. The file need not exist yet.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonFileRepository { path: path.into() }
+    }
+
+    /// The checkpoint file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CrawlRepository for JsonFileRepository {
+    fn load(&mut self) -> io::Result<Option<CrawlCheckpoint>> {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        CrawlCheckpoint::from_json(&text).map(Some)
+    }
+
+    fn store(&mut self, checkpoint: &CrawlCheckpoint) -> io::Result<()> {
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, checkpoint.to_json())?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+/// The minimal JSON reader behind [`CrawlCheckpoint::from_json`] —
+/// integers, strings, arrays, objects; exactly what the checkpoint
+/// format emits. Vendored like the rest of `crates/compat` because this
+/// workspace builds with no registry access.
+mod json {
+    /// A parsed JSON value. Numbers are integers (the format emits
+    /// nothing else) kept at `i128` so every `u64` survives round-trip.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        /// An integer.
+        Int(i128),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object, as ordered key/value pairs.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn as_int(&self) -> Option<i128> {
+            match self {
+                Json::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while bytes
+            .get(*pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&want) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {pos}", char::from(want)))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    fields.push((key, parse_value(bytes, pos)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = *pos;
+                if bytes.get(*pos) == Some(&b'-') {
+                    *pos += 1;
+                }
+                while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&bytes[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse::<i128>().ok())
+                    .map(Json::Int)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected input at byte {pos}")),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|e| e.to_string())?
+                        .to_owned();
+                    *pos += 1;
+                    return Ok(s);
+                }
+                // The checkpoint format never emits escapes; reject
+                // rather than mis-read.
+                b'\\' => return Err(format!("escapes unsupported at byte {pos}")),
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::{cat_tuple, int_tuple};
+
+    fn sample() -> CrawlCheckpoint {
+        CrawlCheckpoint {
+            plan: vec!["cat:0=[0,2]".into(), "cat:0=[1]".into()],
+            shards: vec![ShardSnapshot {
+                index: 1,
+                queries: 42,
+                resolved: 30,
+                overflowed: 12,
+                pruned: 3,
+                metrics: CrawlMetrics {
+                    two_way_splits: 1,
+                    three_way_splits: 2,
+                    slice_fetches: 3,
+                    slice_overflows: 4,
+                    local_answers: 5,
+                    leaf_subcrawls: 6,
+                    slice_cache_hits: 7,
+                    barrier_pivots: 8,
+                    barrier_deep_tuples: 9,
+                    transient_retries: 10,
+                },
+                tuples: vec![
+                    cat_tuple(&[1, 2]),
+                    int_tuple(&[-7, 9_999_999_999]),
+                    cat_tuple(&[1, 2]), // duplicates are part of the bag
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let checkpoint = sample();
+        let parsed = CrawlCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed, checkpoint);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let checkpoint = CrawlCheckpoint::new(vec!["num:0=[0,9]".into()]);
+        let parsed = CrawlCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed, checkpoint);
+        assert!(!checkpoint.has_shard(0));
+    }
+
+    #[test]
+    fn garbage_and_wrong_formats_are_rejected() {
+        assert!(CrawlCheckpoint::from_json("not json").is_err());
+        assert!(CrawlCheckpoint::from_json("{}").is_err());
+        assert!(CrawlCheckpoint::from_json(
+            "{\"format\": \"something-else\", \"version\": 1, \"plan\": [], \"shards\": []}"
+        )
+        .is_err());
+        assert!(CrawlCheckpoint::from_json(
+            "{\"format\": \"hdc-crawl-checkpoint\", \"version\": 9, \"plan\": [], \"shards\": []}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn memory_repository_roundtrips() {
+        let mut repo = MemoryRepository::new();
+        assert!(repo.load().unwrap().is_none());
+        let checkpoint = sample();
+        repo.store(&checkpoint).unwrap();
+        assert_eq!(repo.load().unwrap().unwrap(), checkpoint);
+        assert!(repo.saved().unwrap().has_shard(1));
+    }
+
+    #[test]
+    fn file_repository_roundtrips_and_overwrites_atomically() {
+        let path = std::env::temp_dir().join(format!(
+            "hdc-checkpoint-test-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut repo = JsonFileRepository::new(&path);
+        assert!(repo.load().unwrap().is_none(), "missing file is a fresh crawl");
+
+        let mut checkpoint = sample();
+        repo.store(&checkpoint).unwrap();
+        assert_eq!(repo.load().unwrap().unwrap(), checkpoint);
+
+        // A second store replaces the first completely.
+        checkpoint.shards[0].queries = 99;
+        repo.store(&checkpoint).unwrap();
+        assert_eq!(repo.load().unwrap().unwrap().shards[0].queries, 99);
+        // No temp file is left behind.
+        assert!(!path.with_extension("json.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_fresh_crawl() {
+        let path = std::env::temp_dir().join(format!(
+            "hdc-checkpoint-corrupt-{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"truncated").unwrap();
+        let mut repo = JsonFileRepository::new(&path);
+        assert!(repo.load().is_err(), "corruption must be loud");
+        let _ = std::fs::remove_file(&path);
+    }
+}

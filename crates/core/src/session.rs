@@ -14,8 +14,29 @@
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
 
 use crate::dependency::ValidityOracle;
-use crate::orchestrate::{CrawlObserver, Flow, ProgressRecorder};
+use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ProgressRecorder};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
+use crate::retry::RetryPolicy;
+
+/// Fault-tolerance configuration threaded from [`crate::CrawlBuilder`]
+/// (or any external driver) down to every [`Session`].
+///
+/// The default is fully backward-compatible: no retries
+/// ([`RetryPolicy::none`]) and no cancellation token, which makes a
+/// configured crawl bit-identical to a legacy one.
+#[derive(Clone, Debug, Default)]
+pub struct SessionConfig<'c> {
+    /// How the session reacts to transient [`DbError`]s: re-issue the
+    /// failed query (or the failed *suffix* of a batch — the successful
+    /// prefix is never re-paid) up to the policy's attempt bound, with
+    /// backoff between attempts. Non-transient errors always abort.
+    pub retry: RetryPolicy,
+    /// External cancellation: when the token trips, the session refuses
+    /// to issue further queries and aborts with [`Abort::Stopped`] —
+    /// the `Sync` flag that lets an observer (or a signal handler) halt
+    /// in-flight shards on other threads.
+    pub cancel: Option<&'c CancelToken>,
+}
 
 /// Abort signal raised inside an algorithm body; the session converts it
 /// into a [`CrawlError`] carrying the partial report (see [`run_crawl`]).
@@ -84,6 +105,8 @@ pub struct Session<'a> {
     /// The default observer: accumulates [`CrawlReport::progress`].
     recorder: ProgressRecorder,
     stopped: bool,
+    retry: RetryPolicy,
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> Session<'a> {
@@ -92,6 +115,7 @@ impl<'a> Session<'a> {
         db: &'a mut dyn HiddenDatabase,
         oracle: Option<&'a dyn ValidityOracle>,
         observer: Option<&'a mut dyn CrawlObserver>,
+        config: SessionConfig<'a>,
     ) -> Self {
         Session {
             db,
@@ -106,7 +130,14 @@ impl<'a> Session<'a> {
             output: Vec::new(),
             recorder: ProgressRecorder::new(),
             stopped: false,
+            retry: config.retry,
+            cancel: config.cancel,
         }
+    }
+
+    /// True once the external cancellation token (if any) has tripped.
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     /// Mutable access to the algorithm-internal counters.
@@ -131,9 +162,12 @@ impl<'a> Session<'a> {
     }
 
     /// Issues a query (or answers it from the oracle) and updates the
-    /// accounting.
+    /// accounting. Transient database failures are retried per the
+    /// session's [`RetryPolicy`] (each absorbed failure counted in
+    /// [`CrawlMetrics::transient_retries`]); only a failure that outlives
+    /// the policy — or any non-transient failure — aborts.
     pub fn run(&mut self, q: &Query) -> Result<QueryOutcome, Abort> {
-        if self.stopped {
+        if self.stopped || self.cancelled() {
             return Err(Abort::Stopped);
         }
         if let Some(oracle) = self.oracle {
@@ -143,7 +177,21 @@ impl<'a> Session<'a> {
                 return Ok(QueryOutcome::resolved(Vec::new()));
             }
         }
-        let out = self.db.query(q).map_err(Abort::Db)?;
+        let mut attempt = 1u32;
+        let out = loop {
+            match self.db.query(q) {
+                Ok(out) => break out,
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts() => {
+                    if self.cancelled() {
+                        return Err(Abort::Stopped);
+                    }
+                    self.metrics.transient_retries += 1;
+                    self.retry.pause(attempt, self.queries);
+                    attempt += 1;
+                }
+                Err(e) => return Err(Abort::Db(e)),
+            }
+        };
         self.queries += 1;
         if out.overflow {
             self.overflowed += 1;
@@ -168,15 +216,19 @@ impl<'a> Session<'a> {
     /// queries are answered locally (and tallied as `pruned`) without
     /// being forwarded, exactly as in [`Session::run`].
     ///
-    /// On a database error mid-batch the successful prefix's outcomes are
-    /// lost (the batch aborts the crawl anyway), but the *cost* stays
-    /// exact: the queries the database reports as charged are added to
-    /// the session's count, so partial reports still reflect every
-    /// charged query. Callers with many siblings should issue them in
-    /// [`MAX_BATCH`]-sized windows, reporting between windows, so a
+    /// A *transient* database error mid-batch is absorbed by the
+    /// session's [`RetryPolicy`]: the successful prefix is accounted
+    /// (and streamed) as it arrives, and only the unanswered suffix is
+    /// re-issued — nothing is ever paid for twice. If the failure is
+    /// permanent, or outlives the policy, the call aborts: the prefix's
+    /// outcomes are not returned (the batch aborts the crawl anyway),
+    /// but their cost — and every charged query the database reports —
+    /// stays in the session's count, so partial reports still reflect
+    /// every charged query. Callers with many siblings should issue them
+    /// in [`MAX_BATCH`]-sized windows, reporting between windows, so a
     /// failure forfeits at most one window's outcomes.
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
-        if self.stopped {
+        if self.stopped || self.cancelled() {
             return Err(Abort::Stopped);
         }
         match queries {
@@ -214,39 +266,70 @@ impl<'a> Session<'a> {
             .collect())
     }
 
-    /// One `query_batch` round trip with per-query accounting.
+    /// Batch round trips with per-query accounting and suffix retry.
+    ///
+    /// The batch goes to the database through
+    /// [`HiddenDatabase::try_query_batch`], so a mid-batch failure keeps
+    /// the successful prefix: every answered outcome is accounted (and
+    /// streamed) immediately — the queries are already charged, and an
+    /// observer's stop only gates *future* issuing. On a transient
+    /// failure the session re-issues **only the unanswered suffix**, per
+    /// the [`RetryPolicy`]; the prefix is never re-paid, and any progress
+    /// between failures starts a fresh retry budget (a flapping endpoint
+    /// that keeps answering *something* is not a dying one). Permanent
+    /// failures — or transients that outlive the policy — abort with the
+    /// accounting exact.
     fn issue_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, Abort> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let before = self.db.queries_issued();
-        match self.db.query_batch(queries) {
-            Ok(outs) => {
-                // Every outcome of the batch is accounted (and streamed)
-                // even if an observer stops mid-batch: the queries are
-                // already charged, and stop only gates *future* issuing.
-                for (q, out) in queries.iter().zip(&outs) {
-                    self.queries += 1;
-                    if out.overflow {
-                        self.overflowed += 1;
-                    } else {
-                        self.resolved += 1;
-                    }
-                    Self::notify(&mut self.observer, &mut self.stopped, |o| {
-                        o.on_query(q, out)
-                    });
-                    self.push_progress();
+        let mut outs: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
+        let mut attempt = 1u32;
+        loop {
+            let before = self.db.queries_issued();
+            let suffix = &queries[outs.len()..];
+            let (answered, error) = self.db.try_query_batch(suffix);
+            let progressed = !answered.is_empty();
+            for (q, out) in suffix.iter().zip(&answered) {
+                self.queries += 1;
+                if out.overflow {
+                    self.overflowed += 1;
+                } else {
+                    self.resolved += 1;
                 }
-                Ok(outs)
-            }
-            Err(error) => {
-                // Databases without a native batch path (the trait's
-                // default loop, budget decorators) charge the successful
-                // prefix before failing; count exactly what was charged
-                // so the partial report's cost stays truthful.
-                self.queries += self.db.queries_issued().saturating_sub(before);
+                Self::notify(&mut self.observer, &mut self.stopped, |o| {
+                    o.on_query(q, out)
+                });
                 self.push_progress();
-                Err(Abort::Db(error))
+            }
+            // Reconcile against what the database says it charged:
+            // all-or-nothing batch paths (like the server's up-front
+            // validation) may charge differently from what they answered;
+            // the partial report's cost must stay truthful either way.
+            let charged = self.db.queries_issued().saturating_sub(before);
+            if charged > answered.len() as u64 {
+                self.queries += charged - answered.len() as u64;
+                self.push_progress();
+            }
+            outs.extend(answered);
+            match error {
+                None => return Ok(outs),
+                Some(e) if e.is_transient() => {
+                    if progressed {
+                        // The fault chain broke: new suffix, fresh budget.
+                        attempt = 1;
+                    }
+                    if attempt >= self.retry.max_attempts() {
+                        return Err(Abort::Db(e));
+                    }
+                    if self.stopped || self.cancelled() {
+                        return Err(Abort::Stopped);
+                    }
+                    self.metrics.transient_retries += 1;
+                    self.retry.pause(attempt, self.queries);
+                    attempt += 1;
+                }
+                Some(e) => return Err(Abort::Db(e)),
             }
         }
     }
@@ -348,8 +431,27 @@ pub fn run_crawl_observed<'a, 'o: 'a, F>(
 where
     F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
 {
+    run_crawl_configured(algorithm, db, oracle, observer, SessionConfig::default(), body)
+}
+
+/// [`run_crawl_observed`] with a [`SessionConfig`] — retry policy and
+/// cancellation token — threaded into the session. The fully general
+/// driver: every other `run_crawl*` entry point delegates here, and
+/// [`crate::Crawler::crawl_configured`] is how the orchestration layer
+/// reaches it for any algorithm.
+pub fn run_crawl_configured<'a, 'o: 'a, F>(
+    algorithm: &'static str,
+    db: &'a mut dyn HiddenDatabase,
+    oracle: Option<&'a dyn ValidityOracle>,
+    observer: Option<&'o mut dyn CrawlObserver>,
+    config: SessionConfig<'a>,
+    body: F,
+) -> Result<CrawlReport, CrawlError>
+where
+    F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
+{
     let observer = observer.map(|o| o as &mut dyn CrawlObserver);
-    let mut session = Session::new(algorithm, db, oracle, observer);
+    let mut session = Session::new(algorithm, db, oracle, observer, config);
     match body(&mut session) {
         Ok(()) => Ok(session.finish()),
         Err(abort) => Err(session.fail(abort)),
@@ -499,6 +601,183 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    /// Fails with a transient error on the listed `query()` attempt
+    /// numbers (1-based, counting failed attempts too); succeeds on every
+    /// other attempt. Only successes are charged, like [`FaultyDb`].
+    struct ScriptedDb {
+        schema: Schema,
+        fail_on: Vec<u64>,
+        attempts: u64,
+        issued: u64,
+    }
+
+    impl ScriptedDb {
+        fn new(fail_on: Vec<u64>) -> Self {
+            ScriptedDb {
+                schema: Schema::builder().numeric("a", 0, 9).build().unwrap(),
+                fail_on,
+                attempts: 0,
+                issued: 0,
+            }
+        }
+    }
+
+    impl HiddenDatabase for ScriptedDb {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn k(&self) -> usize {
+            2
+        }
+
+        fn query(&mut self, _q: &Query) -> Result<QueryOutcome, DbError> {
+            self.attempts += 1;
+            if self.fail_on.contains(&self.attempts) {
+                return Err(DbError::Transient("scripted fault".into()));
+            }
+            self.issued += 1;
+            Ok(QueryOutcome::resolved(vec![int_tuple(&[1])]))
+        }
+
+        fn queries_issued(&self) -> u64 {
+            self.issued
+        }
+    }
+
+    fn retrying(max_attempts: u32) -> SessionConfig<'static> {
+        SessionConfig {
+            retry: RetryPolicy::new(max_attempts).no_sleep(),
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        use hdc_types::{FaultConfig, FaultyDb};
+        let mut db = FaultyDb::new(
+            fake(None),
+            FaultConfig {
+                seed: 7,
+                transient_rate: 0.3,
+                ..FaultConfig::default()
+            },
+        );
+        let report = run_crawl_configured("t", &mut db, None, None, retrying(50), |s| {
+            for _ in 0..40 {
+                let out = s.run(&Query::any(1))?;
+                s.report(out.tuples);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 40, "only successes are charged");
+        assert_eq!(report.tuples.len(), 40);
+        assert!(db.faults_injected() > 0, "seed 7 @ 0.3 must inject");
+        assert_eq!(
+            report.metrics.transient_retries,
+            db.faults_injected(),
+            "every injected fault is exactly one retry"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_transient_error() {
+        use hdc_types::{FaultConfig, FaultyDb};
+        let mut db = FaultyDb::new(
+            fake(None),
+            FaultConfig {
+                seed: 1,
+                transient_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let err = run_crawl_configured("t", &mut db, None, None, retrying(3), |s| {
+            s.run(&Query::any(1))?;
+            Ok(())
+        })
+        .unwrap_err();
+        match &err {
+            CrawlError::Db { error, partial } => {
+                assert!(error.is_transient(), "the last attempt's error");
+                assert_eq!(partial.queries, 0);
+                assert_eq!(partial.metrics.transient_retries, 2, "attempts 1..3");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn batch_suffix_retry_never_repays_the_prefix() {
+        // Attempts 3 and 4 fail: the first round answers 2 queries, the
+        // second answers none, the third finishes the suffix. The two
+        // charged prefix queries are paid exactly once.
+        let mut db = ScriptedDb::new(vec![3, 4]);
+        let report = run_crawl_configured("t", &mut db, None, None, retrying(3), |s| {
+            let outs = s.run_batch(&vec![Query::any(1); 5])?;
+            assert_eq!(outs.len(), 5);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 5, "five successes, zero re-payments");
+        assert_eq!(db.issued, 5);
+        assert_eq!(report.metrics.transient_retries, 2);
+    }
+
+    #[test]
+    fn batch_progress_resets_the_attempt_budget() {
+        // Every other attempt fails. With max_attempts = 2 a naive
+        // counter would exhaust after the second fault; because each
+        // round answers at least one query first, the fault chain keeps
+        // resetting and the batch completes.
+        let mut db = ScriptedDb::new(vec![2, 4, 6, 8]);
+        let report = run_crawl_configured("t", &mut db, None, None, retrying(2), |s| {
+            let outs = s.run_batch(&vec![Query::any(1); 5])?;
+            assert_eq!(outs.len(), 5);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.metrics.transient_retries, 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_never_retried() {
+        let mut db = fake(Some(2));
+        let err = run_crawl_configured("t", &mut db, None, None, retrying(10), |s| loop {
+            s.run(&Query::any(1))?;
+        })
+        .unwrap_err();
+        match &err {
+            CrawlError::Db { error, partial } => {
+                assert!(matches!(error, DbError::BudgetExhausted { .. }));
+                assert_eq!(partial.metrics.transient_retries, 0, "permanent: no retry");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_spending() {
+        let token = CancelToken::new();
+        token.cancel();
+        let config = SessionConfig {
+            cancel: Some(&token),
+            ..SessionConfig::default()
+        };
+        let mut db = fake(None);
+        let err = run_crawl_configured("t", &mut db, None, None, config, |s| {
+            s.run(&Query::any(1))?;
+            Ok(())
+        })
+        .unwrap_err();
+        match &err {
+            CrawlError::Stopped { partial } => assert_eq!(partial.queries, 0),
+            other => panic!("unexpected error {other}"),
+        }
+        assert_eq!(db.issued, 0, "a cancelled session never touches the db");
     }
 
     struct EvenOracle;

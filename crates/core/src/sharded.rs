@@ -66,6 +66,7 @@
 //! every other shard. Either way the first failure (in plan order) is
 //! re-raised carrying the merged partial report.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use hdc_types::{AttrKind, DbError, HiddenDatabase, Predicate, Query, Schema};
@@ -73,9 +74,11 @@ pub use workpool::{PoolStats, Source as TaskSource, Verdict, WorkerStats};
 
 use crate::categorical::slice_cover::{extended_dfs_from, DfsRoot, LeafMode, SliceTable};
 use crate::numeric::rank_shrink::RankShrink;
-use crate::orchestrate::{CrawlObserver, Flow, ShardEvent};
+use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ShardEvent};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport};
-use crate::session::run_crawl;
+use crate::repository::{CrawlCheckpoint, CrawlRepository, ShardSnapshot};
+use crate::retry::RetryPolicy;
+use crate::session::{run_crawl_configured, SessionConfig};
 
 /// How one shard's share of the data space is described.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -177,6 +180,31 @@ impl ShardSpec {
         }
     }
 
+    /// A canonical, stable string naming exactly this shard's share of
+    /// the data space. Two plans cut the same way produce the same
+    /// signature sequence; checkpoints embed it so a resume against a
+    /// different plan (schema, session count, or oversubscription
+    /// changed) is detected instead of silently merging mismatched bags.
+    pub fn signature(&self) -> String {
+        match self {
+            ShardSpec::CatValues { attr, values } => format!("cat:{attr}={values:?}"),
+            ShardSpec::CatSub {
+                attr,
+                value,
+                sub_attr,
+                sub_values,
+            } => format!("catsub:{attr}={value}:{sub_attr}={sub_values:?}"),
+            ShardSpec::CatNumRange {
+                attr,
+                value,
+                num_attr,
+                lo,
+                hi,
+            } => format!("catnum:{attr}={value}:{num_attr}=[{lo},{hi}]"),
+            ShardSpec::NumRange { attr, lo, hi } => format!("num:{attr}=[{lo},{hi}]"),
+        }
+    }
+
     /// Crawls this shard on `db`, which must view the same logical
     /// database the plan was made for.
     ///
@@ -191,10 +219,25 @@ impl ShardSpec {
         db: &mut dyn HiddenDatabase,
         schema: &Schema,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_configured(db, schema, SessionConfig::default())
+    }
+
+    /// [`ShardSpec::crawl`] with a [`SessionConfig`] — retry policy and
+    /// cancellation — threaded into the shard's session. Retries do not
+    /// change the charged query sequence (a transient failure charges
+    /// nothing, and the deterministic server answers the re-issued query
+    /// exactly as it would have answered the original), so the
+    /// determinism contract holds under faults too.
+    pub fn crawl_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        config: SessionConfig<'_>,
+    ) -> Result<CrawlReport, CrawlError> {
         let cat_dims = schema.cat_indices();
         let num_dims = schema.num_indices();
         let rank = RankShrink::new();
-        run_crawl("sharded-hybrid", db, None, |session| match self {
+        run_crawl_configured("sharded-hybrid", db, None, None, config, |session| match self {
             ShardSpec::NumRange { attr, lo, hi } => {
                 if lo > hi {
                     return Ok(()); // empty shard
@@ -318,6 +361,11 @@ pub struct ShardRun {
     /// Whether this shard's crawl failed (its `report` is then the
     /// failure's partial).
     pub failed: bool,
+    /// Whether this shard was replayed from a checkpoint instead of
+    /// crawled: its accounting comes from the snapshot (it charged its
+    /// queries in the run that produced the checkpoint, not in this one)
+    /// and its `worker`/`source`/`wall` are placeholders.
+    pub restored: bool,
     /// The shard's crawl report — full accounting and progress curve,
     /// with `tuples` drained into the merged report.
     pub report: CrawlReport,
@@ -359,11 +407,41 @@ impl ShardedReport {
     }
 }
 
+/// Runtime controls for a sharded crawl: the streaming observer, a
+/// cross-thread cancellation token, and a checkpoint repository. All
+/// optional; `CrawlControls::default()` reproduces the plain
+/// [`Sharded::crawl`] behavior.
+#[derive(Default)]
+pub struct CrawlControls<'a> {
+    /// Merge-path event sink (see [`Sharded::crawl_observed`]).
+    pub observer: Option<&'a mut dyn CrawlObserver>,
+    /// Cooperative cancellation: when the token latches, in-flight shard
+    /// sessions abort before their next query and queued shards are
+    /// never started. Without one, the crawl allocates an internal token
+    /// so a [`CrawlError::Stopped`] shard still halts its peers.
+    pub cancel: Option<&'a CancelToken>,
+    /// Checkpoint store: load-and-skip finished shards at startup, store
+    /// the accumulated [`CrawlCheckpoint`] after every completed shard.
+    pub repository: Option<&'a mut dyn CrawlRepository>,
+}
+
+impl std::fmt::Debug for CrawlControls<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrawlControls")
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.is_some())
+            .field("repository", &self.repository.is_some())
+            .finish()
+    }
+}
+
 /// A multi-session crawler over `sessions` client identities.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Sharded {
     sessions: usize,
     oversubscribe: usize,
+    retry: RetryPolicy,
+    strikes: u32,
 }
 
 impl Sharded {
@@ -374,6 +452,8 @@ impl Sharded {
         Sharded {
             sessions,
             oversubscribe: 1,
+            retry: RetryPolicy::none(),
+            strikes: 2,
         }
     }
 
@@ -385,6 +465,25 @@ impl Sharded {
     pub fn oversubscribed(mut self, factor: usize) -> Self {
         assert!(factor >= 1, "oversubscription factor must be ≥ 1");
         self.oversubscribe = factor;
+        self
+    }
+
+    /// Applies `policy` to every shard session: transient query failures
+    /// are retried in place instead of failing the shard (default: no
+    /// retries).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// How many *consecutive* shards may fail with a transient error
+    /// (after exhausting their session's retries) before the identity is
+    /// considered unhealthy and retired from the pool. A permanent
+    /// database error still retires the worker immediately; a successful
+    /// shard resets the count. Default 2; must be ≥ 1.
+    pub fn transient_strikes(mut self, strikes: u32) -> Self {
+        assert!(strikes >= 1, "at least one strike required");
+        self.strikes = strikes;
         self
     }
 
@@ -516,10 +615,38 @@ impl Sharded {
         D: HiddenDatabase + Send,
         F: Fn(usize) -> D + Sync,
     {
-        self.crawl_with(factory, |spec, db| {
-            let schema = db.schema().clone();
-            spec.crawl(db, &schema)
-        })
+        self.crawl_controlled(factory, CrawlControls::default())
+    }
+
+    /// [`Sharded::crawl`] with [`CrawlControls`] — observer, cancellation
+    /// token, and checkpoint repository — attached. This is the
+    /// fully-general entry point for the paper's hybrid algorithm; the
+    /// `crawl`/`crawl_with`/`crawl_observed` family are thin wrappers.
+    ///
+    /// With a repository, the crawl loads any existing checkpoint first
+    /// (panicking if its plan does not match this crawl's plan), replays
+    /// the snapshotted shards without issuing a single query, crawls only
+    /// the remainder, and stores the updated checkpoint after every
+    /// completed shard. The merged report of a resumed crawl is
+    /// bit-identical to an uninterrupted run's.
+    pub fn crawl_controlled<D, F>(
+        &self,
+        factory: F,
+        controls: CrawlControls<'_>,
+    ) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+    {
+        let probe = factory(0);
+        let schema = probe.schema().clone();
+        drop(probe);
+        self.crawl_controlled_with_schema(
+            &schema.clone(),
+            factory,
+            move |spec, db: &mut D, config| spec.crawl_configured(db, &schema, config),
+            controls,
+        )
     }
 
     /// Runs a sharded crawl with a **caller-supplied per-shard crawler**.
@@ -596,47 +723,386 @@ impl Sharded {
         F: Fn(usize) -> D + Sync,
         G: Fn(&ShardSpec, &mut D) -> Result<CrawlReport, CrawlError> + Sync,
     {
+        self.crawl_controlled_with_schema(
+            schema,
+            factory,
+            // A config-less shard crawler manages its own sessions; the
+            // sharded retry/cancel config cannot reach inside it.
+            |spec, db, _config| shard_crawl(spec, db),
+            CrawlControls {
+                observer,
+                ..CrawlControls::default()
+            },
+        )
+    }
+
+    /// The fully-general sharded driver: a *configured* per-shard
+    /// crawler (it receives the [`SessionConfig`] carrying this
+    /// `Sharded`'s retry policy and the crawl's halt token) plus
+    /// [`CrawlControls`]. Everything else funnels here.
+    pub(crate) fn crawl_controlled_with_schema<D, F, G>(
+        &self,
+        schema: &Schema,
+        factory: F,
+        shard_crawl: G,
+        controls: CrawlControls<'_>,
+    ) -> Result<ShardedReport, CrawlError>
+    where
+        D: HiddenDatabase + Send,
+        F: Fn(usize) -> D + Sync,
+        G: Fn(&ShardSpec, &mut D, SessionConfig<'_>) -> Result<CrawlReport, CrawlError> + Sync,
+    {
+        let CrawlControls {
+            observer,
+            cancel,
+            mut repository,
+        } = controls;
         let plan = Self::plan_oversubscribed(schema, self.sessions, self.oversubscribe);
+        let signatures: Vec<String> = plan.iter().map(ShardSpec::signature).collect();
+
+        // Resume: split the plan into snapshotted shards (replayed
+        // without a query) and pending ones (crawled below).
+        let mut restored: Vec<Option<ShardSnapshot>> = (0..plan.len()).map(|_| None).collect();
+        if let Some(repo) = repository.as_deref_mut() {
+            match repo.load() {
+                Ok(None) => {}
+                Ok(Some(checkpoint)) => {
+                    assert_eq!(
+                        checkpoint.plan, signatures,
+                        "checkpoint was taken for a different plan (schema, \
+                         sessions, or oversubscription changed) — resuming \
+                         would merge mismatched shards"
+                    );
+                    for snap in checkpoint.shards {
+                        assert!(snap.index < plan.len(), "snapshot index out of plan");
+                        let index = snap.index;
+                        restored[index] = Some(snap);
+                    }
+                }
+                Err(e) => {
+                    return Err(CrawlError::Db {
+                        error: DbError::Backend(format!("checkpoint load failed: {e}")),
+                        partial: Box::new(blank_report("sharded-hybrid")),
+                    })
+                }
+            }
+        }
+        let tasks: Vec<(usize, ShardSpec)> = plan
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| restored[*i].is_none())
+            .map(|(i, spec)| (i, spec.clone()))
+            .collect();
+
+        // The halt flag: the caller's token when provided (so external
+        // cancellation reaches every session), else an internal one (so
+        // a Stopped shard still halts its in-flight peers).
+        let internal_halt = CancelToken::new();
+        let halt: &CancelToken = cancel.unwrap_or(&internal_halt);
+
+        // Checkpoint journal: worker threads append one snapshot per
+        // completed shard and store the accumulated state, serialized by
+        // the mutex. Store failures are latched, never panicked — the
+        // crawl itself is healthy, only resumability is degraded — and
+        // surfaced once at the end.
+        let journal = repository.map(|repo| {
+            let seeded = CrawlCheckpoint {
+                plan: signatures,
+                shards: restored.iter().flatten().cloned().collect(),
+            };
+            Mutex::new((repo, seeded))
+        });
+        let store_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
         let pool = workpool::Pool::new(self.sessions);
-        let (slots, pool_stats) = pool.run(
-            plan,
-            &factory,
-            |db: &mut D, ctx, spec: ShardSpec| {
+        let (slots, pool_stats) = pool.run_cancellable(
+            tasks,
+            |w| (factory(w), 0u32),
+            |(db, strikes): &mut (D, u32), ctx, (index, spec): (usize, ShardSpec)| {
                 let begun = Instant::now();
-                let result = shard_crawl(&spec, db);
-                // A database failure means this identity is dead (quota
-                // exhausted, transport gone): retire the worker instead
-                // of burning one doomed query per remaining shard. An
-                // unsolvable *instance* leaves the connection healthy.
-                let verdict = if matches!(&result, Err(CrawlError::Db { .. })) {
-                    Verdict::Retire
-                } else {
-                    Verdict::Continue
+                let config = SessionConfig {
+                    retry: self.retry.clone(),
+                    cancel: Some(halt),
                 };
+                let result = shard_crawl(&spec, db, config);
+                // Identity health. A permanent database failure means
+                // this identity is dead (quota exhausted, banned): retire
+                // the worker instead of burning one doomed query per
+                // remaining shard. A *transient* failure that survived
+                // the retry policy marks a strike — the identity is
+                // flaky, but only repeated consecutive strikes retire it.
+                // An unsolvable instance leaves the connection healthy,
+                // and a stopped shard halts the whole crawl instead.
+                let verdict = match &result {
+                    Ok(_) => {
+                        *strikes = 0;
+                        Verdict::Continue
+                    }
+                    Err(CrawlError::Db { error, .. }) if error.is_transient() => {
+                        *strikes += 1;
+                        if *strikes >= self.strikes {
+                            Verdict::Retire
+                        } else {
+                            Verdict::Continue
+                        }
+                    }
+                    Err(CrawlError::Db { .. }) => Verdict::Retire,
+                    Err(CrawlError::Stopped { .. }) => {
+                        halt.cancel();
+                        Verdict::Continue
+                    }
+                    Err(CrawlError::Unsolvable { .. }) => Verdict::Continue,
+                };
+                if let (Ok(report), Some(journal)) = (&result, journal.as_ref()) {
+                    let mut guard = journal.lock().expect("journal poisoned");
+                    let (repo, checkpoint) = &mut *guard;
+                    checkpoint.shards.push(snapshot_of(index, report));
+                    if let Err(e) = repo.store(checkpoint) {
+                        store_error
+                            .lock()
+                            .expect("store_error poisoned")
+                            .get_or_insert(e);
+                    }
+                }
                 (
                     PendingRun {
+                        index,
                         spec,
                         worker: ctx.worker,
                         source: ctx.source,
                         wall: begun.elapsed(),
                         result,
+                        restored: false,
                     },
                     verdict,
                 )
             },
+            Some(halt.flag()),
         );
-        merge_results(slots, pool_stats, self.sessions, observer)
+
+        // Reassemble plan order: live results land at their plan index,
+        // snapshotted shards are replayed as pre-completed runs.
+        let mut full: Vec<Option<PendingRun>> = (0..plan.len()).map(|_| None).collect();
+        for run in slots.into_iter().flatten() {
+            let index = run.index;
+            full[index] = Some(run);
+        }
+        for (index, snap) in restored.into_iter().enumerate() {
+            let Some(snap) = snap else { continue };
+            full[index] = Some(PendingRun {
+                index,
+                spec: plan[index].clone(),
+                worker: 0,
+                source: TaskSource::Seeded,
+                wall: Duration::ZERO,
+                result: Ok(report_of(snap)),
+                restored: true,
+            });
+        }
+        merge_results(
+            full,
+            pool_stats,
+            self.sessions,
+            observer,
+            store_error.into_inner().expect("store_error poisoned"),
+        )
     }
 }
 
-/// One shard's outcome as it comes off the pool, before merging.
+impl Sharded {
+    /// The single-connection sibling of
+    /// [`Sharded::crawl_controlled_with_schema`]: executes the same plan
+    /// **sequentially, in plan order, on one caller-provided
+    /// connection** — no threads, no factory. This is how a *solo* crawl
+    /// gains checkpoint/resume: the plan (one session, oversubscription
+    /// as the checkpoint granularity) turns a monolithic crawl into
+    /// resumable shard-sized steps, and the determinism contract makes
+    /// the merged result bit-identical to the pool's for the same plan.
+    pub(crate) fn crawl_sequential_controlled(
+        &self,
+        schema: &Schema,
+        db: &mut dyn HiddenDatabase,
+        shard_crawl: impl Fn(
+            &ShardSpec,
+            &mut dyn HiddenDatabase,
+            SessionConfig<'_>,
+        ) -> Result<CrawlReport, CrawlError>,
+        controls: CrawlControls<'_>,
+    ) -> Result<ShardedReport, CrawlError> {
+        let CrawlControls {
+            observer,
+            cancel,
+            mut repository,
+        } = controls;
+        let plan = Self::plan_oversubscribed(schema, self.sessions, self.oversubscribe);
+        let signatures: Vec<String> = plan.iter().map(ShardSpec::signature).collect();
+
+        let mut restored: Vec<Option<ShardSnapshot>> = (0..plan.len()).map(|_| None).collect();
+        if let Some(repo) = repository.as_deref_mut() {
+            match repo.load() {
+                Ok(None) => {}
+                Ok(Some(checkpoint)) => {
+                    assert_eq!(
+                        checkpoint.plan, signatures,
+                        "checkpoint was taken for a different plan (schema or \
+                         granularity changed) — resuming would merge \
+                         mismatched shards"
+                    );
+                    for snap in checkpoint.shards {
+                        assert!(snap.index < plan.len(), "snapshot index out of plan");
+                        let index = snap.index;
+                        restored[index] = Some(snap);
+                    }
+                }
+                Err(e) => {
+                    return Err(CrawlError::Db {
+                        error: DbError::Backend(format!("checkpoint load failed: {e}")),
+                        partial: Box::new(blank_report("sharded-hybrid")),
+                    })
+                }
+            }
+        }
+
+        let internal_halt = CancelToken::new();
+        let halt: &CancelToken = cancel.unwrap_or(&internal_halt);
+        let mut journal = repository.map(|repo| {
+            let seeded = CrawlCheckpoint {
+                plan: signatures,
+                shards: restored.iter().flatten().cloned().collect(),
+            };
+            (repo, seeded)
+        });
+        let mut store_error: Option<std::io::Error> = None;
+
+        let began = Instant::now();
+        let mut stats = WorkerStats::default();
+        let mut full: Vec<Option<PendingRun>> = (0..plan.len()).map(|_| None).collect();
+        for (index, snap) in restored.into_iter().enumerate() {
+            let Some(snap) = snap else { continue };
+            full[index] = Some(PendingRun {
+                index,
+                spec: plan[index].clone(),
+                worker: 0,
+                source: TaskSource::Seeded,
+                wall: Duration::ZERO,
+                result: Ok(report_of(snap)),
+                restored: true,
+            });
+        }
+        let mut strikes = 0u32;
+        for (index, spec) in plan.iter().enumerate() {
+            if full[index].is_some() {
+                continue; // replayed from the checkpoint
+            }
+            if halt.is_cancelled() {
+                break;
+            }
+            let begun = Instant::now();
+            let config = SessionConfig {
+                retry: self.retry.clone(),
+                cancel: Some(halt),
+            };
+            let result = shard_crawl(spec, db, config);
+            stats.busy += begun.elapsed();
+            stats.executed += 1;
+            if index == 0 {
+                stats.seeded += 1;
+            } else {
+                stats.injected += 1;
+            }
+            // Same identity-health rules as the pool path, for the one
+            // identity there is.
+            let retire = match &result {
+                Ok(_) => {
+                    strikes = 0;
+                    false
+                }
+                Err(CrawlError::Db { error, .. }) if error.is_transient() => {
+                    strikes += 1;
+                    strikes >= self.strikes
+                }
+                Err(CrawlError::Db { .. }) => true,
+                Err(CrawlError::Stopped { .. }) => {
+                    halt.cancel();
+                    false
+                }
+                Err(CrawlError::Unsolvable { .. }) => false,
+            };
+            if let (Ok(report), Some((repo, checkpoint))) = (&result, journal.as_mut()) {
+                checkpoint.shards.push(snapshot_of(index, report));
+                if let Err(e) = repo.store(checkpoint) {
+                    store_error.get_or_insert(e);
+                }
+            }
+            full[index] = Some(PendingRun {
+                index,
+                spec: spec.clone(),
+                worker: 0,
+                source: if index == 0 {
+                    TaskSource::Seeded
+                } else {
+                    TaskSource::Injected
+                },
+                wall: begun.elapsed(),
+                result,
+                restored: false,
+            });
+            if retire {
+                stats.retired = true;
+                break;
+            }
+        }
+        let unrun = full.iter().filter(|slot| slot.is_none()).count();
+        let pool = PoolStats {
+            workers: 1,
+            wall: began.elapsed(),
+            per_worker: vec![stats],
+            unrun,
+            cancelled: halt.is_cancelled(),
+        };
+        merge_results(full, pool, 1, observer, store_error)
+    }
+}
+
+/// The durable snapshot of a completed shard's report.
+fn snapshot_of(index: usize, report: &CrawlReport) -> ShardSnapshot {
+    ShardSnapshot {
+        index,
+        queries: report.queries,
+        resolved: report.resolved,
+        overflowed: report.overflowed,
+        pruned: report.pruned,
+        metrics: report.metrics,
+        tuples: report.tuples.clone(),
+    }
+}
+
+/// Rehydrates a snapshot into a shard report. The progress curve is not
+/// checkpointed (it describes the run that produced the snapshot, not
+/// this one), matching the merge's per-shard-curves-only policy.
+fn report_of(snap: ShardSnapshot) -> CrawlReport {
+    CrawlReport {
+        algorithm: "restored",
+        tuples: snap.tuples,
+        queries: snap.queries,
+        resolved: snap.resolved,
+        overflowed: snap.overflowed,
+        pruned: snap.pruned,
+        metrics: snap.metrics,
+        progress: Vec::new(),
+    }
+}
+
+/// One shard's outcome as it comes off the pool (or out of a
+/// checkpoint), before merging.
 struct PendingRun {
+    index: usize,
     spec: ShardSpec,
     worker: usize,
     source: TaskSource,
     wall: Duration,
     result: Result<CrawlReport, CrawlError>,
+    restored: bool,
 }
 
 enum Failure {
@@ -686,6 +1152,7 @@ fn merge_results(
     pool: PoolStats,
     sessions: usize,
     mut observer: Option<&mut dyn CrawlObserver>,
+    store_error: Option<std::io::Error>,
 ) -> Result<ShardedReport, CrawlError> {
     let total = slots.len();
     let mut merged = blank_report("sharded-hybrid");
@@ -694,6 +1161,12 @@ fn merge_results(
     let mut shards = Vec::with_capacity(slots.len());
     let mut failure: Option<Failure> = None;
     let mut stopped = false;
+    // A cancelled run that produced no failing shard of its own (the
+    // token was flipped from outside) must still surface as Stopped, not
+    // as a suspiciously short success.
+    if pool.cancelled {
+        failure = Some(Failure::Stopped);
+    }
     for (index, slot) in slots.into_iter().enumerate() {
         // A `None` slot is a shard no surviving worker could run (every
         // identity retired first); the pool counts them in `unrun` and
@@ -731,13 +1204,20 @@ fn merge_results(
             // Merge stopped by the observer: keep the accounting truthful
             // (these queries were spent) but drop the tuples.
             absorb_counts(&mut merged, &report);
-            absorb_counts(&mut per_session[run.worker], &report);
+            if !run.restored {
+                absorb_counts(&mut per_session[run.worker], &report);
+            }
             continue;
         }
         let tuples = report.tuples.len() as u64;
         merged.tuples.append(&mut report.tuples);
         absorb_counts(&mut merged, &report);
-        absorb_counts(&mut per_session[run.worker], &report);
+        // Restored shards spent their queries in the run that produced
+        // the checkpoint — charging them to this run's identity 0 would
+        // fabricate per-session quota pressure that never happened.
+        if !run.restored {
+            absorb_counts(&mut per_session[run.worker], &report);
+        }
         if let Some(obs) = observer.as_deref_mut() {
             let event = ShardEvent {
                 index,
@@ -748,6 +1228,7 @@ fn merge_results(
                 queries: report.queries,
                 tuples,
                 failed,
+                restored: run.restored,
             };
             if obs.on_shard(&event) == Flow::Stop {
                 stopped = true;
@@ -760,6 +1241,7 @@ fn merge_results(
             wall: run.wall,
             tuples,
             failed,
+            restored: run.restored,
             report,
         });
     }
@@ -778,12 +1260,23 @@ fn merge_results(
         });
     }
     match failure {
-        None => Ok(ShardedReport {
-            merged,
-            per_session,
-            shards,
-            pool,
-        }),
+        None => {
+            // The crawl itself succeeded; a failed checkpoint store must
+            // still be loud — the caller believes this crawl is
+            // resumable and it is not.
+            if let Some(e) = store_error {
+                return Err(CrawlError::Db {
+                    error: DbError::Backend(format!("checkpoint store failed: {e}")),
+                    partial: Box::new(merged),
+                });
+            }
+            Ok(ShardedReport {
+                merged,
+                per_session,
+                shards,
+                pool,
+            })
+        }
         Some(Failure::Db(error)) => Err(CrawlError::Db {
             error,
             partial: Box::new(merged),

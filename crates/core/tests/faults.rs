@@ -1,0 +1,560 @@
+//! Differential suite for the fault-tolerant crawl runtime — the PR's
+//! headline theorems, checked bit for bit against the deterministic
+//! adversary server:
+//!
+//! 1. **Faults + retries change nothing but the retry count.** A crawl
+//!    through a seeded [`FaultyDb`] with a generous [`RetryPolicy`]
+//!    extracts the *same bag* with the *same charged-query cost* as the
+//!    fault-free crawl, and the only overhead is exactly the injected
+//!    faults (`transient_retries == faults_injected` — failed attempts
+//!    never reach, or charge, the inner database).
+//! 2. **Checkpoint / kill / resume is exact.** Interrupting a
+//!    checkpointed crawl (budget exhaustion models the kill) and
+//!    resuming from the repository yields the same bag and the same
+//!    total accounting as the uninterrupted run, with the resumed
+//!    process re-issuing only the unfinished shards — solo (sequential
+//!    plan) and sharded (work-stealing pool) alike.
+//!
+//! Plus the supporting semantics: cancellation stops before spending,
+//! permanent identity death salvages completed work, budget exhaustion
+//! is never retried, and a plan mismatch refuses to resume.
+
+use proptest::prelude::*;
+use proptest::Strategy as PropStrategy;
+
+use hdc_core::{
+    CancelToken, Crawl, CrawlError, CrawlObserver, Flow, MemoryRepository, RetryPolicy, Strategy,
+};
+use hdc_server::{HiddenDbServer, ServerConfig};
+use hdc_types::{
+    AttrKind, DbError, FaultConfig, FaultyDb, HiddenDatabase, Query, QueryOutcome, Schema, Tuple,
+    TupleBag, Value,
+};
+
+/// A generated test instance: schema + tuples + k (same generator family
+/// as the builder differential suite).
+#[derive(Debug, Clone)]
+struct Instance {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    k: usize,
+}
+
+impl Instance {
+    fn solvable(&self) -> bool {
+        TupleBag::from_tuples(self.tuples.iter().cloned()).max_multiplicity() <= self.k
+    }
+
+    fn server(&self, seed: u64) -> HiddenDbServer {
+        HiddenDbServer::new(
+            self.schema.clone(),
+            self.tuples.clone(),
+            ServerConfig { k: self.k, seed },
+        )
+        .unwrap()
+    }
+}
+
+fn instance_strategy() -> impl PropStrategy<Value = Instance> {
+    (
+        proptest::collection::vec((any::<bool>(), 2u32..7, 1i64..25), 1..4),
+        2usize..10,
+        0usize..120,
+        any::<u64>(),
+    )
+        .prop_map(|(attrs, k, n, seed)| {
+            let mut builder = Schema::builder();
+            let mut kinds = Vec::new();
+            for (i, &(is_cat, u, w)) in attrs.iter().enumerate() {
+                if is_cat {
+                    builder = builder.categorical(format!("c{i}"), u);
+                    kinds.push(AttrKind::Categorical { size: u });
+                } else {
+                    builder = builder.numeric(format!("n{i}"), -w, w);
+                    kinds.push(AttrKind::Numeric { min: -w, max: w });
+                }
+            }
+            let schema = builder.build().unwrap();
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            };
+            let tuples: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    Tuple::new(
+                        kinds
+                            .iter()
+                            .map(|&kind| match kind {
+                                AttrKind::Categorical { size } => {
+                                    Value::Cat((next() % u64::from(size)) as u32)
+                                }
+                                AttrKind::Numeric { min, max } => {
+                                    let span = (max - min + 1) as u64;
+                                    Value::Int(min + (next() % span) as i64)
+                                }
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            Instance { schema, tuples, k }
+        })
+}
+
+/// A retry policy generous enough that no fault schedule in this suite
+/// can exhaust it (rate ≤ 0.4, burst ≤ 2 ⇒ P(50 consecutive faults) ≈ 0).
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy::new(50).no_sleep()
+}
+
+fn bag(tuples: &[Tuple]) -> TupleBag {
+    TupleBag::from_tuples(tuples.iter().cloned())
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1: faults + retries ≡ fault-free, up to the retried attempts.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Solo: `Crawl::builder().retry(...)` over a `FaultyDb` extracts the
+    /// same bag at the same charged cost as the fault-free crawl, and
+    /// the retry metric equals the injected-fault count exactly.
+    #[test]
+    fn solo_faulty_retried_crawl_equals_fault_free(
+        inst in instance_strategy(),
+        fault_seed in any::<u64>(),
+        rate_pct in 0u32..=40,
+        burst in 1u32..3,
+    ) {
+        prop_assume!(inst.solvable());
+        let clean = Crawl::builder()
+            .strategy(Strategy::Auto)
+            .run(&mut inst.server(5))
+            .unwrap();
+
+        let mut faulty = FaultyDb::new(
+            inst.server(5),
+            FaultConfig {
+                seed: fault_seed,
+                transient_rate: f64::from(rate_pct) / 100.0,
+                burst,
+                fail_after: None,
+            },
+        );
+        let report = Crawl::builder()
+            .strategy(Strategy::Auto)
+            .retry(generous_retry())
+            .run(&mut faulty)
+            .unwrap();
+
+        prop_assert!(bag(&report.tuples).multiset_eq(&bag(&clean.tuples)),
+            "faults + retries must not change the extracted bag");
+        prop_assert_eq!(report.queries, clean.queries,
+            "failed attempts are never charged: same cost as fault-free");
+        prop_assert_eq!(report.metrics.transient_retries, faulty.faults_injected(),
+            "overhead is exactly the injected faults, no more, no less");
+        prop_assert_eq!(faulty.queries_issued(), clean.queries);
+    }
+
+    /// Sharded: per-identity fault schedules, retried inside each shard
+    /// session — merged bag and merged charged cost match the fault-free
+    /// sharded crawl.
+    #[test]
+    fn sharded_faulty_retried_crawl_equals_fault_free(
+        inst in instance_strategy(),
+        fault_seed in any::<u64>(),
+        rate_pct in 0u32..=30,
+    ) {
+        prop_assume!(inst.solvable());
+        let sharded_strategy = Strategy::Auto.resolve(&inst.schema);
+        prop_assume!(sharded_strategy.supports_sharded(&inst.schema));
+
+        let clean = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .run_sharded(|_s| inst.server(5))
+            .unwrap();
+
+        let faulty = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .retry(generous_retry())
+            .run_sharded(|s| {
+                FaultyDb::new(
+                    inst.server(5),
+                    FaultConfig {
+                        seed: fault_seed ^ s as u64,
+                        transient_rate: f64::from(rate_pct) / 100.0,
+                        burst: 1,
+                        fail_after: None,
+                    },
+                )
+            })
+            .unwrap();
+
+        prop_assert!(
+            bag(&faulty.merged.tuples).multiset_eq(&bag(&clean.merged.tuples)),
+            "sharded faults + retries must not change the merged bag"
+        );
+        prop_assert_eq!(faulty.merged.queries, clean.merged.queries);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 2: checkpoint / kill / resume ≡ uninterrupted.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Solo sequential plan: interrupt a checkpointed crawl with a tight
+    /// budget (the kill), resume from the repository with a fresh
+    /// connection — bag and total accounting match the uninterrupted
+    /// checkpointed run, and the resume re-issues only what the
+    /// checkpoint does not already hold.
+    #[test]
+    fn solo_checkpoint_kill_resume_is_exact(
+        inst in instance_strategy(),
+        budget_frac in 1u64..100,
+    ) {
+        prop_assume!(inst.solvable());
+        prop_assume!(Strategy::Auto.resolve(&inst.schema).supports_sharded(&inst.schema));
+
+        let mut full_repo = MemoryRepository::default();
+        let uninterrupted = Crawl::builder()
+            .oversubscribe(4)
+            .repository(&mut full_repo)
+            .run(&mut inst.server(5))
+            .unwrap();
+
+        // Kill: a budget strictly below the full cost aborts mid-plan.
+        let budget = 1 + uninterrupted.queries * budget_frac / 100;
+        prop_assume!(budget < uninterrupted.queries);
+        let mut repo = MemoryRepository::default();
+        let interrupted = Crawl::builder()
+            .oversubscribe(4)
+            .budget(budget)
+            .repository(&mut repo)
+            .run(&mut inst.server(5));
+        prop_assert!(interrupted.is_err(), "budget below full cost must fail");
+
+        let checkpointed: u64 = repo
+            .saved()
+            .map(|cp| cp.shards.iter().map(|s| s.queries).sum())
+            .unwrap_or(0);
+        prop_assert!(checkpointed < uninterrupted.queries);
+
+        // Resume: fresh connection, no budget, same repository.
+        let mut server = inst.server(5);
+        let resumed = Crawl::builder()
+            .oversubscribe(4)
+            .repository(&mut repo)
+            .run(&mut server)
+            .unwrap();
+
+        prop_assert!(bag(&resumed.tuples).multiset_eq(&bag(&uninterrupted.tuples)),
+            "resume must reconstruct the uninterrupted bag exactly");
+        prop_assert_eq!(resumed.queries, uninterrupted.queries,
+            "restored shards keep their recorded cost; totals match");
+        prop_assert_eq!(server.queries_issued(), uninterrupted.queries - checkpointed,
+            "the resumed process pays only for shards the checkpoint lacks");
+    }
+
+    /// Sharded pool: same kill-and-resume contract across two identities
+    /// with per-identity budgets.
+    #[test]
+    fn sharded_checkpoint_kill_resume_is_exact(
+        inst in instance_strategy(),
+        budget_frac in 1u64..80,
+    ) {
+        prop_assume!(inst.solvable());
+        prop_assume!(Strategy::Auto.resolve(&inst.schema).supports_sharded(&inst.schema));
+
+        let uninterrupted = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .run_sharded(|_s| inst.server(5))
+            .unwrap();
+
+        let budget = 1 + uninterrupted.merged.queries * budget_frac / 100 / 2;
+        prop_assume!(budget * 2 < uninterrupted.merged.queries);
+        let mut repo = MemoryRepository::default();
+        let interrupted = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .budget(budget)
+            .repository(&mut repo)
+            .run_sharded(|_s| inst.server(5));
+        prop_assert!(interrupted.is_err(),
+            "per-identity budgets below the full cost must fail");
+        let checkpointed = repo.saved().map(|cp| cp.shards.len()).unwrap_or(0);
+
+        let resumed = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .repository(&mut repo)
+            .run_sharded(|_s| inst.server(5))
+            .unwrap();
+
+        prop_assert!(
+            bag(&resumed.merged.tuples).multiset_eq(&bag(&uninterrupted.merged.tuples)),
+            "sharded resume must reconstruct the uninterrupted merged bag"
+        );
+        prop_assert_eq!(resumed.merged.queries, uninterrupted.merged.queries);
+        let restored = resumed.shards.iter().filter(|s| s.restored).count();
+        prop_assert_eq!(restored, checkpointed,
+            "every checkpointed shard is replayed, none re-crawled");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supporting semantics (deterministic tests).
+// ---------------------------------------------------------------------
+
+fn yahoo_like() -> Instance {
+    // A mixed schema with enough rows to make multi-shard plans and
+    // mid-crawl interruptions meaningful.
+    let schema = Schema::builder()
+        .categorical("make", 5)
+        .numeric("price", 0, 999)
+        .build()
+        .unwrap();
+    let mut x = 0x9e37u64;
+    let mut next = move || {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let tuples: Vec<Tuple> = (0..400)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Cat((next() % 5) as u32),
+                Value::Int((next() % 1000) as i64),
+            ])
+        })
+        .collect();
+    Instance {
+        schema,
+        tuples,
+        k: 10,
+    }
+}
+
+/// Cancelling the token before the crawl starts: nothing is spent, the
+/// partial is empty, and the error is `Stopped` — solo and sharded.
+#[test]
+fn pre_cancelled_token_spends_nothing() {
+    let inst = yahoo_like();
+    let token = CancelToken::new();
+    token.cancel();
+
+    let mut server = inst.server(5);
+    let err = Crawl::builder().cancel(&token).run(&mut server).unwrap_err();
+    let CrawlError::Stopped { partial } = err else {
+        panic!("expected Stopped, got {err:?}");
+    };
+    assert_eq!(partial.queries, 0);
+    assert_eq!(server.queries_issued(), 0);
+
+    let err = Crawl::builder()
+        .sessions(2)
+        .oversubscribe(3)
+        .cancel(&token)
+        .run_sharded(|_s| inst.server(5))
+        .unwrap_err();
+    let CrawlError::Stopped { partial } = err else {
+        panic!("expected Stopped, got {err:?}");
+    };
+    assert_eq!(partial.queries, 0, "no shard ran, nothing was charged");
+    assert!(partial.tuples.is_empty());
+}
+
+/// Mid-crawl cancellation from an observer callback: the session checks
+/// the token before its next query round, keeps everything already
+/// charged, and surfaces `Stopped`.
+#[test]
+fn mid_crawl_cancellation_keeps_paid_work() {
+    struct CancelAfter<'t> {
+        token: &'t CancelToken,
+        seen: u64,
+    }
+    impl CrawlObserver for CancelAfter<'_> {
+        fn on_query(&mut self, _q: &Query, _out: &QueryOutcome) -> Flow {
+            self.seen += 1;
+            if self.seen == 5 {
+                // Cancel *via the token*, not via Flow::Stop — this is
+                // the path an external thread or signal handler uses.
+                self.token.cancel();
+            }
+            Flow::Continue
+        }
+    }
+
+    let inst = yahoo_like();
+    let token = CancelToken::new();
+    let mut observer = CancelAfter {
+        token: &token,
+        seen: 0,
+    };
+    let mut server = inst.server(5);
+    let err = Crawl::builder()
+        .cancel(&token)
+        .observer(&mut observer)
+        .run(&mut server)
+        .unwrap_err();
+    let CrawlError::Stopped { partial } = err else {
+        panic!("expected Stopped, got {err:?}");
+    };
+    assert!(partial.queries >= 5, "charged work is kept");
+    assert_eq!(partial.queries, server.queries_issued());
+    assert!(
+        (partial.tuples.len() as u64) < inst.tuples.len() as u64,
+        "the crawl stopped early"
+    );
+}
+
+/// Permanent identity death mid-crawl (the `fail_after` fuse): the dead
+/// identity's shard fails permanently — no retry can help — but every
+/// completed shard's work is salvaged into the partial report.
+#[test]
+fn permanent_death_is_not_retried_and_salvage_survives() {
+    let inst = yahoo_like();
+    let err = Crawl::builder()
+        .sessions(2)
+        .oversubscribe(4)
+        .retry(generous_retry())
+        .run_sharded(|s| {
+            FaultyDb::new(
+                inst.server(5),
+                FaultConfig {
+                    // Identity 0 dies after 30 queries; identity 1 is clean.
+                    fail_after: (s == 0).then_some(30),
+                    ..FaultConfig::default()
+                },
+            )
+        })
+        .unwrap_err();
+    let CrawlError::Db { error, partial } = err else {
+        panic!("expected a database failure, got {err:?}");
+    };
+    assert!(!error.is_transient(), "identity death is permanent");
+    assert!(
+        !partial.tuples.is_empty(),
+        "the surviving identity's completed shards are salvaged"
+    );
+    assert!(partial.queries > 0);
+}
+
+/// Budget exhaustion is permanent: a generous retry policy never
+/// re-spends against an exhausted quota, so the charged count equals the
+/// budget exactly even under injected transient faults.
+#[test]
+fn budget_exhaustion_wins_against_retry() {
+    let inst = yahoo_like();
+    let mut faulty = FaultyDb::new(
+        inst.server(5),
+        FaultConfig {
+            seed: 11,
+            transient_rate: 0.2,
+            ..FaultConfig::default()
+        },
+    );
+    let err = Crawl::builder()
+        .budget(25)
+        .retry(generous_retry())
+        .run(&mut faulty)
+        .unwrap_err();
+    let CrawlError::Db { error, partial } = err else {
+        panic!("expected a budget failure, got {err:?}");
+    };
+    assert!(
+        matches!(error, DbError::BudgetExhausted { limit: 25, .. }),
+        "got {error:?}"
+    );
+    assert_eq!(partial.queries, 25, "retries never consume quota");
+    assert_eq!(faulty.queries_issued(), 25);
+}
+
+/// A checkpoint taken under one plan refuses to resume under another —
+/// silently merging mismatched shards would corrupt the bag.
+#[test]
+#[should_panic(expected = "different plan")]
+fn plan_mismatch_refuses_to_resume() {
+    let inst = yahoo_like();
+    let mut repo = MemoryRepository::default();
+    Crawl::builder()
+        .oversubscribe(2)
+        .repository(&mut repo)
+        .run(&mut inst.server(5))
+        .unwrap();
+    // Different oversubscription ⇒ different plan ⇒ different signatures.
+    let _ = Crawl::builder()
+        .oversubscribe(8)
+        .repository(&mut repo)
+        .run(&mut inst.server(5));
+}
+
+/// Re-running a *completed* checkpointed crawl replays everything from
+/// the repository: zero fresh queries, identical bag.
+#[test]
+fn completed_checkpoint_replays_for_free() {
+    let inst = yahoo_like();
+    let mut repo = MemoryRepository::default();
+    let first = Crawl::builder()
+        .oversubscribe(4)
+        .repository(&mut repo)
+        .run(&mut inst.server(5))
+        .unwrap();
+
+    let mut server = inst.server(5);
+    let replay = Crawl::builder()
+        .oversubscribe(4)
+        .repository(&mut repo)
+        .run(&mut server)
+        .unwrap();
+    assert_eq!(server.queries_issued(), 0, "everything came from the checkpoint");
+    assert!(bag(&replay.tuples).multiset_eq(&bag(&first.tuples)));
+    assert_eq!(replay.queries, first.queries);
+}
+
+/// Sharded identity health: transient strikes retire a flaky identity
+/// only after the configured number of *consecutive* transient shard
+/// failures, and a retry policy that rides out the faults keeps the
+/// crawl whole (Ok, full bag) despite a double-digit fault rate.
+#[test]
+fn sharded_retry_rides_out_transient_faults() {
+    let inst = yahoo_like();
+    let clean = Crawl::builder()
+        .sessions(2)
+        .oversubscribe(3)
+        .run_sharded(|_s| inst.server(5))
+        .unwrap();
+    let faulty = Crawl::builder()
+        .sessions(2)
+        .oversubscribe(3)
+        .retry(generous_retry())
+        .transient_strikes(3)
+        .run_sharded(|s| {
+            FaultyDb::new(
+                inst.server(5),
+                FaultConfig {
+                    seed: 17 ^ s as u64,
+                    transient_rate: 0.15,
+                    ..FaultConfig::default()
+                },
+            )
+        })
+        .unwrap();
+    assert!(bag(&faulty.merged.tuples).multiset_eq(&bag(&clean.merged.tuples)));
+    assert_eq!(faulty.merged.queries, clean.merged.queries);
+    assert!(
+        faulty.merged.metrics.transient_retries > 0,
+        "a 15% fault rate over hundreds of queries must retry at least once"
+    );
+}

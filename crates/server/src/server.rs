@@ -238,6 +238,18 @@ impl HiddenDatabase for HiddenDbServer {
         Ok(outs)
     }
 
+    /// The server validates batches up front and rejects without executing
+    /// or charging anything, so the "successful prefix" of a failing batch
+    /// is always empty — this forwards to the jointly-planned
+    /// [`Self::query_batch`] rather than falling back to the trait's
+    /// per-query loop.
+    fn try_query_batch(&mut self, queries: &[Query]) -> (Vec<QueryOutcome>, Option<DbError>) {
+        match self.query_batch(queries) {
+            Ok(outs) => (outs, None),
+            Err(e) => (Vec::new(), Some(e)),
+        }
+    }
+
     fn queries_issued(&self) -> u64 {
         self.stats.queries
     }

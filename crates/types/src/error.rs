@@ -105,9 +105,28 @@ pub enum DbError {
         /// The configured limit.
         limit: u64,
     },
-    /// Implementation-specific failure (e.g. a transport error for a remote
-    /// interface).
+    /// Implementation-specific *permanent* failure (e.g. an authentication
+    /// rejection or hard ban for a remote interface). Retrying the same
+    /// query on the same connection cannot succeed.
     Backend(String),
+    /// Implementation-specific *transient* failure (e.g. a timeout or a
+    /// 5xx-style transport hiccup for a remote interface). The query was
+    /// not answered, but re-issuing it — after a backoff — may succeed;
+    /// [`DbError::is_transient`] is how retry policy tells the two apart.
+    Transient(String),
+}
+
+impl DbError {
+    /// True for failures worth retrying on the same connection.
+    ///
+    /// Only [`DbError::Transient`] qualifies: invalid queries stay
+    /// invalid, an exhausted budget stays exhausted for the period, and
+    /// [`DbError::Backend`] is permanent by definition. This predicate is
+    /// the single policy switch the session-layer retry loop and the
+    /// sharded identity-health tracking consult.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DbError::Transient(_))
+    }
 }
 
 impl fmt::Display for DbError {
@@ -121,6 +140,7 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::Backend(msg) => write!(f, "backend error: {msg}"),
+            DbError::Transient(msg) => write!(f, "transient backend error: {msg}"),
         }
     }
 }
@@ -166,6 +186,21 @@ mod tests {
         let e: DbError = inner.into();
         assert!(matches!(e, DbError::InvalidQuery(SchemaError::Empty)));
         assert!(e.to_string().contains("invalid query"));
+    }
+
+    #[test]
+    fn transience_taxonomy() {
+        assert!(DbError::Transient("timeout".into()).is_transient());
+        assert!(!DbError::Backend("banned".into()).is_transient());
+        assert!(!DbError::InvalidQuery(SchemaError::Empty).is_transient());
+        assert!(!DbError::BudgetExhausted {
+            issued: 1,
+            limit: 1
+        }
+        .is_transient());
+        let e = DbError::Transient("timeout".into());
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("timeout"));
     }
 
     #[test]

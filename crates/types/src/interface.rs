@@ -109,6 +109,36 @@ pub trait HiddenDatabase {
         queries.iter().map(|q| self.query(q)).collect()
     }
 
+    /// Executes a batch of queries, keeping the successful prefix when one
+    /// fails mid-batch.
+    ///
+    /// [`query_batch`](HiddenDatabase::query_batch) stops at the first
+    /// failing query and discards the successful prefix's outcomes — fine
+    /// for all-or-nothing callers, but a retry loop that re-issues the
+    /// whole batch would pay for the prefix twice. This variant returns
+    /// `(prefix_outcomes, error)`: every outcome obtained before the
+    /// failure (possibly all of them, with `None` for the error), so a
+    /// caller can account the prefix and re-issue only the failed suffix.
+    ///
+    /// The default implementation is the per-query loop; each answered
+    /// query is charged toward
+    /// [`queries_issued`](HiddenDatabase::queries_issued) exactly as if
+    /// issued through [`query`](HiddenDatabase::query). Implementations
+    /// that validate batches up front and charge nothing on rejection
+    /// (like the in-process server) may override this to return an empty
+    /// prefix with the batch error. The documented
+    /// [`query_batch`](HiddenDatabase::query_batch) contract is unchanged.
+    fn try_query_batch(&mut self, queries: &[Query]) -> (Vec<QueryOutcome>, Option<DbError>) {
+        let mut outs = Vec::with_capacity(queries.len());
+        for q in queries {
+            match self.query(q) {
+                Ok(out) => outs.push(out),
+                Err(e) => return (outs, Some(e)),
+            }
+        }
+        (outs, None)
+    }
+
     /// Number of queries issued so far (for cost accounting). Default
     /// implementations that cannot count may return 0.
     fn queries_issued(&self) -> u64 {
@@ -131,6 +161,10 @@ impl<T: HiddenDatabase + ?Sized> HiddenDatabase for &mut T {
 
     fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
         (**self).query_batch(queries)
+    }
+
+    fn try_query_batch(&mut self, queries: &[Query]) -> (Vec<QueryOutcome>, Option<DbError>) {
+        (**self).try_query_batch(queries)
     }
 
     fn queries_issued(&self) -> u64 {
@@ -268,6 +302,32 @@ mod tests {
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0], outs[1], "deterministic server repeats itself");
         assert_eq!(db.issued, 2);
+    }
+
+    #[test]
+    fn try_query_batch_keeps_the_successful_prefix() {
+        let mut db = tiny();
+        let queries = vec![
+            Query::any(1),
+            Query::new(vec![Predicate::Range { lo: 0, hi: 1 }]),
+            Query::new(vec![Predicate::Eq(0)]), // invalid: Eq on numeric
+            Query::any(1),
+        ];
+        let (outs, err) = db.try_query_batch(&queries);
+        assert_eq!(outs.len(), 2, "prefix before the failure survives");
+        assert!(matches!(err, Some(DbError::InvalidQuery(_))));
+        assert_eq!(db.queries_issued(), 2, "exactly the prefix was charged");
+
+        // A clean batch returns everything and no error.
+        let (outs, err) = db.try_query_batch(&queries[..2]);
+        assert_eq!(outs.len(), 2);
+        assert!(err.is_none());
+
+        // The blanket &mut impl forwards it.
+        let dyn_db: &mut dyn HiddenDatabase = &mut db;
+        let (outs, err) = dyn_db.try_query_batch(&queries[..1]);
+        assert_eq!(outs.len(), 1);
+        assert!(err.is_none());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod bag;
 pub mod budget;
 pub mod error;
+pub mod fault;
 pub mod interface;
 pub mod predicate;
 pub mod query;
@@ -38,6 +39,7 @@ pub mod value;
 pub use bag::TupleBag;
 pub use budget::Budgeted;
 pub use error::{DbError, SchemaError};
+pub use fault::{FaultConfig, FaultyDb};
 pub use interface::{HiddenDatabase, QueryOutcome};
 pub use predicate::Predicate;
 pub use query::Query;

@@ -91,6 +91,16 @@ impl CrawlObserver for CliObserver {
             TaskSource::Stolen { from } => format!(", stolen from {from}"),
             TaskSource::Seeded | TaskSource::Injected => String::new(),
         };
+        if event.restored {
+            eprintln!(
+                "  shard {:>3}/{}: {:>6} queries, {:>7} tuples  (restored from checkpoint)",
+                event.index + 1,
+                event.total,
+                event.queries,
+                event.tuples,
+            );
+            return Flow::Continue;
+        }
         eprintln!(
             "  shard {:>3}/{}: {:>6} queries, {:>7} tuples  (worker {}{}{})",
             event.index + 1,
@@ -142,10 +152,14 @@ fn print_usage() {
          \u{20}  hdc crawl --dataset <name> --algo <algo> [--k N] [--seed N]\n\
          \u{20}            [--scale PCT] [--sessions N] [--oversubscribe N]\n\
          \u{20}            [--oracle] [--budget N] [--target TUPLES]\n\
+         \u{20}            [--retries N] [--checkpoint FILE | --resume FILE]\n\
          \u{20}      Crawl one dataset and report cost, metrics, and progress\n\
          \u{20}      (live progress line on stderr; --target stops early at a\n\
          \u{20}      tuple-coverage goal; --budget with --sessions is a\n\
-         \u{20}      per-identity quota).\n\
+         \u{20}      per-identity quota; --retries N reissues transient query\n\
+         \u{20}      failures up to N attempts; --checkpoint saves every\n\
+         \u{20}      completed shard to FILE and resumes from it if present —\n\
+         \u{20}      --resume is the same but requires FILE to exist).\n\
          \u{20}  hdc barrier --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
          \u{20}            [--sessions N] [--oversubscribe N]\n\
          \u{20}      Top-k-barrier crawl (second paper): recover the tuples\n\
@@ -309,7 +323,23 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
     let budget: u64 = flags.parse("budget", u64::MAX)?;
     let target: u64 = flags.parse("target", 0)?;
+    let retries: u32 = flags.parse("retries", 1)?;
     let use_oracle = flags.get("oracle").is_some();
+    if retries == 0 {
+        return Err("--retries must be ≥ 1 (1 = no retries)".into());
+    }
+    if flags.get("checkpoint").is_some() && flags.get("resume").is_some() {
+        return Err("--checkpoint and --resume are the same file; pass one".into());
+    }
+    if let Some(path) = flags.get("resume") {
+        if !std::path::Path::new(path).exists() {
+            return Err(format!("--resume {path}: no checkpoint file found"));
+        }
+    }
+    let checkpoint = flags
+        .get("resume")
+        .or_else(|| flags.get("checkpoint"))
+        .map(str::to_string);
 
     let ds = load_dataset(&dataset, scale, seed)?;
     println!(
@@ -358,6 +388,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
         }
         // A --budget here is a per-identity quota, matching how real
         // sites meter queries per client.
+        let mut repo_store;
         let mut builder = Crawl::builder()
             .strategy(strategy)
             .sessions(sessions)
@@ -365,6 +396,13 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
             .observer(&mut observer);
         if budget != u64::MAX {
             builder = builder.budget(budget);
+        }
+        if retries > 1 {
+            builder = builder.retry(RetryPolicy::new(retries));
+        }
+        if let Some(path) = &checkpoint {
+            repo_store = JsonFileRepository::new(path);
+            builder = builder.repository(&mut repo_store);
         }
         let result = builder.run_sharded(|_s| {
             HiddenDbServer::new(
@@ -383,6 +421,9 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                     partial.tuples.len(),
                     partial.queries
                 );
+                if let Some(path) = &checkpoint {
+                    println!("checkpoint retained — rerun with --resume {path}");
+                }
                 return Ok(());
             }
             Err(e) => return Err(e.to_string()),
@@ -413,8 +454,29 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     if !strategy.supports(&ds.schema) {
         return Err(format!("{algo} does not support the {} schema", ds.name));
     }
+    if checkpoint.is_some() {
+        if use_oracle {
+            return Err("--checkpoint cannot be combined with --oracle".into());
+        }
+        if target > 0 {
+            return Err("--target applies to plain single-session crawls \
+                        (checkpointed runs report per shard)"
+                .into());
+        }
+        // Checkpointing runs the (sequential) sharded plan, so it needs a
+        // strategy with a sharded execution — same matrix as --sessions.
+        if !strategy.supports_sharded(&ds.schema) {
+            return Err(format!(
+                "--checkpoint/--resume: {algo} has no sharded execution on the \
+                 {} schema (use auto, hybrid, rank-shrink on numeric, or \
+                 lazy-slice-cover on categorical data)",
+                ds.name
+            ));
+        }
+    }
 
     let oracle_store;
+    let mut repo_store;
     let mut server = HiddenDbServer::new(
         ds.schema.clone(),
         ds.tuples.clone(),
@@ -428,6 +490,14 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     if use_oracle {
         oracle_store = DatasetOracle::new(ds.tuples.clone());
         builder = builder.oracle(&oracle_store);
+    }
+    if retries > 1 {
+        builder = builder.retry(RetryPolicy::new(retries));
+    }
+    if let Some(path) = &checkpoint {
+        builder = builder.oversubscribe(oversubscribe.max(8));
+        repo_store = JsonFileRepository::new(path);
+        builder = builder.repository(&mut repo_store);
     }
     let result = builder.run(&mut server);
     observer.finish();
@@ -486,6 +556,9 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                 partial.tuples.len(),
                 partial.queries
             );
+            if let Some(path) = &checkpoint {
+                println!("checkpoint retained — rerun with --resume {path}");
+            }
             Ok(())
         }
     }

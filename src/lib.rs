@@ -75,16 +75,18 @@ pub use hdc_types as types;
 pub mod prelude {
     pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery, ShardedBarrierReport};
     pub use hdc_core::{
-        verify_complete, BinaryShrink, Crawl, CrawlBuilder, CrawlError, CrawlMetrics,
-        CrawlObserver, CrawlReport, Crawler, DatasetOracle, Dfs, Flow, Hybrid, PairRuleOracle,
-        ProgressPoint, ProgressRecorder, RankShrink, ShardCrawler, ShardEvent, Sharded,
-        ShardedReport, SliceCover, Strategy, TaskSource, ValidityOracle,
+        verify_complete, BinaryShrink, CancelToken, Crawl, CrawlBuilder, CrawlCheckpoint,
+        CrawlControls, CrawlError, CrawlMetrics, CrawlObserver, CrawlReport, CrawlRepository,
+        Crawler, DatasetOracle, Dfs, Flow, Hybrid, JsonFileRepository, MemoryRepository,
+        PairRuleOracle, ProgressPoint, ProgressRecorder, RankShrink, RetryPolicy, SessionConfig,
+        ShardCrawler, ShardEvent, ShardSnapshot, Sharded, ShardedReport, SliceCover, Strategy,
+        TaskSource, ValidityOracle,
     };
     pub use hdc_data::{Dataset, DatasetStats};
     pub use hdc_server::{Budgeted, HiddenDbServer, ServerConfig};
     pub use hdc_types::{
-        AttrKind, DbError, HiddenDatabase, Predicate, Query, QueryOutcome, Schema, Tuple, TupleBag,
-        Value,
+        AttrKind, DbError, FaultConfig, FaultyDb, HiddenDatabase, Predicate, Query, QueryOutcome,
+        Schema, Tuple, TupleBag, Value,
     };
 }
 
