@@ -28,9 +28,9 @@
 //!
 //! Tasks do not spawn subtasks today, so a worker that finds every
 //! queue empty can exit: no new work can appear. That keeps the pool
-//! free of any parking/notification machinery. (If tasks ever gain the
-//! ability to spawn, termination needs an in-flight count — revisit
-//! this loop.)
+//! free of any parking/notification machinery. The assumption is pinned
+//! by [`Pool::TASKS_CAN_SPAWN`] and a regression test that fails loudly
+//! if anyone flips it without reworking termination.
 //!
 //! # Determinism contract
 //!
@@ -232,6 +232,19 @@ pub struct Pool {
 }
 
 impl Pool {
+    /// Whether the task closure has any way to enqueue further tasks
+    /// into this run. **This constant is load-bearing**: the worker loop
+    /// terminates the moment a queue scan comes up empty, which is only
+    /// sound while no new task can appear after that scan. Anyone adding
+    /// a spawn API (`TaskCtx::spawn`, a handle cloned into closures, …)
+    /// must flip this to `true` — and the regression test that asserts
+    /// it is `false` will then fail, pointing at the two places that
+    /// must change first: `Shared::next_task`'s `None` arm needs an
+    /// in-flight task count (empty queues + nonzero in-flight = spin or
+    /// park, not exit), and retirement/cancellation accounting in
+    /// [`PoolStats::unrun`] must count tasks spawned but never queued.
+    pub const TASKS_CAN_SPAWN: bool = false;
+
     /// A pool with `workers ≥ 1` workers.
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "at least one worker required");
@@ -496,6 +509,66 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         Pool::new(0);
+    }
+
+    /// Tripwire for the empty-scan termination contract (see the module
+    /// docs and [`Pool::TASKS_CAN_SPAWN`]). The worker loop exits the
+    /// first time it finds every queue empty, which silently drops work
+    /// the moment tasks can spawn tasks: a worker that finishes its scan
+    /// between a peer's dequeue and that peer's spawn exits early, and
+    /// if every worker does, spawned tasks are stranded with their
+    /// result slots `None` and no error. If you are reading this because
+    /// the assert below fired: do NOT weaken this test. Add an in-flight
+    /// count to `Shared` (incremented at dequeue, decremented after the
+    /// closure returns, `next_task` returning `None` only when queues
+    /// are empty AND in-flight is zero), fix `unrun` accounting for
+    /// spawned-but-abandoned tasks, then update this test to cover the
+    /// spawn path.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // constant on purpose: it is the tripwire
+    fn termination_contract_requires_no_task_spawning() {
+        assert!(
+            !Pool::TASKS_CAN_SPAWN,
+            "Pool::TASKS_CAN_SPAWN was flipped to true, but the worker \
+             loop still exits on the first empty queue scan — spawned \
+             tasks would be silently stranded. Read the doc comment on \
+             this test before changing anything."
+        );
+    }
+
+    /// Termination stress: many short runs with adversarial shapes
+    /// (more workers than tasks, zero tasks, heavy imbalance) must all
+    /// terminate and account for every task. A deadlock here hangs the
+    /// test; lost work trips the accounting asserts.
+    #[test]
+    fn every_run_terminates_with_full_accounting() {
+        for workers in [1usize, 2, 3, 7] {
+            for tasks in [0usize, 1, 2, workers, workers * 3 + 1] {
+                let pool = Pool::new(workers);
+                let (results, stats) = pool.run(
+                    (0..tasks).collect::<Vec<usize>>(),
+                    |_w| (),
+                    |_s, ctx, t| {
+                        // Uneven task costs: some yield, some spin.
+                        if t.is_multiple_of(3) {
+                            std::thread::yield_now();
+                        }
+                        (ctx.index, Verdict::Continue)
+                    },
+                );
+                assert_eq!(results.len(), tasks);
+                assert!(
+                    results.iter().all(|r| r.is_some()),
+                    "lost results at workers={workers} tasks={tasks}"
+                );
+                assert_eq!(
+                    stats.executed(),
+                    tasks as u64,
+                    "execution count off at workers={workers} tasks={tasks}"
+                );
+                assert_eq!(stats.unrun, 0);
+            }
+        }
     }
 
     #[test]

@@ -126,10 +126,15 @@ enum PlanKind {
     Intersect,
 }
 
-/// Reusable per-engine buffers so steady-state queries allocate only
+/// Reusable per-caller buffers so steady-state queries allocate only
 /// their result vector.
+///
+/// The engine itself is immutable after construction; all evaluation
+/// state lives here. Each client session owns one `Scratch`, which is
+/// what lets a single [`Engine`] serve many sessions through `&self`
+/// concurrently.
 #[derive(Default, Debug)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Matched row ids, ascending.
     matched: Vec<u32>,
     /// Compiled constraining predicates, sorted by `(sel, attr)`.
@@ -263,12 +268,15 @@ struct ProbeGroup {
     members: Vec<usize>,
 }
 
-/// The engine: SoA column store + per-column indexes + scratch space.
+/// The engine: SoA column store + per-column indexes.
+///
+/// Immutable after construction — every evaluation method takes `&self`
+/// and writes only into the caller's [`Scratch`] — so one engine can be
+/// shared (e.g. behind an `Arc`) by any number of concurrent sessions.
 #[derive(Debug)]
 pub(crate) struct Engine {
     store: ColumnStore,
     index: ColumnIndex,
-    scratch: Scratch,
 }
 
 impl Engine {
@@ -278,7 +286,6 @@ impl Engine {
         Engine {
             store: ColumnStore::build(schema, rows),
             index: ColumnIndex::build(schema, rows),
-            scratch: Scratch::default(),
         }
     }
 
@@ -288,19 +295,17 @@ impl Engine {
         &self.index
     }
 
-    /// Evaluates `q` with the planner, recording the decision in `stats`.
+    /// Evaluates `q` with the planner, recording the decision in `stats`
+    /// and scribbling only in the caller's `scratch`.
     pub(crate) fn evaluate(
-        &mut self,
+        &self,
         rows: &[Tuple],
         k: usize,
         q: &Query,
         stats: &mut ServerStats,
+        scratch: &mut Scratch,
     ) -> QueryOutcome {
-        let Engine {
-            store,
-            index,
-            scratch,
-        } = self;
+        let Engine { store, index } = self;
         let kind = plan_into(store, index, q, &mut scratch.preds);
         stats.record_plan(strategy_of(kind));
         let overflow = match kind {
@@ -335,23 +340,20 @@ impl Engine {
     /// lists, and block masks between queries (see the module docs).
     /// Outcome `i` is bit-identical to evaluating `queries[i]` alone.
     pub(crate) fn evaluate_batch(
-        &mut self,
+        &self,
         rows: &[Tuple],
         k: usize,
         queries: &[Query],
         stats: &mut ServerStats,
+        scratch: &mut Scratch,
     ) -> Vec<QueryOutcome> {
         match queries {
             [] => return Vec::new(),
-            [q] => return vec![self.evaluate(rows, k, q, stats)],
+            [q] => return vec![self.evaluate(rows, k, q, stats, scratch)],
             _ => {}
         }
         stats.record_batch(queries.len());
-        let Engine {
-            store,
-            index,
-            scratch,
-        } = self;
+        let Engine { store, index } = self;
         let Scratch { ids, pool, cursors, batch: b, .. } = scratch;
         let n = store.n();
         let m = queries.len();
@@ -1325,11 +1327,12 @@ mod tests {
     #[test]
     fn planned_evaluation_matches_brute_force() {
         let (schema, rows) = fixture();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let mut stats = ServerStats::default();
+        let mut scratch = Scratch::default();
         for q in &queries() {
             for k in [1usize, 5, 64, 10_000] {
-                let got = engine.evaluate(&rows, k, q, &mut stats);
+                let got = engine.evaluate(&rows, k, q, &mut stats, &mut scratch);
                 assert_eq!(got, brute(&rows, k, q), "q={q} k={k}");
             }
         }
@@ -1422,8 +1425,8 @@ mod tests {
             PlanKind::Intersect
         );
         let mut stats = ServerStats::default();
-        let mut planned_engine = Engine::new(&schema, &rows);
-        let got = planned_engine.evaluate(&rows, 64, &q, &mut stats);
+        let planned_engine = Engine::new(&schema, &rows);
+        let got = planned_engine.evaluate(&rows, 64, &q, &mut stats, &mut Scratch::default());
         assert_eq!(stats.intersect_evals, 1);
         assert_eq!(got, brute(&rows, 64, &q));
     }
@@ -1514,7 +1517,7 @@ mod tests {
     #[test]
     fn batch_evaluation_matches_solo_evaluation() {
         let (schema, rows) = fixture();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let mut qs = queries();
         // Duplicates (dedup path — multi-predicate, single-predicate
         // duplicates simply re-evaluate) and sibling split probes
@@ -1530,9 +1533,10 @@ mod tests {
             Predicate::Range { lo: 10, hi: 20 },
             Predicate::Any,
         ]));
+        let mut scratch = Scratch::default();
         for k in [1usize, 5, 64, 10_000] {
             let mut stats = ServerStats::default();
-            let outs = engine.evaluate_batch(&rows, k, &qs, &mut stats);
+            let outs = engine.evaluate_batch(&rows, k, &qs, &mut stats, &mut scratch);
             assert_eq!(outs.len(), qs.len());
             for (q, got) in qs.iter().zip(&outs) {
                 assert_eq!(got, &brute(&rows, k, q), "q={q} k={k}");
@@ -1557,14 +1561,15 @@ mod tests {
         let rows: Vec<Tuple> = (0..8000)
             .map(|i| Tuple::new(vec![Value::Cat((i % 2) as u32), Value::Int(i as i64)]))
             .collect();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let qs = vec![
             Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 4000, hi: 7999 }]),
             Query::new(vec![Predicate::Eq(0), Predicate::Range { lo: 0, hi: 3999 }]),
             Query::new(vec![Predicate::Eq(1), Predicate::Range { lo: 100, hi: 7000 }]),
         ];
         let mut stats = ServerStats::default();
-        let outs = engine.evaluate_batch(&rows, 64, &qs, &mut stats);
+        let mut scratch = Scratch::default();
+        let outs = engine.evaluate_batch(&rows, 64, &qs, &mut stats, &mut scratch);
         for (q, got) in qs.iter().zip(&outs) {
             assert_eq!(got, &brute(&rows, 64, q), "q={q}");
         }
@@ -1581,7 +1586,7 @@ mod tests {
         // (with different categorical residuals): the candidate list is
         // materialized once and shared.
         let (schema, rows) = fixture();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let qs = vec![
             Query::new(vec![
                 Predicate::Eq(0),
@@ -1595,7 +1600,8 @@ mod tests {
             ]),
         ];
         let mut stats = ServerStats::default();
-        let outs = engine.evaluate_batch(&rows, 8, &qs, &mut stats);
+        let mut scratch = Scratch::default();
+        let outs = engine.evaluate_batch(&rows, 8, &qs, &mut stats, &mut scratch);
         for (q, got) in qs.iter().zip(&outs) {
             assert_eq!(got, &brute(&rows, 8, q), "q={q}");
         }
@@ -1605,11 +1611,15 @@ mod tests {
     #[test]
     fn batch_empty_and_singleton_delegate() {
         let (schema, rows) = fixture();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let mut stats = ServerStats::default();
-        assert!(engine.evaluate_batch(&rows, 5, &[], &mut stats).is_empty());
+        let mut scratch = Scratch::default();
+        assert!(engine
+            .evaluate_batch(&rows, 5, &[], &mut stats, &mut scratch)
+            .is_empty());
         let q = Query::any(3);
-        let outs = engine.evaluate_batch(&rows, 5, std::slice::from_ref(&q), &mut stats);
+        let outs =
+            engine.evaluate_batch(&rows, 5, std::slice::from_ref(&q), &mut stats, &mut scratch);
         assert_eq!(outs, vec![brute(&rows, 5, &q)]);
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.scan_evals, 1);
@@ -1620,8 +1630,9 @@ mod tests {
         // Two consecutive batches through the same engine must not leak
         // state (stale dup maps, dirty matched buffers) into each other.
         let (schema, rows) = fixture();
-        let mut engine = Engine::new(&schema, &rows);
+        let engine = Engine::new(&schema, &rows);
         let mut stats = ServerStats::default();
+        let mut scratch = Scratch::default();
         let first = vec![Query::any(3), Query::new(vec![
             Predicate::Eq(1),
             Predicate::Any,
@@ -1637,7 +1648,7 @@ mod tests {
             Query::any(3),
         ];
         for batch in [&first, &second, &first] {
-            let outs = engine.evaluate_batch(&rows, 7, batch, &mut stats);
+            let outs = engine.evaluate_batch(&rows, 7, batch, &mut stats, &mut scratch);
             for (q, got) in batch.iter().zip(&outs) {
                 assert_eq!(got, &brute(&rows, 7, q), "q={q}");
             }

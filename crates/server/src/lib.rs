@@ -75,6 +75,20 @@
 //!   adversary's answers never change — the assumption under which the
 //!   paper's bounds are proven.
 //!
+//! # Serving many clients from one store
+//!
+//! Everything above is immutable after construction and evaluated
+//! through `&self`; the only mutable per-call state — [`ServerStats`]
+//! and the engine's scratch buffers — lives in a per-client session.
+//! [`SharedServer`] exploits that split: it holds the store behind an
+//! `Arc` and mints lightweight [`ServerClient`] handles (each with its
+//! own session, each implementing `HiddenDatabase`), so N threads can
+//! hammer one store concurrently with structural — not locked — client
+//! isolation, and responses bit-identical to a private server
+//! (`tests/shared_read.rs`). [`HiddenDbServer`] itself is one core plus
+//! one session, and [`HiddenDbServer::share`] opens an existing
+//! server's store for sharing.
+//!
 //! [`Budgeted`] decorates any [`hdc_types::HiddenDatabase`] with the query
 //! quota real sites impose per client. Decorators ([`Budgeted`],
 //! [`Recorder`], [`Replayer`]) deliberately do *not* override
@@ -93,6 +107,7 @@ mod eval;
 mod index;
 pub mod replay;
 pub mod server;
+pub mod shared;
 pub mod stats;
 mod store;
 
@@ -101,4 +116,5 @@ pub use engine::Strategy;
 pub use eval::LegacyEvaluator;
 pub use replay::{QueryCache, Recorder, Replayer};
 pub use server::{HiddenDbServer, ServerConfig};
+pub use shared::{ServerClient, SharedServer};
 pub use stats::ServerStats;

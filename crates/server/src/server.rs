@@ -1,10 +1,26 @@
 //! The hidden-database server.
+//!
+//! The data plane is split in two:
+//!
+//! * `ServerCore` — schema, priority-ordered rows, and the columnar
+//!   engine. Immutable after construction; every evaluation entry point
+//!   takes `&self`, so one core can sit behind an `Arc` and answer any
+//!   number of sessions concurrently.
+//! * `ClientSession` — the per-client mutable half: [`ServerStats`]
+//!   (plan decisions, batch counters, charge accounting) and the
+//!   engine's reusable scratch buffers.
+//!
+//! [`HiddenDbServer`] pairs one core with one session, preserving the
+//! original single-owner `&mut` API; [`crate::SharedServer`] hands out
+//! any number of sessions over the same core.
+
+use std::sync::Arc;
 
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema, SchemaError, Tuple};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::engine::{Engine, Strategy};
+use crate::engine::{Engine, Scratch, Strategy};
 use crate::eval::LegacyEvaluator;
 use crate::stats::ServerStats;
 
@@ -52,6 +68,15 @@ impl Default for ServerConfig {
 /// ```
 #[derive(Debug)]
 pub struct HiddenDbServer {
+    core: Arc<ServerCore>,
+    session: ClientSession,
+}
+
+/// The immutable half of the server: schema, priority-ordered rows, and
+/// the columnar engine. Every method takes `&self`; per-call mutable
+/// state lives in the caller's [`ClientSession`].
+#[derive(Debug)]
+pub(crate) struct ServerCore {
     schema: Schema,
     /// Rows in descending priority order (row 0 = highest priority).
     /// `Tuple` is `Arc`-backed, so responses share this table instead of
@@ -62,7 +87,149 @@ pub struct HiddenDbServer {
     source: Vec<u32>,
     k: usize,
     engine: Engine,
+}
+
+/// The mutable half of one client's connection to a [`ServerCore`]:
+/// that client's [`ServerStats`] and the engine scratch buffers its
+/// queries evaluate in. Sessions never touch each other — isolation
+/// between clients of a shared core is structural, not locked.
+#[derive(Debug, Default)]
+pub(crate) struct ClientSession {
     stats: ServerStats,
+    scratch: Scratch,
+}
+
+impl ClientSession {
+    pub(crate) fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+}
+
+impl ServerCore {
+    /// Validates, orders, and indexes `tuples`; the shared construction
+    /// path behind every server front end.
+    pub(crate) fn with_order(
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        k: usize,
+        order: Vec<u32>,
+    ) -> Result<Self, SchemaError> {
+        assert!(k >= 1, "k must be at least 1");
+        for t in &tuples {
+            schema.validate_tuple(t)?;
+        }
+        let rows: Vec<Tuple> = order.iter().map(|&i| tuples[i as usize].clone()).collect();
+        let engine = Engine::new(&schema, &rows);
+        Ok(ServerCore {
+            schema,
+            rows,
+            source: order,
+            k,
+            engine,
+        })
+    }
+
+    /// The seeded-shuffle priority order used by [`HiddenDbServer::new`].
+    pub(crate) fn shuffled_order(n: usize, seed: u64) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        order
+    }
+
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub(crate) fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub(crate) fn source_ids(&self) -> &[u32] {
+        &self.source
+    }
+
+    pub(crate) fn distinct_in_column(&self, a: usize) -> usize {
+        self.engine.index().distinct(a)
+    }
+
+    /// Answers one query, charging it to `session`. The evaluation path
+    /// is identical for every front end — solo server or shared client —
+    /// so outcomes are bit-identical across them by construction.
+    pub(crate) fn query(
+        &self,
+        q: &Query,
+        session: &mut ClientSession,
+    ) -> Result<QueryOutcome, DbError> {
+        q.validate(&self.schema)?;
+        let out = self
+            .engine
+            .evaluate(&self.rows, self.k, q, &mut session.stats, &mut session.scratch);
+        session.stats.record_outcome(out.len(), out.overflow);
+        Ok(out)
+    }
+
+    /// Answers a whole batch in one engine pass, charging each query to
+    /// `session`. Validation is up-front: an invalid query rejects the
+    /// batch before anything is evaluated or charged.
+    pub(crate) fn query_batch(
+        &self,
+        queries: &[Query],
+        session: &mut ClientSession,
+    ) -> Result<Vec<QueryOutcome>, DbError> {
+        for q in queries {
+            q.validate(&self.schema)?;
+        }
+        let outs = self.engine.evaluate_batch(
+            &self.rows,
+            self.k,
+            queries,
+            &mut session.stats,
+            &mut session.scratch,
+        );
+        for out in &outs {
+            session.stats.record_outcome(out.len(), out.overflow);
+        }
+        Ok(outs)
+    }
+
+    pub(crate) fn query_with_strategy(
+        &self,
+        q: &Query,
+        strategy: Strategy,
+    ) -> Result<QueryOutcome, DbError> {
+        q.validate(&self.schema)?;
+        Ok(self.engine.evaluate_forced(&self.rows, self.k, q, strategy))
+    }
+
+    pub(crate) fn legacy_evaluator(&self) -> LegacyEvaluator {
+        LegacyEvaluator::new(&self.schema, self.rows.clone(), self.k)
+    }
+
+    pub(crate) fn is_crawlable(&self) -> bool {
+        use std::collections::HashMap;
+        let mut mult: HashMap<&Tuple, usize> = HashMap::new();
+        for t in &self.rows {
+            let c = mult.entry(t).or_insert(0);
+            *c += 1;
+            if *c > self.k {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl HiddenDbServer {
@@ -72,10 +239,7 @@ impl HiddenDbServer {
         tuples: Vec<Tuple>,
         config: ServerConfig,
     ) -> Result<Self, SchemaError> {
-        let n = tuples.len();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-        order.shuffle(&mut rng);
+        let order = ServerCore::shuffled_order(tuples.len(), config.seed);
         Self::with_order(schema, tuples, config.k, order)
     }
 
@@ -105,53 +269,54 @@ impl HiddenDbServer {
         k: usize,
         order: Vec<u32>,
     ) -> Result<Self, SchemaError> {
-        assert!(k >= 1, "k must be at least 1");
-        for t in &tuples {
-            schema.validate_tuple(t)?;
-        }
-        let rows: Vec<Tuple> = order.iter().map(|&i| tuples[i as usize].clone()).collect();
-        let engine = Engine::new(&schema, &rows);
         Ok(HiddenDbServer {
-            schema,
-            rows,
-            source: order,
-            k,
-            engine,
-            stats: ServerStats::default(),
+            core: Arc::new(ServerCore::with_order(schema, tuples, k, order)?),
+            session: ClientSession::default(),
         })
+    }
+
+    /// A [`crate::SharedServer`] over this server's store.
+    ///
+    /// The store is shared by reference (`Arc`), not copied: this server
+    /// and every client handle answer from the same rows, indexes, and
+    /// priorities, so their responses are bit-identical. This server's
+    /// own statistics and scratch space remain private to it.
+    pub fn share(&self) -> crate::SharedServer {
+        crate::SharedServer::from_core(Arc::clone(&self.core))
     }
 
     /// Number of tuples `n` in the database. (A crawler would not know
     /// this; it exists for experiment bookkeeping.)
     pub fn n(&self) -> usize {
-        self.rows.len()
+        self.core.n()
     }
 
-    /// Server-side statistics.
+    /// Server-side statistics (this handle's own; see
+    /// [`crate::SharedServer`] for per-client statistics).
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.session.stats()
     }
 
     /// Resets the statistics (e.g. between experiment phases).
     pub fn reset_stats(&mut self) {
-        self.stats = ServerStats::default();
+        self.session.reset_stats();
     }
 
     /// The stored rows in priority order. Experiment bookkeeping only.
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.core.rows()
     }
 
     /// For each stored row (priority order), the index of the tuple in the
     /// constructor's input. Lets tests map responses back to "t4".
     pub fn source_ids(&self) -> &[u32] {
-        &self.source
+        self.core.source_ids()
     }
 
     /// Number of distinct values present in column `a` (used to build the
     /// Figure 9 dataset table and the top-distinct projections).
     pub fn distinct_in_column(&self, a: usize) -> usize {
-        self.engine.index().distinct(a)
+        self.core.distinct_in_column(a)
     }
 
     /// Evaluates a query with a **forced** engine strategy, without
@@ -166,8 +331,7 @@ impl HiddenDbServer {
         q: &Query,
         strategy: Strategy,
     ) -> Result<QueryOutcome, DbError> {
-        q.validate(&self.schema)?;
-        Ok(self.engine.evaluate_forced(&self.rows, self.k, q, strategy))
+        self.core.query_with_strategy(q, strategy)
     }
 
     /// The seed's row-at-a-time evaluator over this server's exact row
@@ -178,41 +342,27 @@ impl HiddenDbServer {
     /// so build it once and reuse it, not per query.
     #[doc(hidden)]
     pub fn legacy_evaluator(&self) -> LegacyEvaluator {
-        LegacyEvaluator::new(&self.schema, self.rows.clone(), self.k)
+        self.core.legacy_evaluator()
     }
 
     /// True if Problem 1 is solvable on this database: no point of the data
     /// space carries more than `k` duplicate tuples (§1.1).
     pub fn is_crawlable(&self) -> bool {
-        use std::collections::HashMap;
-        let mut mult: HashMap<&Tuple, usize> = HashMap::new();
-        for t in &self.rows {
-            let c = mult.entry(t).or_insert(0);
-            *c += 1;
-            if *c > self.k {
-                return false;
-            }
-        }
-        true
+        self.core.is_crawlable()
     }
 }
 
 impl HiddenDatabase for HiddenDbServer {
     fn schema(&self) -> &Schema {
-        &self.schema
+        self.core.schema()
     }
 
     fn k(&self) -> usize {
-        self.k
+        self.core.k()
     }
 
     fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
-        q.validate(&self.schema)?;
-        let out = self
-            .engine
-            .evaluate(&self.rows, self.k, q, &mut self.stats);
-        self.stats.record_outcome(out.len(), out.overflow);
-        Ok(out)
+        self.core.query(q, &mut self.session)
     }
 
     /// Evaluates the whole batch in one engine pass: queries are planned
@@ -226,16 +376,7 @@ impl HiddenDatabase for HiddenDbServer {
     /// validated up front, so an invalid query rejects the whole batch
     /// before anything is evaluated or charged.
     fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
-        for q in queries {
-            q.validate(&self.schema)?;
-        }
-        let outs = self
-            .engine
-            .evaluate_batch(&self.rows, self.k, queries, &mut self.stats);
-        for out in &outs {
-            self.stats.record_outcome(out.len(), out.overflow);
-        }
-        Ok(outs)
+        self.core.query_batch(queries, &mut self.session)
     }
 
     /// The server validates batches up front and rejects without executing
@@ -251,7 +392,7 @@ impl HiddenDatabase for HiddenDbServer {
     }
 
     fn queries_issued(&self) -> u64 {
-        self.stats.queries
+        self.session.stats().queries
     }
 }
 

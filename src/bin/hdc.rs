@@ -404,14 +404,13 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
             repo_store = JsonFileRepository::new(path);
             builder = builder.repository(&mut repo_store);
         }
-        let result = builder.run_sharded(|_s| {
-            HiddenDbServer::new(
-                ds.schema.clone(),
-                ds.tuples.clone(),
-                ServerConfig { k, seed },
-            )
-            .expect("valid dataset")
-        });
+        // One shared store for the whole fleet: every identity is a
+        // lightweight client of the same immutable columnar store
+        // (bit-identical responses, one build) instead of a full
+        // per-identity clone of the data.
+        let shared = SharedServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig { k, seed })
+            .expect("valid dataset");
+        let result = builder.run_sharded(|_s| shared.client());
         observer.finish();
         let report = match result {
             Ok(report) => report,
@@ -589,16 +588,12 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
     let mut observer = CliObserver::new(None);
 
     if sessions > 1 || oversubscribe > 1 {
+        // As in `hdc crawl`: the fleet shares one store via clients.
+        let shared = SharedServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig { k, seed })
+            .expect("valid dataset");
         let result = crawler.crawl_sharded_observed(
             Sharded::new(sessions).oversubscribed(oversubscribe),
-            |_s| {
-                HiddenDbServer::new(
-                    ds.schema.clone(),
-                    ds.tuples.clone(),
-                    ServerConfig { k, seed },
-                )
-                .expect("valid dataset")
-            },
+            |_s| shared.client(),
             Some(&mut observer),
         );
         observer.finish();

@@ -83,7 +83,7 @@ pub mod prelude {
         TaskSource, ValidityOracle,
     };
     pub use hdc_data::{Dataset, DatasetStats};
-    pub use hdc_server::{Budgeted, HiddenDbServer, ServerConfig};
+    pub use hdc_server::{Budgeted, HiddenDbServer, ServerClient, ServerConfig, SharedServer};
     pub use hdc_types::{
         AttrKind, DbError, FaultConfig, FaultyDb, HiddenDatabase, Predicate, Query, QueryOutcome,
         Schema, Tuple, TupleBag, Value,
