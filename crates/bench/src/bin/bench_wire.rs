@@ -1,0 +1,216 @@
+//! Wire-layer benchmark + `BENCH_pr8.json` emitter.
+//!
+//! PR 8 puts a hand-rolled HTTP/1.1 loopback between the crawler and
+//! the store (`hdc serve` + `HttpConnector`). This bench quantifies the
+//! two claims behind shipping that layer:
+//!
+//! 1. **The wire is free of *semantic* cost.** A sharded crawl over
+//!    loopback extracts the same bag at the same charged query cost as
+//!    the same crawl in-process — asserted exactly, per session count,
+//!    even under `--quick`.
+//! 2. **Loopback overhead is small against any real remote.** The
+//!    crawl's wall time over loopback must beat the same crawl against
+//!    a simulated remote that charges [`SIMULATED_RTT`] per round trip
+//!    (2 ms — an optimistic same-region RTT). The gap is the headroom
+//!    a real deployment has before the wire layer is what hurts.
+//!
+//! # What is measured
+//!
+//! One solvable Yahoo-shaped store (k = 128; the scaled generator's hot
+//! listing has multiplicity 100). For each session count
+//! S ∈ {1, 2, 4, 8, 16}: crawl wall time, charged queries, and charged
+//! QPS in three regimes — `in-process` (`shared.client()`), `loopback`
+//! (`WireServer` + `HttpConnector` on 127.0.0.1), and `simulated-rtt`
+//! (in-process client wrapped to sleep 2 ms per round trip; batches
+//! count one round trip, as on the wire).
+//!
+//! Output: `BENCH_pr8.json` (override path with `BENCH_OUT`; `--quick`
+//! runs a CI-sized subset). Claims are asserted at record time — the
+//! process fails if they do not hold.
+
+use std::time::{Duration, Instant};
+
+use hdc_core::Crawl;
+use hdc_net::{HttpConnector, ServeOptions, WireServer};
+use hdc_server::{ServerClient, ServerConfig, SharedServer};
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema, TupleBag};
+
+const SEED: u64 = 0x8e7;
+const K: usize = 128;
+/// Per-round-trip delay of the simulated remote regime.
+const SIMULATED_RTT: Duration = Duration::from_millis(2);
+
+/// An in-process client that pays a fixed RTT per round trip — one
+/// sleep per `query`, one per `query_batch`, exactly like the wire.
+struct SimulatedRemote(ServerClient);
+
+impl HiddenDatabase for SimulatedRemote {
+    fn schema(&self) -> &Schema {
+        self.0.schema()
+    }
+    fn k(&self) -> usize {
+        self.0.k()
+    }
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        std::thread::sleep(SIMULATED_RTT);
+        self.0.query(q)
+    }
+    fn query_batch(&mut self, qs: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        std::thread::sleep(SIMULATED_RTT);
+        self.0.query_batch(qs)
+    }
+    fn try_query_batch(&mut self, qs: &[Query]) -> (Vec<QueryOutcome>, Option<DbError>) {
+        std::thread::sleep(SIMULATED_RTT);
+        self.0.try_query_batch(qs)
+    }
+    fn queries_issued(&self) -> u64 {
+        self.0.queries_issued()
+    }
+}
+
+struct Cell {
+    sessions: usize,
+    mode: &'static str,
+    wall_ms: f64,
+    queries: u64,
+    tuples: usize,
+    qps: f64,
+}
+
+fn run<D, F>(sessions: usize, factory: F) -> (f64, u64, usize, TupleBag)
+where
+    D: HiddenDatabase + Send,
+    F: Fn(usize) -> D + Sync,
+{
+    let t0 = Instant::now();
+    let report = Crawl::builder()
+        .sessions(sessions)
+        .run_sharded(factory)
+        .expect("bench store is solvable");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bag = TupleBag::from_tuples(report.merged.tuples.iter().cloned());
+    (wall_ms, report.merged.queries, report.merged.tuples.len(), bag)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 1_500 } else { 12_000 };
+    let session_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+
+    eprintln!("building store n = {n}, k = {K} …");
+    let ds = hdc_data::yahoo::generate_scaled(n, 11);
+    let shared = SharedServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig {
+        k: K,
+        seed: SEED,
+    })
+    .expect("yahoo dataset is schema-valid");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut claims_ok = true;
+
+    for &s in session_counts {
+        // In-process reference.
+        let (wall, queries, tuples, ref_bag) = run(s, |_| shared.client());
+        cells.push(Cell {
+            sessions: s,
+            mode: "in-process",
+            wall_ms: wall,
+            queries,
+            tuples,
+            qps: queries as f64 / (wall / 1e3),
+        });
+
+        // Loopback wire.
+        let server = WireServer::start("127.0.0.1:0", shared.clone(), ServeOptions::default())
+            .expect("bind loopback");
+        let conn = HttpConnector::new(&server.addr().to_string()).expect("schema probe");
+        let (wall, w_queries, w_tuples, wire_bag) = run(s, |identity| conn.db(identity));
+        server.shutdown().expect("clean drain");
+        cells.push(Cell {
+            sessions: s,
+            mode: "loopback",
+            wall_ms: wall,
+            queries: w_queries,
+            tuples: w_tuples,
+            qps: w_queries as f64 / (wall / 1e3),
+        });
+
+        // Claim 1: the wire changes nothing semantic — exact, always.
+        if !wire_bag.multiset_eq(&ref_bag) || w_queries != queries {
+            eprintln!(
+                "CLAIM FAILED: S={s}: loopback (bag {w_tuples}, cost {w_queries}) != \
+                 in-process (bag {tuples}, cost {queries})"
+            );
+            claims_ok = false;
+        }
+
+        // Simulated remote at a fixed RTT per round trip.
+        let (sleep_wall, sl_queries, sl_tuples, _) =
+            run(s, |_| SimulatedRemote(shared.client()));
+        cells.push(Cell {
+            sessions: s,
+            mode: "simulated-rtt",
+            wall_ms: sleep_wall,
+            queries: sl_queries,
+            tuples: sl_tuples,
+            qps: sl_queries as f64 / (sleep_wall / 1e3),
+        });
+
+        // Claim 2: loopback beats a 2 ms-RTT remote at every width.
+        let loopback_wall = cells[cells.len() - 2].wall_ms;
+        if loopback_wall >= sleep_wall {
+            eprintln!(
+                "CLAIM FAILED: S={s}: loopback {loopback_wall:.0} ms >= \
+                 simulated-rtt {sleep_wall:.0} ms"
+            );
+            claims_ok = false;
+        }
+
+        for cell in &cells[cells.len() - 3..] {
+            eprintln!(
+                "  S = {:>2}  {:<13}  wall {:>8.1} ms  {:>8} queries  {:>9.0} qps  {} tuples",
+                cell.sessions, cell.mode, cell.wall_ms, cell.queries, cell.qps, cell.tuples
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"pr\": 8,\n");
+    json.push_str(
+        "  \"description\": \"wire-layer cost: sharded crawl wall time and charged QPS by \
+         session count in three regimes — in-process (shared store client), loopback \
+         (hand-rolled HTTP/1.1 over 127.0.0.1), and simulated-rtt (in-process plus a 2 ms \
+         sleep per round trip, batches one round trip). Asserted at record time: loopback \
+         bag and charged cost equal in-process exactly at every session count, and loopback \
+         wall time beats the simulated 2 ms-RTT remote at every session count\",\n",
+    );
+    json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!("  \"k\": {K},\n"));
+    json.push_str(&format!(
+        "  \"simulated_rtt_ms\": {},\n",
+        SIMULATED_RTT.as_millis()
+    ));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, x) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"mode\": \"{}\", \"wall_ms\": {:.2}, \"queries\": {}, \
+             \"tuples\": {}, \"qps\": {:.0}}}{}\n",
+            x.sessions,
+            x.mode,
+            x.wall_ms,
+            x.queries,
+            x.tuples,
+            x.qps,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    assert!(claims_ok, "one or more recorded claims failed; see stderr");
+}

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod categorical;
+pub mod connector;
 pub mod crawler;
 pub mod dependency;
 pub mod hybrid;
@@ -71,6 +72,7 @@ pub mod validate;
 
 pub use categorical::dfs::Dfs;
 pub use categorical::slice_cover::SliceCover;
+pub use connector::Connector;
 pub use crawler::Crawler;
 pub use dependency::{DatasetOracle, PairRuleOracle, ValidityOracle};
 pub use hybrid::Hybrid;
@@ -84,7 +86,7 @@ pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 pub use repository::{
     CrawlCheckpoint, CrawlRepository, JsonFileRepository, MemoryRepository, ShardSnapshot,
 };
-pub use retry::RetryPolicy;
+pub use retry::{FaultHistory, RetryPolicy};
 pub use session::{
     run_crawl, run_crawl_configured, run_crawl_observed, Abort, Session, SessionConfig, MAX_BATCH,
 };

@@ -81,6 +81,7 @@
 use hdc_types::{Budgeted, HiddenDatabase, Query, QueryOutcome, Schema, Tuple};
 
 use crate::categorical::dfs::Dfs;
+use crate::connector::Connector;
 use crate::categorical::slice_cover::SliceCover;
 use crate::crawler::Crawler;
 use crate::dependency::ValidityOracle;
@@ -593,6 +594,7 @@ impl<'a> CrawlBuilder<'a> {
         let config = SessionConfig {
             retry: self.retry.clone(),
             cancel: self.cancel,
+            fault_history: None,
         };
         match self.budget {
             Some(limit) => {
@@ -613,10 +615,14 @@ impl<'a> CrawlBuilder<'a> {
     }
 
     /// Runs the crawl across [`CrawlBuilder::sessions`] client
-    /// identities on the work-stealing [`Sharded`] pool. `factory(s)`
-    /// creates identity `s`'s own connection; all connections must view
-    /// the same logical database. Works for `sessions == 1` too (the
-    /// plan degenerates to the solo sharded plan).
+    /// identities on the work-stealing [`Sharded`] pool. The
+    /// [`Connector`] mints identity `s`'s own connection —
+    /// `connector.connect(s)` — and every legacy `Fn(usize) -> D`
+    /// factory closure *is* a connector (blanket impl), so
+    /// `run_sharded(|_s| shared.client())` keeps compiling unchanged.
+    /// All connections must view the same logical database. Works for
+    /// `sessions == 1` too (the plan degenerates to the solo sharded
+    /// plan).
     ///
     /// Bit-identical to the legacy
     /// `Sharded::new(sessions).oversubscribed(factor).crawl(factory)`
@@ -633,16 +639,15 @@ impl<'a> CrawlBuilder<'a> {
     /// requires a numeric schema, lazy [`Strategy::SliceCover`] a
     /// categorical one, and the baselines ([`Strategy::BinaryShrink`],
     /// [`Strategy::Dfs`], eager slice-cover) are rejected outright.
-    pub fn run_sharded<D, F>(self, factory: F) -> Result<ShardedReport, CrawlError>
+    pub fn run_sharded<C>(self, connector: C) -> Result<ShardedReport, CrawlError>
     where
-        D: HiddenDatabase + Send,
-        F: Fn(usize) -> D + Sync,
+        C: Connector,
     {
         assert!(
             self.oracle.is_none(),
             "sharded crawls do not support a validity oracle"
         );
-        let probe = factory(0);
+        let probe = connector.connect(0);
         let schema = probe.schema().clone();
         drop(probe);
         let strategy = self.strategy.resolve(&schema);
@@ -659,10 +664,16 @@ impl<'a> CrawlBuilder<'a> {
             Some(limit) => {
                 // Per-identity quota: each connection carries its own
                 // allowance, like the legacy per-session Budgeted wrap.
-                let budgeted_factory = move |s: usize| Budgeted::new(factory(s), limit);
+                let budgeted_factory = move |s: usize| Budgeted::new(connector.connect(s), limit);
                 run_sharded_resolved(strategy, sharded, budgeted_factory, controls, &schema)
             }
-            None => run_sharded_resolved(strategy, sharded, factory, controls, &schema),
+            None => run_sharded_resolved(
+                strategy,
+                sharded,
+                |s| connector.connect(s),
+                controls,
+                &schema,
+            ),
         }
     }
 }

@@ -18,8 +18,44 @@
 //! the thread.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-identity fault memory backing [`RetryPolicy::adaptive`] widening.
+///
+/// One `FaultHistory` accompanies one client identity for the duration of
+/// a crawl (the sharded pool allocates one per worker alongside the
+/// connection itself). It counts *fault bursts*: maximal runs of
+/// consecutive transient failures inside one retry loop. When the policy
+/// is adaptive, the `b`-th burst on an identity starts its backoff from
+/// `base · 2^min(b−1, cap)` instead of `base` — an endpoint that has
+/// already flapped repeatedly on this identity is approached more gently,
+/// while fresh identities keep the fast schedule.
+///
+/// The counter is atomic only so it can live next to the connection in
+/// `Sync` pool state; each identity's sessions touch it sequentially.
+#[derive(Debug, Default)]
+pub struct FaultHistory {
+    bursts: AtomicU32,
+}
+
+impl FaultHistory {
+    /// A fresh history: no bursts observed.
+    pub fn new() -> Self {
+        FaultHistory::default()
+    }
+
+    /// Number of fault bursts observed on this identity so far.
+    pub fn bursts(&self) -> u32 {
+        self.bursts.load(Ordering::Relaxed)
+    }
+
+    /// Records the start of a new fault burst.
+    pub fn record_burst(&self) {
+        self.bursts.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// How the session layer reacts to transient database failures.
 ///
@@ -46,6 +82,7 @@ pub struct RetryPolicy {
     base_backoff: Duration,
     max_backoff: Duration,
     jitter_seed: u64,
+    adaptive_cap: u32,
     sleeper: Option<Arc<dyn Fn(Duration) + Send + Sync>>,
 }
 
@@ -69,6 +106,7 @@ impl RetryPolicy {
             base_backoff: Duration::from_millis(100),
             max_backoff: Duration::from_secs(5),
             jitter_seed: 0,
+            adaptive_cap: 0,
             sleeper: None,
         }
     }
@@ -104,6 +142,33 @@ impl RetryPolicy {
         self.sleeper(|_| {})
     }
 
+    /// Enables per-identity adaptive widening: after each observed fault
+    /// burst on an identity (tracked by its [`FaultHistory`]), that
+    /// identity's *next* burst starts its backoff one doubling higher —
+    /// `base · 2^min(bursts, max_doublings)` — up to `max_doublings`
+    /// doublings. `max_doublings = 0` (the default) disables adaptation.
+    ///
+    /// Within a burst the usual exponential schedule applies on top, and
+    /// everything stays capped at the configured max backoff. Only the
+    /// *waiting* changes: the query sequence, and therefore the crawled
+    /// bag and charged cost, are untouched.
+    pub fn adaptive(mut self, max_doublings: u32) -> Self {
+        self.adaptive_cap = max_doublings;
+        self
+    }
+
+    /// The adaptive widening ceiling set by [`RetryPolicy::adaptive`]
+    /// (0 = adaptation off).
+    pub fn adaptive_cap(&self) -> u32 {
+        self.adaptive_cap
+    }
+
+    /// How many doublings to widen by, given the identity's burst count
+    /// *before* the current burst: `min(bursts, cap)`.
+    pub fn widen_for(&self, prior_bursts: u32) -> u32 {
+        prior_bursts.min(self.adaptive_cap)
+    }
+
     /// Total attempts allowed per query (1 = no retries).
     pub fn max_attempts(&self) -> u32 {
         self.max_attempts
@@ -113,7 +178,16 @@ impl RetryPolicy {
     /// jitter salt `salt`. The session layer salts with its charged-query
     /// count so concurrent identities sharing a seed still spread out.
     pub fn backoff_for(&self, retry: u32, salt: u64) -> Duration {
-        let exp = retry.saturating_sub(1).min(32);
+        self.backoff_widened(retry, salt, 0)
+    }
+
+    /// [`RetryPolicy::backoff_for`] widened by `widen` extra doublings
+    /// (from [`RetryPolicy::widen_for`] under an adaptive policy):
+    /// `base · 2^(widen + retry − 1)`, capped, same jitter draw as the
+    /// unwidened schedule — widening scales the wait, it never reshuffles
+    /// the jitter.
+    pub fn backoff_widened(&self, retry: u32, salt: u64, widen: u32) -> Duration {
+        let exp = retry.saturating_sub(1).saturating_add(widen).min(32);
         let raw = self
             .base_backoff
             .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX))
@@ -132,9 +206,10 @@ impl RetryPolicy {
     }
 
     /// Sleeps out the backoff for retry number `retry` (1-based) via the
-    /// configured sleeper.
-    pub(crate) fn pause(&self, retry: u32, salt: u64) {
-        let wait = self.backoff_for(retry, salt);
+    /// configured sleeper, widened by `widen` adaptive doublings (0 =
+    /// the plain schedule).
+    pub(crate) fn pause_widened(&self, retry: u32, salt: u64, widen: u32) {
+        let wait = self.backoff_widened(retry, salt, widen);
         match &self.sleeper {
             Some(f) => f(wait),
             None => std::thread::sleep(wait),
@@ -210,10 +285,48 @@ mod tests {
         let p = RetryPolicy::new(4)
             .backoff(Duration::from_millis(10), Duration::from_secs(1))
             .sleeper(move |d| log.lock().unwrap().push(d));
-        p.pause(1, 0);
-        p.pause(2, 0);
+        p.pause_widened(1, 0, 0);
+        p.pause_widened(2, 0, 0);
         let got = slept.lock().unwrap().clone();
         assert_eq!(got, vec![p.backoff_for(1, 0), p.backoff_for(2, 0)]);
+    }
+
+    #[test]
+    fn adaptive_widening_shifts_the_exponent() {
+        let p = RetryPolicy::new(6)
+            .backoff(Duration::from_millis(10), Duration::from_secs(500))
+            .jitter_seed(11)
+            .adaptive(8);
+        // widen w shifts the whole schedule w doublings up; the jitter
+        // draw (a function of retry and salt only) is untouched.
+        for w in 0..4u32 {
+            for r in 1..4u32 {
+                let widened = p.backoff_widened(r, 3, w);
+                let raw = Duration::from_millis(10).saturating_mul(1 << (w + r - 1));
+                assert!(
+                    widened >= raw / 2 && widened < raw,
+                    "w={w} r={r}: {widened:?} vs raw {raw:?}"
+                );
+            }
+        }
+        // The max-backoff cap still applies to widened schedules.
+        let q = RetryPolicy::new(6)
+            .backoff(Duration::from_millis(10), Duration::from_millis(40))
+            .adaptive(8);
+        assert!(q.backoff_widened(1, 0, 10) <= Duration::from_millis(40));
+        // widen_for saturates at the configured ceiling; 0 disables.
+        assert_eq!(p.widen_for(3), 3);
+        assert_eq!(p.widen_for(100), 8);
+        assert_eq!(RetryPolicy::new(6).widen_for(100), 0, "adaptation off");
+    }
+
+    #[test]
+    fn fault_history_counts_bursts() {
+        let h = FaultHistory::new();
+        assert_eq!(h.bursts(), 0);
+        h.record_burst();
+        h.record_burst();
+        assert_eq!(h.bursts(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
 use crate::dependency::ValidityOracle;
 use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ProgressRecorder};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
-use crate::retry::RetryPolicy;
+use crate::retry::{FaultHistory, RetryPolicy};
 
 /// Fault-tolerance configuration threaded from [`crate::CrawlBuilder`]
 /// (or any external driver) down to every [`Session`].
@@ -36,6 +36,13 @@ pub struct SessionConfig<'c> {
     /// the `Sync` flag that lets an observer (or a signal handler) halt
     /// in-flight shards on other threads.
     pub cancel: Option<&'c CancelToken>,
+    /// The client identity's fault memory, shared across every session
+    /// that runs on that identity's connection. Under an adaptive
+    /// [`RetryPolicy`] (see [`RetryPolicy::adaptive`]) each recorded
+    /// fault burst widens the *next* burst's starting backoff on the
+    /// same identity. `None` (the default) scopes burst memory to the
+    /// individual session.
+    pub fault_history: Option<&'c FaultHistory>,
 }
 
 /// Abort signal raised inside an algorithm body; the session converts it
@@ -107,6 +114,10 @@ pub struct Session<'a> {
     stopped: bool,
     retry: RetryPolicy,
     cancel: Option<&'a CancelToken>,
+    history: Option<&'a FaultHistory>,
+    /// Burst counter used when no shared [`FaultHistory`] is configured:
+    /// adaptation then remembers only this session's own bursts.
+    local_bursts: u32,
 }
 
 impl<'a> Session<'a> {
@@ -132,12 +143,28 @@ impl<'a> Session<'a> {
             stopped: false,
             retry: config.retry,
             cancel: config.cancel,
+            history: config.fault_history,
+            local_bursts: 0,
         }
     }
 
     /// True once the external cancellation token (if any) has tripped.
     fn cancelled(&self) -> bool {
         self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Bursts observed on this identity before the current one: the
+    /// adaptive-widening input (see [`RetryPolicy::adaptive`]).
+    fn prior_bursts(&self) -> u32 {
+        self.history.map_or(self.local_bursts, FaultHistory::bursts)
+    }
+
+    /// Marks the start of a new fault burst on this identity.
+    fn record_burst(&mut self) {
+        match self.history {
+            Some(h) => h.record_burst(),
+            None => self.local_bursts += 1,
+        }
     }
 
     /// Mutable access to the algorithm-internal counters.
@@ -178,6 +205,7 @@ impl<'a> Session<'a> {
             }
         }
         let mut attempt = 1u32;
+        let mut widen = 0u32;
         let out = loop {
             match self.db.query(q) {
                 Ok(out) => break out,
@@ -185,8 +213,14 @@ impl<'a> Session<'a> {
                     if self.cancelled() {
                         return Err(Abort::Stopped);
                     }
+                    if attempt == 1 {
+                        // A new fault burst: widen from the bursts this
+                        // identity saw before it, then record it.
+                        widen = self.retry.widen_for(self.prior_bursts());
+                        self.record_burst();
+                    }
                     self.metrics.transient_retries += 1;
-                    self.retry.pause(attempt, self.queries);
+                    self.retry.pause_widened(attempt, self.queries, widen);
                     attempt += 1;
                 }
                 Err(e) => return Err(Abort::Db(e)),
@@ -285,6 +319,7 @@ impl<'a> Session<'a> {
         }
         let mut outs: Vec<QueryOutcome> = Vec::with_capacity(queries.len());
         let mut attempt = 1u32;
+        let mut widen = 0u32;
         loop {
             let before = self.db.queries_issued();
             let suffix = &queries[outs.len()..];
@@ -325,8 +360,14 @@ impl<'a> Session<'a> {
                     if self.stopped || self.cancelled() {
                         return Err(Abort::Stopped);
                     }
+                    if attempt == 1 {
+                        // Progress broke the previous chain (or this is
+                        // the first fault): a fresh burst begins.
+                        widen = self.retry.widen_for(self.prior_bursts());
+                        self.record_burst();
+                    }
                     self.metrics.transient_retries += 1;
-                    self.retry.pause(attempt, self.queries);
+                    self.retry.pause_widened(attempt, self.queries, widen);
                     attempt += 1;
                 }
                 Some(e) => return Err(Abort::Db(e)),
@@ -741,6 +782,90 @@ mod tests {
         .unwrap();
         assert_eq!(report.queries, 5);
         assert_eq!(report.metrics.transient_retries, 4);
+    }
+
+    #[test]
+    fn adaptive_backoff_pins_the_deterministic_schedule() {
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+        // Faults at attempts 1, {4,5}, 8 form three bursts. Under
+        // .adaptive(2) the b-th burst starts min(b−1, 2) doublings up,
+        // and within a burst the usual exponential schedule applies.
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&slept);
+        let policy = RetryPolicy::new(3)
+            .backoff(Duration::from_millis(10), Duration::from_secs(5))
+            .jitter_seed(5)
+            .adaptive(2)
+            .sleeper(move |d| log.lock().unwrap().push(d));
+        let expected_from = policy.clone();
+        let config = SessionConfig {
+            retry: policy,
+            ..SessionConfig::default()
+        };
+        let mut db = ScriptedDb::new(vec![1, 4, 5, 8]);
+        let report = run_crawl_configured("t", &mut db, None, None, config, |s| {
+            for _ in 0..5 {
+                s.run(&Query::any(1))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.metrics.transient_retries, 4);
+        let got = slept.lock().unwrap().clone();
+        // Salt is the charged-query count when the pause happens:
+        // 0 before the 1st query, 2 before the 3rd, 4 before the 5th.
+        assert_eq!(
+            got,
+            vec![
+                expected_from.backoff_widened(1, 0, 0), // burst 1: base
+                expected_from.backoff_widened(1, 2, 1), // burst 2: 2× base
+                expected_from.backoff_widened(2, 2, 1), // …then doubles
+                expected_from.backoff_widened(1, 4, 2), // burst 3: 4× base
+            ]
+        );
+        // And the widening is real: burst 2 opened at (within rounding)
+        // twice its own unwidened draw — same retry, same salt, same
+        // jitter factor, doubled raw.
+        let unwidened = expected_from.backoff_widened(1, 2, 0);
+        let doubled = unwidened * 2;
+        let nanos = Duration::from_nanos(1);
+        assert!(got[1] >= doubled.saturating_sub(nanos) && got[1] <= doubled + nanos);
+    }
+
+    #[test]
+    fn shared_fault_history_carries_bursts_across_sessions() {
+        use std::sync::{Arc, Mutex};
+        use std::time::Duration;
+        // An identity that has already flapped twice starts its next
+        // burst two doublings up, even in a brand-new session.
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&slept);
+        let policy = RetryPolicy::new(2)
+            .backoff(Duration::from_millis(10), Duration::from_secs(5))
+            .adaptive(3)
+            .sleeper(move |d| log.lock().unwrap().push(d));
+        let expected_from = policy.clone();
+        let history = FaultHistory::new();
+        history.record_burst();
+        history.record_burst();
+        let config = SessionConfig {
+            retry: policy,
+            cancel: None,
+            fault_history: Some(&history),
+        };
+        let mut db = ScriptedDb::new(vec![1]);
+        run_crawl_configured("t", &mut db, None, None, config, |s| {
+            s.run(&Query::any(1))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            slept.lock().unwrap().clone(),
+            vec![expected_from.backoff_widened(1, 0, 2)]
+        );
+        assert_eq!(history.bursts(), 3, "the new burst was recorded");
     }
 
     #[test]

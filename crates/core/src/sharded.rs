@@ -77,7 +77,7 @@ use crate::numeric::rank_shrink::RankShrink;
 use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ShardEvent};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport};
 use crate::repository::{CrawlCheckpoint, CrawlRepository, ShardSnapshot};
-use crate::retry::RetryPolicy;
+use crate::retry::{FaultHistory, RetryPolicy};
 use crate::session::{run_crawl_configured, SessionConfig};
 
 /// How one shard's share of the data space is described.
@@ -817,12 +817,15 @@ impl Sharded {
         let pool = workpool::Pool::new(self.sessions);
         let (slots, pool_stats) = pool.run_cancellable(
             tasks,
-            |w| (factory(w), 0u32),
-            |(db, strikes): &mut (D, u32), ctx, (index, spec): (usize, ShardSpec)| {
+            |w| (factory(w), 0u32, FaultHistory::new()),
+            |(db, strikes, history): &mut (D, u32, FaultHistory),
+             ctx,
+             (index, spec): (usize, ShardSpec)| {
                 let begun = Instant::now();
                 let config = SessionConfig {
                     retry: self.retry.clone(),
                     cancel: Some(halt),
+                    fault_history: Some(history),
                 };
                 let result = shard_crawl(&spec, db, config);
                 // Identity health. A permanent database failure means
@@ -990,6 +993,7 @@ impl Sharded {
             });
         }
         let mut strikes = 0u32;
+        let history = FaultHistory::new();
         for (index, spec) in plan.iter().enumerate() {
             if full[index].is_some() {
                 continue; // replayed from the checkpoint
@@ -1001,6 +1005,7 @@ impl Sharded {
             let config = SessionConfig {
                 retry: self.retry.clone(),
                 cancel: Some(halt),
+                fault_history: Some(&history),
             };
             let result = shard_crawl(spec, db, config);
             stats.busy += begun.elapsed();

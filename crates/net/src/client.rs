@@ -1,0 +1,373 @@
+//! The wire client: [`HttpDb`] implements
+//! [`HiddenDatabase`] over a loopback HTTP connection, and
+//! [`HttpConnector`] implements [`Connector`] so
+//! `Crawl::builder().run_sharded(connector)` drives remote identities
+//! exactly like in-process closures.
+//!
+//! # Error mapping — the whole point
+//!
+//! Everything the wire can do to a request maps into the existing
+//! [`DbError`] taxonomy, so `RetryPolicy`, per-identity strikes, and
+//! checkpoint/resume work over the network *unchanged*:
+//!
+//! | wire event | mapped to |
+//! |------------|-----------|
+//! | read/write timeout, connection reset, EOF mid-response | [`DbError::Transient`] (stream dropped; next call reconnects) |
+//! | HTTP 5xx (e.g. the server fault injector's 503) | [`DbError::Transient`] (connection kept) |
+//! | HTTP 429 budget body | [`DbError::BudgetExhausted`] field-exact |
+//! | other HTTP 4xx | [`DbError::Backend`] (permanent) |
+//! | malformed response on a 200 | [`DbError::Transient`] (stream dropped — body may be damaged in flight) |
+//! | retire-threshold-th consecutive failure ([`DEFAULT_RETIRE_AFTER`]) | [`DbError::Backend`] — the identity is retired |
+//!
+//! # Health tracking
+//!
+//! Each connection counts *consecutive* failures; any success resets the
+//! count. A failure drops the stream so the next call reconnects with a
+//! fresh TCP connection; once the count reaches the retire threshold the
+//! identity stops trying and fails permanently, which is exactly the
+//! signal the sharded crawler's identity-health salvage understands.
+//!
+//! # Accounting parity
+//!
+//! The client validates queries locally against the fetched schema
+//! (charge-nothing [`DbError::InvalidQuery`], same as the server) and
+//! counts [`HttpDb::queries_issued`] client-side: +1 per successful
+//! query, +`len` per successful batch, +0 on any error — matching
+//! `ServerClient`'s all-or-nothing accounting so wire crawls reconcile
+//! bit-identically with in-process ones.
+
+use std::io::{self, BufReader, ErrorKind};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hdc_core::Connector;
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
+
+use crate::bucket::RateLimiter;
+use crate::http::{self, Response};
+use crate::proto;
+
+/// Default client read/write timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default consecutive-failure threshold before an identity retires.
+pub const DEFAULT_RETIRE_AFTER: u32 = 8;
+
+/// Connection factory for [`HttpDb`] identities: fetches the remote
+/// schema once (eagerly, at construction), then mints any number of
+/// independent per-identity connections.
+///
+/// Implements [`Connector`], so it drops into
+/// `Crawl::builder().run_sharded(..)` wherever a `Fn(usize) -> D`
+/// closure went before.
+#[derive(Debug, Clone)]
+pub struct HttpConnector {
+    addr: String,
+    info: proto::SchemaInfo,
+    timeout: Duration,
+    retire_after: u32,
+    rate: Option<(f64, f64)>,
+}
+
+impl HttpConnector {
+    /// Connects to `url` (`host:port`, optionally prefixed with
+    /// `http://`) and fetches `/schema`, so every later
+    /// [`connect`](Connector::connect) is infallible and every
+    /// [`HttpDb`] knows its schema and `k` locally.
+    pub fn new(url: &str) -> io::Result<HttpConnector> {
+        let addr = strip_scheme(url).to_string();
+        let timeout = DEFAULT_TIMEOUT;
+        let info = fetch_schema(&addr, timeout)?;
+        Ok(HttpConnector {
+            addr,
+            info,
+            timeout,
+            retire_after: DEFAULT_RETIRE_AFTER,
+            rate: None,
+        })
+    }
+
+    /// Sets the read/write timeout for every minted connection.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the consecutive-failure threshold after which an identity
+    /// retires permanently (clamped to at least 1).
+    pub fn retire_after(mut self, failures: u32) -> Self {
+        self.retire_after = failures.max(1);
+        self
+    }
+
+    /// Paces each identity with a token bucket: at most `rate` queries
+    /// per second sustained, with room for `burst` queries at once.
+    pub fn rate_limit(mut self, rate: f64, burst: f64) -> Self {
+        self.rate = Some((rate, burst));
+        self
+    }
+
+    /// The remote database's shape, as fetched at construction.
+    pub fn info(&self) -> &proto::SchemaInfo {
+        &self.info
+    }
+
+    /// The server address (scheme stripped).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One remote identity, outside any crawl (for probes and tests).
+    pub fn db(&self, identity: usize) -> HttpDb {
+        self.connect(identity)
+    }
+}
+
+impl Connector for HttpConnector {
+    type Db = HttpDb;
+
+    fn connect(&self, identity: usize) -> HttpDb {
+        HttpDb {
+            addr: self.addr.clone(),
+            identity,
+            schema: self.info.schema.clone(),
+            k: self.info.k,
+            timeout: self.timeout,
+            retire_after: self.retire_after,
+            limiter: self.rate.map(|(rate, burst)| RateLimiter::new(rate, burst)),
+            conn: None,
+            consecutive_failures: 0,
+            retired: false,
+            issued: 0,
+        }
+    }
+}
+
+fn strip_scheme(url: &str) -> &str {
+    url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/')
+}
+
+/// One eager `GET /schema` over a throwaway connection.
+fn fetch_schema(addr: &str, timeout: Duration) -> io::Result<proto::SchemaInfo> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    http::write_request(&mut &stream, "GET", "/schema", b"")?;
+    let resp = http::read_response(&mut reader)?;
+    if resp.status != 200 {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("schema fetch answered {}", resp.status),
+        ));
+    }
+    let body = String::from_utf8_lossy(&resp.body).into_owned();
+    proto::parse_schema_body(&body).map_err(|e| io::Error::new(ErrorKind::InvalidData, e))
+}
+
+/// One remote identity's live connection state.
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A [`HiddenDatabase`] over the wire: one remote identity, one
+/// keep-alive connection (re-established transparently after
+/// failures), local validation, client-side accounting, health
+/// tracking, and optional rate limiting. Minted by [`HttpConnector`].
+#[derive(Debug)]
+pub struct HttpDb {
+    addr: String,
+    identity: usize,
+    schema: Schema,
+    k: usize,
+    timeout: Duration,
+    retire_after: u32,
+    limiter: Option<RateLimiter>,
+    conn: Option<Conn>,
+    consecutive_failures: u32,
+    retired: bool,
+    issued: u64,
+}
+
+impl HttpDb {
+    /// The identity index this connection crawls as.
+    pub fn identity(&self) -> usize {
+        self.identity
+    }
+
+    /// Consecutive wire failures since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Whether this identity has retired (failed permanently).
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    fn open(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true).ok();
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream.try_clone()?),
+                writer: stream,
+            });
+        }
+        Ok(self.conn.as_mut().expect("just opened"))
+    }
+
+    /// One request/response exchange. Any io damage (timeout, reset,
+    /// truncation) drops the stream so the next call reconnects fresh.
+    fn exchange(&mut self, path: &str, body: &str) -> Result<Response, DbError> {
+        let result = (|| {
+            let conn = self.open()?;
+            http::write_request(&mut &conn.writer, "POST", path, body.as_bytes())?;
+            http::read_response(&mut conn.reader)
+        })();
+        match result {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                Err(DbError::Transient(format!(
+                    "wire failure on {path}: {} ({e})",
+                    kind_label(e.kind())
+                )))
+            }
+        }
+    }
+
+    /// Books a failure: strike the health counter, retire at the
+    /// threshold. Transparent pass-through for the error.
+    fn strike(&mut self, e: DbError) -> DbError {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.retire_after {
+            self.retired = true;
+        }
+        e
+    }
+
+    fn retired_error(&self) -> DbError {
+        DbError::Backend(format!(
+            "identity {} retired after {} consecutive wire failures",
+            self.identity, self.consecutive_failures
+        ))
+    }
+
+    /// Shared post-exchange handling: map error statuses, surface
+    /// malformed 200 bodies as transient transport damage.
+    fn parse_success<T>(
+        &mut self,
+        resp: Response,
+        parse: impl FnOnce(&str) -> Result<T, proto::WireError>,
+    ) -> Result<T, DbError> {
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        if resp.status != 200 {
+            let e = proto::parse_error_body(resp.status, &body);
+            return Err(e);
+        }
+        match parse(&body) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // A 200 with an unreadable body is transport damage:
+                // drop the stream and let the retry policy try again.
+                self.conn = None;
+                Err(DbError::Transient(format!("malformed response: {e}")))
+            }
+        }
+    }
+}
+
+fn kind_label(kind: ErrorKind) -> &'static str {
+    match kind {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => "timeout",
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            "connection reset"
+        }
+        ErrorKind::ConnectionRefused => "connection refused",
+        ErrorKind::UnexpectedEof => "connection closed mid-response",
+        ErrorKind::InvalidData => "malformed response",
+        _ => "io error",
+    }
+}
+
+impl HiddenDatabase for HttpDb {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn query(&mut self, q: &Query) -> Result<QueryOutcome, DbError> {
+        if self.retired {
+            return Err(self.retired_error());
+        }
+        // Local validation: charge-nothing InvalidQuery, same as the
+        // server would answer, without spending a round trip.
+        q.validate(&self.schema).map_err(DbError::InvalidQuery)?;
+        if let Some(limiter) = &mut self.limiter {
+            limiter.acquire(1.0);
+        }
+        let resp = match self.exchange("/query", &proto::query_body(q)) {
+            Ok(resp) => resp,
+            Err(e) => return Err(self.strike(e)),
+        };
+        match self.parse_success(resp, proto::parse_outcome_body) {
+            Ok(out) => {
+                self.consecutive_failures = 0;
+                self.issued += 1;
+                Ok(out)
+            }
+            Err(e) => Err(self.strike(e)),
+        }
+    }
+
+    /// All-or-nothing over the wire: one `/query_batch` round trip, all
+    /// outcomes or a single error — mirroring `ServerClient`, so batch
+    /// accounting reconciles identically to in-process serving.
+    fn query_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, DbError> {
+        if self.retired {
+            return Err(self.retired_error());
+        }
+        for q in queries {
+            q.validate(&self.schema).map_err(DbError::InvalidQuery)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(limiter) = &mut self.limiter {
+            limiter.acquire(queries.len() as f64);
+        }
+        let resp = match self.exchange("/query_batch", &proto::batch_body(queries)) {
+            Ok(resp) => resp,
+            Err(e) => return Err(self.strike(e)),
+        };
+        match self.parse_success(resp, |body| {
+            proto::parse_batch_outcome_body(body, queries.len())
+        }) {
+            Ok(outs) => {
+                self.consecutive_failures = 0;
+                self.issued += queries.len() as u64;
+                Ok(outs)
+            }
+            Err(e) => Err(self.strike(e)),
+        }
+    }
+
+    fn try_query_batch(&mut self, queries: &[Query]) -> (Vec<QueryOutcome>, Option<DbError>) {
+        match self.query_batch(queries) {
+            Ok(outs) => (outs, None),
+            Err(e) => (Vec::new(), Some(e)),
+        }
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.issued
+    }
+}

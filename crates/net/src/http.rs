@@ -1,0 +1,285 @@
+//! Minimal HTTP/1.1 framing over blocking streams — just enough for the
+//! loopback protocol: request line + headers + `Content-Length` body,
+//! keep-alive by default, no chunked encoding, hard limits everywhere.
+//!
+//! Both directions parse defensively (the corruption suite drives raw
+//! sockets against them): an over-long line, too many headers, a
+//! non-numeric or oversized `Content-Length`, or a truncated body is a
+//! clean [`std::io::Error`] with [`ErrorKind::InvalidData`] — never a
+//! panic, never an unbounded read.
+
+use std::io::{self, BufRead, ErrorKind, Write};
+
+/// Longest accepted request/status/header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted body, in bytes (a crawl batch response with
+/// `MAX_BATCH × k` tuples fits with two orders of magnitude to spare).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed request head + body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request path (`/query`, …), as sent.
+    pub path: String,
+    /// Raw body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response to send or a parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw body.
+    pub body: Vec<u8>,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE`].
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(invalid("truncated line (eof mid-line)"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let s = String::from_utf8(line)
+                        .map_err(|_| invalid("non-utf8 header line"))?;
+                    return Ok(Some(s));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(invalid("header line too long"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses `Content-Length` out of the header block, reading at most
+/// [`MAX_HEADERS`] lines. Rejects chunked transfer encoding.
+fn read_headers<R: BufRead>(r: &mut R) -> io::Result<usize> {
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(r)?.ok_or_else(|| invalid("eof in headers"))?;
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(invalid("malformed header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            let len: usize = value
+                .parse()
+                .map_err(|_| invalid("non-numeric content-length"))?;
+            if len > MAX_BODY {
+                return Err(invalid("body too large"));
+            }
+            content_length = len;
+        } else if name == "transfer-encoding" {
+            return Err(invalid("chunked transfer encoding not supported"));
+        }
+    }
+    Err(invalid("too many headers"))
+}
+
+fn read_body<R: BufRead>(r: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| match e.kind() {
+            ErrorKind::UnexpectedEof => invalid("truncated body"),
+            _ => e,
+        })?;
+    Ok(body)
+}
+
+/// Reads one request. `Ok(None)` on clean EOF before any byte (the
+/// peer closed an idle keep-alive connection).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(invalid("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported protocol version"));
+    }
+    let content_length = read_headers(r)?;
+    let body = read_body(r, content_length)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    }))
+}
+
+/// Reads one response (status line + headers + body).
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
+    let line = read_line(r)?.ok_or_else(|| invalid("connection closed before response"))?;
+    let mut parts = line.split_whitespace();
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => return Err(invalid("malformed status line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported protocol version"));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| invalid("non-numeric status code"))?;
+    let content_length = read_headers(r)?;
+    let body = read_body(r, content_length)?;
+    Ok(Response { status, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one request (always with a `Content-Length`, keep-alive).
+pub fn write_request<W: Write>(w: &mut W, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+    write!(
+        w,
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes one response; `close` adds `Connection: close`.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: application/json\r\n{}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+        if close { "Connection: close\r\n" } else { "" }
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(method: &str, path: &str, body: &[u8]) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, method, path, body).unwrap();
+        read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = roundtrip_request("POST", "/query", br#"{"q":["*"]}"#);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.body, br#"{"q":["*"]}"#);
+        let empty = roundtrip_request("GET", "/schema", b"");
+        assert!(empty.body.is_empty());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            &Response {
+                status: 503,
+                body: b"{}".to_vec(),
+            },
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn idle_eof_is_none_truncation_is_error() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+        for bad in [
+            &b"POST /query"[..],                                  // eof mid-line
+            &b"POST /query HTTP/1.1\r\n"[..],                     // eof in headers
+            &b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab"[..], // truncated body
+        ] {
+            assert!(read_request(&mut BufReader::new(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 1));
+        assert!(read_request(&mut BufReader::new(long_line.as_bytes())).is_err());
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            many_headers.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert!(read_request(&mut BufReader::new(many_headers.as_bytes())).is_err());
+
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(read_request(&mut BufReader::new(huge.as_bytes())).is_err());
+
+        let nan = "POST / HTTP/1.1\r\nContent-Length: seven\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(nan.as_bytes())).is_err());
+
+        let chunked = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(chunked.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn garbage_lines_are_clean_errors() {
+        for bad in [
+            &b"\xff\xfe\xfd\r\n\r\n"[..],
+            &b"ONEWORD\r\n\r\n"[..],
+            &b"GET / SPDY/9\r\n\r\n"[..],
+            &b"GET / HTTP/1.1 extra\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+        ] {
+            assert!(read_request(&mut BufReader::new(bad)).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The `hdc-wire` application protocol: JSON bodies over HTTP/1.1.
+//!
+//! # Endpoints
+//!
+//! | method · path | request body | success body |
+//! |---------------|--------------|--------------|
+//! | `GET /schema` | — | `{"format":"hdc-wire","version":1,"k":K,"n":N,"schema":[…]}` |
+//! | `POST /query` | `{"q":[pred,…]}` | `{"overflow":bool,"tuples":[[val,…],…]}` |
+//! | `POST /query_batch` | `{"qs":[[pred,…],…]}` | `{"outcomes":[outcome,…]}` |
+//! | `POST /shutdown` | — | `{"ok":true}` (then the server drains and exits) |
+//!
+//! # Tokens
+//!
+//! Values use the checkpoint format's compact tokens: `"c5"` is
+//! categorical value 5, `"i-7"` is numeric value −7. Predicates are
+//! `"*"` (any), `"=5"` (categorical equality), and `"lo..hi"`
+//! (inclusive numeric range). Schema attributes are
+//! `{"name":…,"cat":size}` or `{"name":…,"min":…,"max":…}`.
+//!
+//! # Errors
+//!
+//! A failed query returns the [`DbError::wire_status`] code with body
+//! `{"kind":…,"error":…}` (plus `"issued"`/`"limit"` for budget
+//! exhaustion, so [`DbError::BudgetExhausted`] round-trips
+//! field-exactly). [`parse_error_body`] restores the taxonomy on the
+//! client; anything unparseable degrades to the status class
+//! ([`DbError::status_is_transient`]).
+
+use hdc_types::{AttrKind, Attribute, DbError, Predicate, Query, QueryOutcome, Schema, Tuple, Value};
+
+use crate::json::{self, Json};
+
+/// Wire format identifier, checked on both ends.
+pub const FORMAT: &str = "hdc-wire";
+/// Wire format version, checked on both ends.
+pub const VERSION: i64 = 1;
+
+/// A malformed wire payload (either direction). The server answers 400;
+/// the client surfaces it as [`DbError::Transient`] only when retrying
+/// could help (it never does for a malformed *request*, so the client
+/// treats protocol violations from the server as transient transport
+/// damage instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<json::JsonError> for WireError {
+    fn from(e: json::JsonError) -> Self {
+        WireError(e.to_string())
+    }
+}
+
+fn wire_err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+// ---------------------------------------------------------------- values
+
+fn parse_value(tok: &str) -> Result<Value, WireError> {
+    let rest = tok.get(1..).unwrap_or("");
+    match tok.as_bytes().first() {
+        Some(b'c') => rest
+            .parse::<u32>()
+            .map(Value::Cat)
+            .map_err(|_| wire_err(format!("bad categorical token {tok:?}"))),
+        Some(b'i') => rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| wire_err(format!("bad numeric token {tok:?}"))),
+        _ => Err(wire_err(format!("bad value token {tok:?}"))),
+    }
+}
+
+// ------------------------------------------------------------ predicates
+
+fn predicate_token(p: &Predicate) -> String {
+    match p {
+        Predicate::Any => "*".to_string(),
+        Predicate::Eq(v) => format!("={v}"),
+        Predicate::Range { lo, hi } => format!("{lo}..{hi}"),
+    }
+}
+
+fn parse_predicate(tok: &str) -> Result<Predicate, WireError> {
+    if tok == "*" {
+        return Ok(Predicate::Any);
+    }
+    if let Some(rest) = tok.strip_prefix('=') {
+        return rest
+            .parse::<u32>()
+            .map(Predicate::Eq)
+            .map_err(|_| wire_err(format!("bad equality predicate {tok:?}")));
+    }
+    if let Some((lo, hi)) = tok.split_once("..") {
+        let lo = lo
+            .parse::<i64>()
+            .map_err(|_| wire_err(format!("bad range lower bound {tok:?}")))?;
+        let hi = hi
+            .parse::<i64>()
+            .map_err(|_| wire_err(format!("bad range upper bound {tok:?}")))?;
+        return Ok(Predicate::Range { lo, hi });
+    }
+    Err(wire_err(format!("bad predicate token {tok:?}")))
+}
+
+// --------------------------------------------------------------- queries
+
+/// Serializes a query as the `/query` request body.
+pub fn query_body(q: &Query) -> String {
+    format!("{{\"q\":{}}}", preds_json(q))
+}
+
+fn preds_json(q: &Query) -> String {
+    let toks: Vec<String> = q
+        .preds()
+        .iter()
+        .map(|p| json::quote(&predicate_token(p)))
+        .collect();
+    format!("[{}]", toks.join(","))
+}
+
+/// Serializes a batch as the `/query_batch` request body.
+pub fn batch_body(qs: &[Query]) -> String {
+    let items: Vec<String> = qs.iter().map(preds_json).collect();
+    format!("{{\"qs\":[{}]}}", items.join(","))
+}
+
+fn query_from_json(v: &Json) -> Result<Query, WireError> {
+    let preds = v
+        .as_arr()
+        .ok_or_else(|| wire_err("query must be an array of predicate tokens"))?
+        .iter()
+        .map(|t| {
+            t.as_str()
+                .ok_or_else(|| wire_err("predicate token must be a string"))
+                .and_then(parse_predicate)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Query::new(preds))
+}
+
+/// Parses a `/query` request body.
+pub fn parse_query_body(body: &str) -> Result<Query, WireError> {
+    let v = json::parse(body)?;
+    query_from_json(v.get("q").ok_or_else(|| wire_err("missing field q"))?)
+}
+
+/// Parses a `/query_batch` request body.
+pub fn parse_batch_body(body: &str) -> Result<Vec<Query>, WireError> {
+    let v = json::parse(body)?;
+    v.get("qs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing array field qs"))?
+        .iter()
+        .map(query_from_json)
+        .collect()
+}
+
+// -------------------------------------------------------------- outcomes
+
+/// Appends one value token (`"c5"` / `"i-7"`) to `out`. Tokens contain
+/// only `[ci0-9-]`, so no JSON escaping is ever needed.
+fn push_value_token(out: &mut String, v: Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::Cat(c) => {
+            let _ = write!(out, "\"c{c}\"");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "\"i{i}\"");
+        }
+    }
+}
+
+/// Appends a serialized outcome to `out` in canonical form (`overflow`
+/// first, no whitespace) — the form [`outcome_fast`] parses without
+/// building a tree. Outcome bodies are the hot path of the wire (every
+/// batch response carries up to `batch × k` tuples), so both directions
+/// avoid per-token allocation.
+fn push_outcome_json(out: &mut String, o: &QueryOutcome) {
+    out.push_str("{\"overflow\":");
+    out.push_str(if o.overflow { "true" } else { "false" });
+    out.push_str(",\"tuples\":[");
+    for (i, t) in o.tuples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in t.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_value_token(out, v);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+fn outcome_capacity(outs: &[&QueryOutcome]) -> usize {
+    outs.iter()
+        .map(|o| 32 + o.tuples.iter().map(|t| 4 + t.iter().count() * 16).sum::<usize>())
+        .sum()
+}
+
+/// Serializes a `/query` success response body.
+pub fn outcome_body(out: &QueryOutcome) -> String {
+    let mut s = String::with_capacity(outcome_capacity(&[out]));
+    push_outcome_json(&mut s, out);
+    s
+}
+
+/// Serializes a `/query_batch` success response body.
+pub fn batch_outcome_body(outs: &[QueryOutcome]) -> String {
+    let mut s = String::with_capacity(16 + outcome_capacity(&outs.iter().collect::<Vec<_>>()));
+    s.push_str("{\"outcomes\":[");
+    for (i, o) in outs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_outcome_json(&mut s, o);
+    }
+    s.push_str("]}");
+    s
+}
+
+// A strict cursor over the canonical serialization above. Any deviation
+// (whitespace, reordered fields, overlong numbers) returns `None` and
+// the caller falls back to the generic tree parser, so tolerance is
+// unchanged — canonical bodies just skip the per-token allocations.
+struct Cur<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(s: &'a str) -> Self {
+        Cur { b: s.as_bytes(), p: 0 }
+    }
+
+    fn eat(&mut self, lit: &[u8]) -> bool {
+        if self.b[self.p..].starts_with(lit) {
+            self.p += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.p).copied()
+    }
+
+    /// A decimal integer; bails (to the fallback) on overflow.
+    fn int(&mut self) -> Option<i64> {
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.p += 1;
+        }
+        let start = self.p;
+        let mut val: i64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            val = val.checked_mul(10)?.checked_add(i64::from(c - b'0'))?;
+            self.p += 1;
+        }
+        if self.p == start {
+            return None;
+        }
+        Some(if neg { -val } else { val })
+    }
+}
+
+fn value_fast(cur: &mut Cur) -> Option<Value> {
+    if !cur.eat(b"\"") {
+        return None;
+    }
+    let v = match cur.peek()? {
+        b'c' => {
+            cur.p += 1;
+            let d = cur.int()?;
+            Value::Cat(u32::try_from(d).ok()?)
+        }
+        b'i' => {
+            cur.p += 1;
+            Value::Int(cur.int()?)
+        }
+        _ => return None,
+    };
+    if !cur.eat(b"\"") {
+        return None;
+    }
+    Some(v)
+}
+
+fn outcome_fast(cur: &mut Cur) -> Option<QueryOutcome> {
+    if !cur.eat(b"{\"overflow\":") {
+        return None;
+    }
+    let overflow = if cur.eat(b"true") {
+        true
+    } else if cur.eat(b"false") {
+        false
+    } else {
+        return None;
+    };
+    if !cur.eat(b",\"tuples\":[") {
+        return None;
+    }
+    let mut tuples = Vec::new();
+    if !cur.eat(b"]") {
+        loop {
+            if !cur.eat(b"[") {
+                return None;
+            }
+            let mut vals = Vec::new();
+            if !cur.eat(b"]") {
+                loop {
+                    vals.push(value_fast(cur)?);
+                    if cur.eat(b",") {
+                        continue;
+                    }
+                    if cur.eat(b"]") {
+                        break;
+                    }
+                    return None;
+                }
+            }
+            tuples.push(Tuple::new(vals));
+            if cur.eat(b",") {
+                continue;
+            }
+            if cur.eat(b"]") {
+                break;
+            }
+            return None;
+        }
+    }
+    if !cur.eat(b"}") {
+        return None;
+    }
+    Some(QueryOutcome { tuples, overflow })
+}
+
+fn outcome_from_json(v: &Json) -> Result<QueryOutcome, WireError> {
+    let overflow = v
+        .get("overflow")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| wire_err("missing bool field overflow"))?;
+    let tuples = v
+        .get("tuples")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing array field tuples"))?
+        .iter()
+        .map(|row| {
+            let vals = row
+                .as_arr()
+                .ok_or_else(|| wire_err("tuple must be an array of value tokens"))?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .ok_or_else(|| wire_err("value token must be a string"))
+                        .and_then(parse_value)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Tuple::new(vals))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(QueryOutcome { tuples, overflow })
+}
+
+/// Parses a `/query` success response body. Canonical bodies (as
+/// [`outcome_body`] emits them) take the allocation-free fast path;
+/// anything else falls back to the generic JSON parser, so tolerance
+/// is identical.
+pub fn parse_outcome_body(body: &str) -> Result<QueryOutcome, WireError> {
+    let mut cur = Cur::new(body);
+    if let Some(out) = outcome_fast(&mut cur) {
+        if cur.p == cur.b.len() {
+            return Ok(out);
+        }
+    }
+    outcome_from_json(&json::parse(body)?)
+}
+
+fn batch_outcome_fast(body: &str) -> Option<Vec<QueryOutcome>> {
+    let mut cur = Cur::new(body);
+    if !cur.eat(b"{\"outcomes\":[") {
+        return None;
+    }
+    let mut outs = Vec::new();
+    if !cur.eat(b"]") {
+        loop {
+            outs.push(outcome_fast(&mut cur)?);
+            if cur.eat(b",") {
+                continue;
+            }
+            if cur.eat(b"]") {
+                break;
+            }
+            return None;
+        }
+    }
+    if !cur.eat(b"}") || cur.p != cur.b.len() {
+        return None;
+    }
+    Some(outs)
+}
+
+/// Parses a `/query_batch` success response body, checking the server
+/// answered exactly `expected` outcomes. Canonical bodies take the
+/// same fast path as [`parse_outcome_body`].
+pub fn parse_batch_outcome_body(
+    body: &str,
+    expected: usize,
+) -> Result<Vec<QueryOutcome>, WireError> {
+    if let Some(outs) = batch_outcome_fast(body) {
+        if outs.len() != expected {
+            return Err(wire_err(format!(
+                "batch answered {} outcomes for {} queries",
+                outs.len(),
+                expected
+            )));
+        }
+        return Ok(outs);
+    }
+    let v = json::parse(body)?;
+    let outs = v
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing array field outcomes"))?
+        .iter()
+        .map(outcome_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    if outs.len() != expected {
+        return Err(wire_err(format!(
+            "batch answered {} outcomes for {} queries",
+            outs.len(),
+            expected
+        )));
+    }
+    Ok(outs)
+}
+
+// ---------------------------------------------------------------- schema
+
+/// Serializes the `/schema` response body.
+pub fn schema_body(schema: &Schema, k: usize, n: usize) -> String {
+    let attrs: Vec<String> = schema
+        .attrs()
+        .iter()
+        .map(|a| match a.kind() {
+            AttrKind::Categorical { size } => {
+                format!("{{\"name\":{},\"cat\":{}}}", json::quote(a.name()), size)
+            }
+            AttrKind::Numeric { min, max } => format!(
+                "{{\"name\":{},\"min\":{},\"max\":{}}}",
+                json::quote(a.name()),
+                min,
+                max
+            ),
+        })
+        .collect();
+    format!(
+        "{{\"format\":{},\"version\":{},\"k\":{},\"n\":{},\"schema\":[{}]}}",
+        json::quote(FORMAT),
+        VERSION,
+        k,
+        n,
+        attrs.join(",")
+    )
+}
+
+/// The `/schema` response, parsed: the remote database's shape.
+#[derive(Debug, Clone)]
+pub struct SchemaInfo {
+    /// The attribute schema.
+    pub schema: Schema,
+    /// The server's top-`k` result limit.
+    pub k: usize,
+    /// Number of tuples on the server (informational).
+    pub n: usize,
+}
+
+fn int_field(v: &Json, key: &'static str) -> Result<i128, WireError> {
+    v.get(key)
+        .and_then(Json::as_int)
+        .ok_or_else(|| wire_err(format!("missing integer field {key}")))
+}
+
+/// Parses the `/schema` response body, checking format and version.
+pub fn parse_schema_body(body: &str) -> Result<SchemaInfo, WireError> {
+    let v = json::parse(body)?;
+    if v.get("format").and_then(Json::as_str) != Some(FORMAT) {
+        return Err(wire_err("not an hdc-wire schema document"));
+    }
+    if int_field(&v, "version")? != i128::from(VERSION) {
+        return Err(wire_err("unsupported hdc-wire version"));
+    }
+    let k = usize::try_from(int_field(&v, "k")?).map_err(|_| wire_err("bad k"))?;
+    let n = usize::try_from(int_field(&v, "n")?).map_err(|_| wire_err("bad n"))?;
+    let attrs = v
+        .get("schema")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing array field schema"))?
+        .iter()
+        .map(|a| {
+            let name = a
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| wire_err("attribute without a name"))?;
+            let kind = if let Some(size) = a.get("cat").and_then(Json::as_int) {
+                AttrKind::Categorical {
+                    size: u32::try_from(size).map_err(|_| wire_err("bad categorical size"))?,
+                }
+            } else {
+                AttrKind::Numeric {
+                    min: i64::try_from(int_field(a, "min")?).map_err(|_| wire_err("bad min"))?,
+                    max: i64::try_from(int_field(a, "max")?).map_err(|_| wire_err("bad max"))?,
+                }
+            };
+            Ok(Attribute::new(name, kind))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let schema = Schema::new(attrs).map_err(|e| wire_err(format!("invalid schema: {e}")))?;
+    Ok(SchemaInfo { schema, k, n })
+}
+
+// ---------------------------------------------------------------- errors
+
+/// Serializes a [`DbError`] as an error response body (paired with
+/// [`DbError::wire_status`] on the status line).
+pub fn error_body(e: &DbError) -> String {
+    match e {
+        DbError::InvalidQuery(se) => format!(
+            "{{\"kind\":\"invalid\",\"error\":{}}}",
+            json::quote(&se.to_string())
+        ),
+        DbError::BudgetExhausted { issued, limit } => format!(
+            "{{\"kind\":\"budget\",\"error\":\"query budget exhausted\",\"issued\":{issued},\"limit\":{limit}}}"
+        ),
+        DbError::Backend(msg) => {
+            format!("{{\"kind\":\"backend\",\"error\":{}}}", json::quote(msg))
+        }
+        DbError::Transient(msg) => {
+            format!("{{\"kind\":\"transient\",\"error\":{}}}", json::quote(msg))
+        }
+    }
+}
+
+/// Restores a [`DbError`] from an error response. Malformed bodies
+/// degrade gracefully to the status class: 5xx → transient, anything
+/// else → permanent backend rejection.
+///
+/// Note the one intentional asymmetry: an `"invalid"` body maps to
+/// [`DbError::Backend`], not [`DbError::InvalidQuery`], because
+/// [`SchemaError`](hdc_types::SchemaError)'s structured fields are not
+/// carried over the wire — and the client validates queries locally
+/// against the fetched schema before sending, so a well-behaved client
+/// never receives one.
+pub fn parse_error_body(status: u16, body: &str) -> DbError {
+    if let Ok(v) = json::parse(body) {
+        let msg = v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string();
+        match v.get("kind").and_then(Json::as_str) {
+            Some("budget") => {
+                if let (Some(issued), Some(limit)) = (
+                    v.get("issued").and_then(Json::as_int),
+                    v.get("limit").and_then(Json::as_int),
+                ) {
+                    if let (Ok(issued), Ok(limit)) = (u64::try_from(issued), u64::try_from(limit))
+                    {
+                        return DbError::BudgetExhausted { issued, limit };
+                    }
+                }
+                return DbError::Backend(msg);
+            }
+            Some("transient") => return DbError::Transient(msg),
+            Some("backend") | Some("invalid") => return DbError::Backend(msg),
+            _ => {}
+        }
+    }
+    if DbError::status_is_transient(status) {
+        DbError::Transient(format!("server answered {status}"))
+    } else {
+        DbError::Backend(format!("server answered {status}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::SchemaError;
+
+    fn mixed_schema() -> Schema {
+        Schema::builder()
+            .categorical("city \"quoted\"", 7)
+            .numeric("price", -50, 950)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Query::new(vec![
+            Predicate::Eq(3),
+            Predicate::Range { lo: -5, hi: 42 },
+        ]);
+        assert_eq!(parse_query_body(&query_body(&q)).unwrap(), q);
+        let qs = vec![q.clone(), Query::any(2)];
+        assert_eq!(parse_batch_body(&batch_body(&qs)).unwrap(), qs);
+    }
+
+    #[test]
+    fn outcome_round_trip() {
+        let out = QueryOutcome {
+            overflow: true,
+            tuples: vec![
+                Tuple::new(vec![Value::Cat(2), Value::Int(-9)]),
+                Tuple::new(vec![Value::Cat(0), Value::Int(7)]),
+            ],
+        };
+        assert_eq!(parse_outcome_body(&outcome_body(&out)).unwrap(), out);
+        let outs = vec![out.clone(), QueryOutcome::resolved(Vec::new())];
+        assert_eq!(
+            parse_batch_outcome_body(&batch_outcome_body(&outs), 2).unwrap(),
+            outs
+        );
+        assert!(parse_batch_outcome_body(&batch_outcome_body(&outs), 3).is_err());
+    }
+
+    #[test]
+    fn schema_round_trip_with_escaped_names() {
+        let schema = mixed_schema();
+        let info = parse_schema_body(&schema_body(&schema, 12, 345)).unwrap();
+        assert_eq!(info.schema, schema);
+        assert_eq!(info.k, 12);
+        assert_eq!(info.n, 345);
+    }
+
+    #[test]
+    fn errors_round_trip_the_taxonomy() {
+        let cases = [
+            DbError::BudgetExhausted {
+                issued: 41,
+                limit: 40,
+            },
+            DbError::Backend("banned \"hard\"".into()),
+            DbError::Transient("flap\n".into()),
+        ];
+        for e in cases {
+            let back = parse_error_body(e.wire_status(), &error_body(&e));
+            assert_eq!(back, e, "round trip of {e:?}");
+        }
+        // Invalid degrades to a permanent Backend (documented asymmetry).
+        let invalid = DbError::InvalidQuery(SchemaError::Empty);
+        let back = parse_error_body(invalid.wire_status(), &error_body(&invalid));
+        assert!(matches!(back, DbError::Backend(_)));
+        assert!(!back.is_transient());
+    }
+
+    #[test]
+    fn malformed_error_bodies_degrade_to_the_status_class() {
+        assert!(parse_error_body(503, "garbage").is_transient());
+        assert!(!parse_error_body(403, "garbage").is_transient());
+        assert!(parse_error_body(500, "{}").is_transient());
+    }
+
+    #[test]
+    fn malformed_payloads_are_clean_errors() {
+        for bad in [
+            "",
+            "{",
+            "{\"q\":5}",
+            "{\"q\":[\"~\"]}",
+            "{\"q\":[\"=x\"]}",
+            "{\"q\":[\"1..\"]}",
+            "{\"qs\":{}}",
+        ] {
+            assert!(parse_query_body(bad).is_err(), "query body {bad:?}");
+            assert!(parse_batch_body(bad).is_err(), "batch body {bad:?}");
+        }
+        for bad in ["", "{\"overflow\":1,\"tuples\":[]}", "{\"tuples\":[]}"] {
+            assert!(parse_outcome_body(bad).is_err(), "outcome body {bad:?}");
+        }
+        for bad in ["", "{}", "{\"format\":\"hdc-wire\",\"version\":99}"] {
+            assert!(parse_schema_body(bad).is_err(), "schema body {bad:?}");
+        }
+    }
+}

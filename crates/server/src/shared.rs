@@ -104,6 +104,21 @@ impl SharedServer {
         Budgeted::new(self.client(), limit)
     }
 
+    /// One boxed per-connection client, optionally budgeted: the serve
+    /// handler's seam. A wire front end (`hdc-net`) mints one of these
+    /// per accepted connection, giving every remote identity its own
+    /// isolated `ClientSession` — and its own quota — behind a uniform
+    /// type.
+    pub fn connection_client(
+        &self,
+        budget: Option<u64>,
+    ) -> Box<dyn HiddenDatabase + Send> {
+        match budget {
+            Some(limit) => Box::new(self.client_with_budget(limit)),
+            None => Box::new(self.client()),
+        }
+    }
+
     /// Number of tuples `n` in the shared store.
     pub fn n(&self) -> usize {
         self.core.n()

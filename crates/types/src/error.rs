@@ -127,6 +127,31 @@ impl DbError {
     pub fn is_transient(&self) -> bool {
         matches!(self, DbError::Transient(_))
     }
+
+    /// The HTTP-style status code this error maps to on a wire transport.
+    ///
+    /// This is the single source of truth both ends of the `hdc-net`
+    /// loopback protocol share, so the taxonomy survives a round trip:
+    /// invalid queries are client errors (400), an exhausted budget is
+    /// rate limiting (429), a permanent backend failure is a hard
+    /// rejection (403), and a transient one is a retryable server error
+    /// (503) — the one class [`DbError::is_transient`] admits back on the
+    /// client side.
+    pub fn wire_status(&self) -> u16 {
+        match self {
+            DbError::InvalidQuery(_) => 400,
+            DbError::BudgetExhausted { .. } => 429,
+            DbError::Backend(_) => 403,
+            DbError::Transient(_) => 503,
+        }
+    }
+
+    /// True when an HTTP-style status received over the wire denotes a
+    /// *transient* failure worth retrying (the inverse of
+    /// [`DbError::wire_status`] for the retryable class: any 5xx).
+    pub fn status_is_transient(status: u16) -> bool {
+        (500..600).contains(&status)
+    }
 }
 
 impl fmt::Display for DbError {
@@ -201,6 +226,27 @@ mod tests {
         let e = DbError::Transient("timeout".into());
         assert!(e.to_string().contains("transient"));
         assert!(e.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn wire_status_round_trips_the_taxonomy() {
+        assert_eq!(DbError::InvalidQuery(SchemaError::Empty).wire_status(), 400);
+        assert_eq!(
+            DbError::BudgetExhausted { issued: 1, limit: 1 }.wire_status(),
+            429
+        );
+        assert_eq!(DbError::Backend("banned".into()).wire_status(), 403);
+        assert_eq!(DbError::Transient("flap".into()).wire_status(), 503);
+        // Transience survives the mapping: exactly the 5xx class comes
+        // back retryable.
+        for e in [
+            DbError::InvalidQuery(SchemaError::Empty),
+            DbError::BudgetExhausted { issued: 1, limit: 1 },
+            DbError::Backend("banned".into()),
+            DbError::Transient("flap".into()),
+        ] {
+            assert_eq!(DbError::status_is_transient(e.wire_status()), e.is_transient());
+        }
     }
 
     #[test]

@@ -19,9 +19,11 @@
 use std::fmt::Display;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hidden_db_crawler::core::theory;
 use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
+use hidden_db_crawler::net::http;
 use hidden_db_crawler::prelude::*;
 
 /// Live crawl feedback on stderr: a progress line repainted in place
@@ -136,6 +138,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("datasets") => cmd_datasets(),
         Some("crawl") => cmd_crawl(&parse_flags(&args[1..])?),
         Some("barrier") => cmd_barrier(&parse_flags(&args[1..])?),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])?),
+        Some("stop") => cmd_stop(&parse_flags(&args[1..])?),
         Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
         Some("hard") => cmd_hard(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -164,6 +168,21 @@ fn print_usage() {
          \u{20}            [--sessions N] [--oversubscribe N]\n\
          \u{20}      Top-k-barrier crawl (second paper): recover the tuples\n\
          \u{20}      below the k-visible frontier and report discovery depths.\n\
+         \u{20}  hdc serve --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
+         \u{20}            [--addr HOST:PORT] [--budget N] [--fault-rate P]\n\
+         \u{20}            [--fault-seed N] [--fault-stall-ms N]\n\
+         \u{20}      Serve the dataset over loopback HTTP/1.1 (one isolated\n\
+         \u{20}      client identity per connection; --budget is a per-\n\
+         \u{20}      connection quota; --fault-rate injects deterministic 503s\n\
+         \u{20}      seeded by --fault-seed, stalling --fault-stall-ms first).\n\
+         \u{20}      Stops gracefully on `hdc stop`, draining live requests.\n\
+         \u{20}  hdc stop --connect URL\n\
+         \u{20}      Ask a running `hdc serve` to drain and exit.\n\
+         \u{20}  hdc crawl --connect URL ... / hdc barrier --connect URL ...\n\
+         \u{20}      Crawl a served database over the wire instead of\n\
+         \u{20}      in-process (URL = [http://]host:port; schema and k are\n\
+         \u{20}      fetched from the server; add [--timeout-ms N] [--qps F\n\
+         \u{20}      [--burst F]] [--retire-after N] for client health knobs).\n\
          \u{20}  hdc sweep --dataset <name> --algos a,b,c [--ks 64,128,...]\n\
          \u{20}            [--seed N] [--scale PCT]\n\
          \u{20}      Cost table across algorithms and k values.\n\
@@ -314,6 +333,9 @@ fn strategy_for(algo: &str) -> Result<Strategy<'static>, String> {
 }
 
 fn cmd_crawl(flags: &Flags) -> Result<(), String> {
+    if flags.get("connect").is_some() {
+        return cmd_crawl_connect(flags);
+    }
     let dataset = flags.require("dataset")?.to_string();
     let algo = flags.require("algo")?.to_string();
     let k: usize = flags.parse("k", 256)?;
@@ -564,6 +586,9 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_barrier(flags: &Flags) -> Result<(), String> {
+    if flags.get("connect").is_some() {
+        return cmd_barrier_connect(flags);
+    }
     let dataset = flags.require("dataset")?.to_string();
     let k: usize = flags.parse("k", 256)?;
     let seed: u64 = flags.parse("seed", 42)?;
@@ -690,6 +715,246 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
             );
             Ok(())
         }
+    }
+}
+
+// ----------------------------------------------------------------- wire --
+
+/// Builds the wire-client connector from `--connect` plus the client
+/// health knobs (`--timeout-ms`, `--qps`/`--burst`, `--retire-after`).
+fn make_connector(flags: &Flags) -> Result<HttpConnector, String> {
+    let url = flags.require("connect")?;
+    let timeout_ms: u64 = flags.parse("timeout-ms", 5_000)?;
+    let retire: u32 = flags.parse("retire-after", 8)?;
+    let qps: f64 = flags.parse("qps", 0.0)?;
+    let mut connector = HttpConnector::new(url)
+        .map_err(|e| format!("--connect {url}: {e}"))?
+        .timeout(Duration::from_millis(timeout_ms.max(1)))
+        .retire_after(retire);
+    if qps > 0.0 {
+        let burst: f64 = flags.parse("burst", qps.max(1.0))?;
+        connector = connector.rate_limit(qps, burst);
+    }
+    Ok(connector)
+}
+
+/// `hdc crawl --connect URL`: the sharded crawl, but every identity is a
+/// wire connection to a served database. Schema and `k` come from the
+/// server; there is no local ground truth, so completeness is checked
+/// against the server's advertised tuple count instead of a multiset.
+fn cmd_crawl_connect(flags: &Flags) -> Result<(), String> {
+    let algo = flags.get("algo").unwrap_or("auto").to_string();
+    let sessions: usize = flags.parse("sessions", 1)?;
+    let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
+    let budget: u64 = flags.parse("budget", u64::MAX)?;
+    let retries: u32 = flags.parse("retries", 1)?;
+    if retries == 0 {
+        return Err("--retries must be ≥ 1 (1 = no retries)".into());
+    }
+    if sessions == 0 {
+        return Err("--sessions must be ≥ 1".into());
+    }
+    if oversubscribe == 0 {
+        return Err("--oversubscribe must be ≥ 1".into());
+    }
+    if flags.get("oracle").is_some() || flags.get("target").is_some() {
+        return Err("--connect crawls do not support --oracle/--target".into());
+    }
+    if flags.get("checkpoint").is_some() && flags.get("resume").is_some() {
+        return Err("--checkpoint and --resume are the same file; pass one".into());
+    }
+    if let Some(path) = flags.get("resume") {
+        if !std::path::Path::new(path).exists() {
+            return Err(format!("--resume {path}: no checkpoint file found"));
+        }
+    }
+    let checkpoint = flags
+        .get("resume")
+        .or_else(|| flags.get("checkpoint"))
+        .map(str::to_string);
+
+    let connector = make_connector(flags)?;
+    let info = connector.info().clone();
+    println!(
+        "remote database at {} — n = {}, d = {}, k = {}",
+        connector.addr(),
+        info.n,
+        info.schema.arity(),
+        info.k
+    );
+    let strategy = strategy_for(&algo)?;
+    if !strategy.supports_sharded(&info.schema) {
+        return Err(format!(
+            "{algo} has no sharded execution on the remote schema (use auto, \
+             hybrid, rank-shrink on numeric, or lazy-slice-cover on \
+             categorical data)"
+        ));
+    }
+    let mut observer = CliObserver::new(None);
+    let mut repo_store;
+    let mut builder = Crawl::builder()
+        .strategy(strategy)
+        .sessions(sessions)
+        .oversubscribe(oversubscribe)
+        .observer(&mut observer);
+    if budget != u64::MAX {
+        builder = builder.budget(budget);
+    }
+    if retries > 1 {
+        builder = builder.retry(RetryPolicy::new(retries));
+    }
+    if let Some(path) = &checkpoint {
+        repo_store = JsonFileRepository::new(path);
+        builder = builder.repository(&mut repo_store);
+    }
+    let result = builder.run_sharded(connector);
+    observer.finish();
+    let report = match result {
+        Ok(report) => report,
+        Err(CrawlError::Db { error, partial }) => {
+            println!(
+                "stopped: {error} — {} tuples salvaged in {} queries",
+                partial.tuples.len(),
+                partial.queries
+            );
+            if let Some(path) = &checkpoint {
+                println!("checkpoint retained — rerun with --resume {path}");
+            }
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    println!(
+        "crawled {} tuples over the wire in {} queries \
+         ({} shards, {} stolen, busiest session {})",
+        report.merged.tuples.len(),
+        report.merged.queries,
+        report.shards.len(),
+        report.steals(),
+        report.max_session_queries()
+    );
+    if report.merged.tuples.len() == info.n {
+        println!("complete: tuple count matches the server's advertised n = {}", info.n);
+    } else {
+        println!(
+            "INCOMPLETE: {} tuples vs server-advertised n = {}",
+            report.merged.tuples.len(),
+            info.n
+        );
+    }
+    Ok(())
+}
+
+/// `hdc barrier --connect URL`: the sharded barrier crawl over the wire.
+fn cmd_barrier_connect(flags: &Flags) -> Result<(), String> {
+    let sessions: usize = flags.parse("sessions", 1)?;
+    let oversubscribe: usize = flags.parse("oversubscribe", 1)?;
+    if sessions == 0 {
+        return Err("--sessions must be ≥ 1".into());
+    }
+    if oversubscribe == 0 {
+        return Err("--oversubscribe must be ≥ 1".into());
+    }
+    let connector = make_connector(flags)?;
+    let info = connector.info().clone();
+    println!(
+        "remote database at {} — n = {}, d = {}, k = {}",
+        connector.addr(),
+        info.n,
+        info.schema.arity(),
+        info.k
+    );
+    let crawler = BarrierCrawler::new();
+    let mut observer = CliObserver::new(None);
+    let result = crawler.crawl_sharded_observed(
+        Sharded::new(sessions).oversubscribed(oversubscribe),
+        |s| connector.db(s),
+        Some(&mut observer),
+    );
+    observer.finish();
+    let report = result.map_err(|e| e.to_string())?;
+    println!(
+        "sharded barrier over {sessions} wire sessions ({} shards, {} stolen): \
+         {} total queries, {} tuples",
+        report.sharded.shards.len(),
+        report.sharded.steals(),
+        report.sharded.merged.queries,
+        report.sharded.merged.tuples.len()
+    );
+    println!(
+        "merged depths: frontier {} / beyond {} (max depth {}, mean {:.2})",
+        report.frontier(),
+        report.beyond_frontier(),
+        report.max_depth,
+        report.mean_depth()
+    );
+    Ok(())
+}
+
+/// `hdc serve`: expose a dataset over loopback HTTP/1.1 until an
+/// `hdc stop` (or a client's `POST /shutdown`) drains it.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let dataset = flags.require("dataset")?.to_string();
+    let k: usize = flags.parse("k", 256)?;
+    let seed: u64 = flags.parse("seed", 42)?;
+    let scale: u32 = flags.parse("scale", 100)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7171");
+    let budget: u64 = flags.parse("budget", 0)?;
+    let fault_rate: f64 = flags.parse("fault-rate", 0.0)?;
+    let fault_seed: u64 = flags.parse("fault-seed", 0)?;
+    let stall_ms: u64 = flags.parse("fault-stall-ms", 0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err("--fault-rate must be within 0..=1".into());
+    }
+    let ds = load_dataset(&dataset, scale, seed)?;
+    let shared = SharedServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig { k, seed })
+        .expect("valid dataset");
+    let opts = ServeOptions {
+        budget: (budget > 0).then_some(budget),
+        faults: (fault_rate > 0.0).then(|| FaultPlan {
+            rate: fault_rate,
+            seed: fault_seed,
+            stall: (stall_ms > 0).then(|| Duration::from_millis(stall_ms)),
+        }),
+    };
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {} (n = {}, k = {k}) — listening on {local}",
+        ds.name,
+        ds.n()
+    );
+    let _ = std::io::stdout().flush();
+    let cancel = CancelToken::new();
+    let stats = serve(listener, shared, opts, &cancel).map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} requests over {} connections ({} faults injected)",
+        stats.requests, stats.connections, stats.faults_injected
+    );
+    Ok(())
+}
+
+/// `hdc stop --connect URL`: graceful remote shutdown.
+fn cmd_stop(flags: &Flags) -> Result<(), String> {
+    let url = flags.require("connect")?;
+    let addr = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    http::write_request(&mut &stream, "POST", "/shutdown", b"").map_err(|e| e.to_string())?;
+    let resp = http::read_response(&mut std::io::BufReader::new(stream))
+        .map_err(|e| e.to_string())?;
+    if resp.status == 200 {
+        println!("server at {addr} is draining");
+        Ok(())
+    } else {
+        Err(format!("server answered {}", resp.status))
     }
 }
 

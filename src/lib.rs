@@ -19,7 +19,10 @@
 //!   the `binary-shrink`/`DFS` baselines;
 //! * [`barrier`] — the second paper's crawler (Thirumuruganathan, Zhang &
 //!   Das): rank-inference crawling beyond the k-visible frontier, with
-//!   per-tuple discovery depths.
+//!   per-tuple discovery depths;
+//! * [`net`] — the offline wire layer: serve a [`server::SharedServer`]
+//!   over loopback HTTP/1.1 (`hdc serve`) and crawl it remotely through
+//!   [`net::HttpConnector`], with the same bit-identical results.
 //!
 //! ## Quick start
 //!
@@ -68,6 +71,7 @@
 pub use hdc_barrier as barrier;
 pub use hdc_core as core;
 pub use hdc_data as data;
+pub use hdc_net as net;
 pub use hdc_server as server;
 pub use hdc_types as types;
 
@@ -75,14 +79,15 @@ pub use hdc_types as types;
 pub mod prelude {
     pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery, ShardedBarrierReport};
     pub use hdc_core::{
-        verify_complete, BinaryShrink, CancelToken, Crawl, CrawlBuilder, CrawlCheckpoint,
-        CrawlControls, CrawlError, CrawlMetrics, CrawlObserver, CrawlReport, CrawlRepository,
-        Crawler, DatasetOracle, Dfs, Flow, Hybrid, JsonFileRepository, MemoryRepository,
-        PairRuleOracle, ProgressPoint, ProgressRecorder, RankShrink, RetryPolicy, SessionConfig,
-        ShardCrawler, ShardEvent, ShardSnapshot, Sharded, ShardedReport, SliceCover, Strategy,
-        TaskSource, ValidityOracle,
+        verify_complete, BinaryShrink, CancelToken, Connector, Crawl, CrawlBuilder,
+        CrawlCheckpoint, CrawlControls, CrawlError, CrawlMetrics, CrawlObserver, CrawlReport,
+        CrawlRepository, Crawler, DatasetOracle, Dfs, FaultHistory, Flow, Hybrid,
+        JsonFileRepository, MemoryRepository, PairRuleOracle, ProgressPoint, ProgressRecorder,
+        RankShrink, RetryPolicy, SessionConfig, ShardCrawler, ShardEvent, ShardSnapshot, Sharded,
+        ShardedReport, SliceCover, Strategy, TaskSource, ValidityOracle,
     };
     pub use hdc_data::{Dataset, DatasetStats};
+    pub use hdc_net::{serve, FaultPlan, HttpConnector, HttpDb, ServeOptions, WireServer};
     pub use hdc_server::{Budgeted, HiddenDbServer, ServerClient, ServerConfig, SharedServer};
     pub use hdc_types::{
         AttrKind, DbError, FaultConfig, FaultyDb, HiddenDatabase, Predicate, Query, QueryOutcome,
