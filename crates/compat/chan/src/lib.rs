@@ -1,0 +1,307 @@
+//! A minimal **bounded MPSC channel**, vendored because this workspace
+//! builds with no registry access (no `crossbeam-channel`; see
+//! `crates/compat/README.md`). `std::sync::mpsc::SyncSender` exists but
+//! its sender is `!Sync`, which rules it out for the one use this
+//! workspace has: many work-stealing pool workers streaming crawl
+//! events through a closure that must be `Sync` (`workpool` shares the
+//! task closure by reference across worker threads).
+//!
+//! Semantics, chosen for that use:
+//!
+//! * **Bounded + blocking**: [`Sender::send`] blocks while the queue
+//!   holds `capacity` items. A slow consumer therefore applies
+//!   *backpressure* — producers stall, nothing is ever dropped and
+//!   nothing is buffered without bound.
+//! * **Multi-producer, single-consumer**: senders clone; the receiver
+//!   does not. [`Receiver::recv`] returns items in send order per
+//!   producer (global FIFO over the queue).
+//! * **Disconnect-aware**: `send` fails only when the receiver is gone
+//!   (returning the unsent value); `recv` fails only when the queue is
+//!   empty *and* every sender is gone. Dropping endpoints never loses
+//!   queued items.
+//!
+//! Implementation: one `Mutex<VecDeque>` plus two condvars. Both
+//! endpoints take `&self` on their operations, so [`Sender`] is
+//! `Send + Sync` (shareable by reference from a `Sync` closure) and can
+//! also be cloned per producer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The error of [`Sender::send`]: the receiver was dropped. Carries the
+/// value back so the caller can salvage it.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a channel whose receiver was dropped")
+    }
+}
+
+/// The error of [`Receiver::recv`]: the queue is empty and every sender
+/// was dropped — no further item can ever arrive.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on a channel whose senders were all dropped")
+    }
+}
+
+/// Shared state of one channel.
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the queue shrinks or the receiver drops.
+    not_full: Condvar,
+    /// Signalled when the queue grows or the last sender drops.
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Creates a bounded channel holding at most `capacity ≥ 1` in-flight
+/// items.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "channel capacity must be at least 1");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+/// The producing endpoint. Clonable (multi-producer) and `Sync` — a
+/// single `Sender` may also be shared by reference across threads.
+pub struct Sender<T>(Arc<Inner<T>>);
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full. Returns
+    /// `Err` (with the value) only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().expect("channel poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.0.capacity {
+                state.queue.push_back(value);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.0.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().expect("channel poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake a receiver blocked in recv so it can observe the
+            // disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+/// The consuming endpoint (single-consumer; not clonable).
+pub struct Receiver<T>(Arc<Inner<T>>);
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest item, blocking while the channel is empty.
+    /// Returns `Err` only once the queue is drained *and* every sender
+    /// was dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.0.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.0.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item without blocking; `Ok(None)` means the
+    /// channel is currently empty but senders remain.
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        let mut state = self.0.state.lock().expect("channel poisoned");
+        if let Some(value) = state.queue.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(Some(value));
+        }
+        if state.senders == 0 {
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("channel poisoned");
+        state.receiver_alive = false;
+        // Wake every sender blocked on a full queue so they can fail.
+        self.0.not_full.notify_all();
+    }
+}
+
+// The point of vendoring: a Sender shared by reference from a Sync
+// closure (workpool's task closure) must be Sync. Compile-time proof.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Sender<u64>>();
+    assert_send_sync::<Receiver<u64>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn items_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    /// The backpressure contract: a slow consumer stalls producers at
+    /// the capacity bound — nothing is dropped, nothing deadlocks, and
+    /// the queue never holds more than `capacity` items.
+    #[test]
+    fn slow_consumer_stalls_producers_without_dropping() {
+        const CAP: usize = 2;
+        const ITEMS: usize = 50;
+        let (tx, rx) = bounded(CAP);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let sent = Arc::clone(&sent);
+            std::thread::spawn(move || {
+                for i in 0..ITEMS {
+                    tx.send(i).unwrap();
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        // Let the producer run ahead: it must stall at CAP enqueued
+        // (consumer hasn't taken anything yet).
+        for _ in 0..200 {
+            if sent.load(Ordering::SeqCst) >= CAP {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            sent.load(Ordering::SeqCst),
+            CAP,
+            "producer ran past the capacity bound"
+        );
+        // Slowly drain: every item arrives, in order.
+        let mut got = Vec::new();
+        for _ in 0..ITEMS {
+            std::thread::sleep(Duration::from_millis(1));
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..ITEMS).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded(3);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    tx.send(p * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> =
+            (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send_and_returns_the_value() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(2), Err(SendError(2)));
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_a_full_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_vs_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(Some(7)));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(RecvError));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+}

@@ -59,6 +59,7 @@ pub mod categorical;
 pub mod connector;
 pub mod crawler;
 pub mod dependency;
+pub mod events;
 pub mod hybrid;
 pub mod numeric;
 pub mod orchestrate;
@@ -75,6 +76,7 @@ pub use categorical::slice_cover::SliceCover;
 pub use connector::Connector;
 pub use crawler::Crawler;
 pub use dependency::{DatasetOracle, PairRuleOracle, ValidityOracle};
+pub use events::{ChannelObserver, EventSink, SessionEvent, EVENT_CHANNEL_CAPACITY};
 pub use hybrid::Hybrid;
 pub use numeric::binary_shrink::BinaryShrink;
 pub use numeric::rank_shrink::RankShrink;

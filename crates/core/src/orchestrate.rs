@@ -71,11 +71,18 @@
 //! spending*, not *discard work*.
 //!
 //! Sharded crawls run their per-shard sessions on worker threads where a
-//! `&mut` observer cannot follow; instead the merge path (which combines
-//! shard results in deterministic plan order) fires one
-//! [`CrawlObserver::on_shard`] per completed shard. Stopping there keeps
-//! the merged accounting truthful — the cost of every shard is absorbed —
-//! but only the tuples merged so far are kept (see
+//! `&mut` observer cannot follow directly; each worker session instead
+//! streams its events through a bounded channel ([`crate::events`]) that
+//! the driver drains into the observer *live*, while shards run —
+//! within-shard `on_query`/`on_tuples`/`on_progress` events are no
+//! longer a solo-only feature (progress points arrive aggregated into
+//! crawl-wide totals). The merge path (which combines shard results in
+//! deterministic plan order) additionally fires one
+//! [`CrawlObserver::on_shard`] per completed shard. A [`Flow::Stop`]
+//! from a live event trips the crawl's [`CancelToken`], halting every
+//! in-flight shard before its next query; stopping from `on_shard`
+//! keeps the merged accounting truthful — the cost of every shard is
+//! absorbed — but only the tuples merged so far are kept (see
 //! [`Sharded::crawl_observed`]).
 
 use hdc_types::{Budgeted, HiddenDatabase, Query, QueryOutcome, Schema, Tuple};
@@ -595,6 +602,7 @@ impl<'a> CrawlBuilder<'a> {
             retry: self.retry.clone(),
             cancel: self.cancel,
             fault_history: None,
+            events: None,
         };
         match self.budget {
             Some(limit) => {
@@ -733,17 +741,20 @@ fn run_solo_checkpointed(
     controls: CrawlControls<'_>,
 ) -> Result<ShardedReport, CrawlError> {
     if let Strategy::Custom(c) = strategy {
+        // A custom crawler manages its own sessions; the driver's
+        // within-shard observer cannot be threaded inside it (it still
+        // gets the per-shard merge events).
         return sharded.crawl_sequential_controlled(
             schema,
             db,
-            |spec, db, config| c.crawl_spec_configured(db, schema, spec, config),
+            |spec, db, config, _observer| c.crawl_spec_configured(db, schema, spec, config),
             controls,
         );
     }
     sharded.crawl_sequential_controlled(
         schema,
         db,
-        |spec, db, config| spec.crawl_configured(db, schema, config),
+        |spec, db, config, observer| spec.crawl_observed_configured(db, schema, config, observer),
         controls,
     )
 }

@@ -7,7 +7,7 @@ use hdc_types::{DbError, Query, Tuple};
 /// One point of the progressiveness curve: after `queries` queries, the
 /// crawler had output `tuples` tuples (Figure 13 plots exactly this,
 /// normalized to percentages).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ProgressPoint {
     /// Queries issued so far.
     pub queries: u64,

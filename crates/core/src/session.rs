@@ -11,9 +11,13 @@
 //! termination — see the [`crate::orchestrate`] module docs for the
 //! exact semantics).
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple};
 
 use crate::dependency::ValidityOracle;
+use crate::events::{ChannelObserver, EventSink};
 use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ProgressRecorder};
 use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 use crate::retry::{FaultHistory, RetryPolicy};
@@ -43,6 +47,13 @@ pub struct SessionConfig<'c> {
     /// same identity. `None` (the default) scopes burst memory to the
     /// individual session.
     pub fault_history: Option<&'c FaultHistory>,
+    /// Live event streaming for sessions no `&mut` observer can reach
+    /// (pool workers): when set — and no direct observer is attached —
+    /// [`run_crawl_configured`] installs a [`ChannelObserver`] proxy that
+    /// clones the session's events into this sink's bounded channel. See
+    /// [`crate::events`] for the semantics (inert, backpressured,
+    /// self-terminating).
+    pub events: Option<EventSink>,
 }
 
 /// Abort signal raised inside an algorithm body; the session converts it
@@ -58,6 +69,50 @@ pub enum Abort {
     /// to issue further queries, and the crawl unwinds with
     /// [`CrawlError::Stopped`] carrying everything extracted so far.
     Stopped,
+}
+
+/// Process-wide session telemetry, resolved once so the hot query path
+/// never takes the registry lock. Every observation is additionally
+/// gated on [`hdc_obs::enabled`], keeping a disabled crawl free of even
+/// the atomic adds.
+struct SessionMetrics {
+    /// `hdc_session_queries_charged_total`.
+    charged: Arc<hdc_obs::Counter>,
+    /// `hdc_session_transient_retries_total`.
+    retries: Arc<hdc_obs::Counter>,
+    /// `hdc_session_batch_seconds`: wall time per database round trip.
+    batch_wall: Arc<hdc_obs::Histogram>,
+    /// `hdc_session_batch_size`: queries per database round trip.
+    batch_size: Arc<hdc_obs::Histogram>,
+}
+
+fn session_metrics() -> &'static SessionMetrics {
+    static METRICS: OnceLock<SessionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = hdc_obs::registry();
+        SessionMetrics {
+            charged: r.counter(
+                "hdc_session_queries_charged_total",
+                "Queries charged to crawl sessions by the hidden database",
+            ),
+            retries: r.counter(
+                "hdc_session_transient_retries_total",
+                "Transient database faults absorbed by session retry policies",
+            ),
+            batch_wall: r.histogram(
+                "hdc_session_batch_seconds",
+                "Wall time of database round trips issued by crawl sessions",
+                hdc_obs::latency_bounds(),
+                hdc_obs::Unit::Nanos,
+            ),
+            batch_size: r.histogram(
+                "hdc_session_batch_size",
+                "Queries per database round trip",
+                hdc_obs::depth_bounds(),
+                hdc_obs::Unit::Count,
+            ),
+        }
+    })
 }
 
 /// The batch window algorithms should use when they have many siblings
@@ -207,8 +262,17 @@ impl<'a> Session<'a> {
         let mut attempt = 1u32;
         let mut widen = 0u32;
         let out = loop {
+            let timer = hdc_obs::enabled().then(Instant::now);
             match self.db.query(q) {
-                Ok(out) => break out,
+                Ok(out) => {
+                    if let Some(start) = timer {
+                        let m = session_metrics();
+                        m.batch_wall.observe_duration(start.elapsed());
+                        m.batch_size.observe(1);
+                        m.charged.inc();
+                    }
+                    break out;
+                }
                 Err(e) if e.is_transient() && attempt < self.retry.max_attempts() => {
                     if self.cancelled() {
                         return Err(Abort::Stopped);
@@ -220,6 +284,9 @@ impl<'a> Session<'a> {
                         self.record_burst();
                     }
                     self.metrics.transient_retries += 1;
+                    if hdc_obs::enabled() {
+                        session_metrics().retries.inc();
+                    }
                     self.retry.pause_widened(attempt, self.queries, widen);
                     attempt += 1;
                 }
@@ -323,7 +390,13 @@ impl<'a> Session<'a> {
         loop {
             let before = self.db.queries_issued();
             let suffix = &queries[outs.len()..];
+            let timer = hdc_obs::enabled().then(Instant::now);
             let (answered, error) = self.db.try_query_batch(suffix);
+            if let Some(start) = timer {
+                let m = session_metrics();
+                m.batch_wall.observe_duration(start.elapsed());
+                m.batch_size.observe(suffix.len() as u64);
+            }
             let progressed = !answered.is_empty();
             for (q, out) in suffix.iter().zip(&answered) {
                 self.queries += 1;
@@ -346,6 +419,11 @@ impl<'a> Session<'a> {
                 self.queries += charged - answered.len() as u64;
                 self.push_progress();
             }
+            if hdc_obs::enabled() {
+                session_metrics()
+                    .charged
+                    .add(charged.max(answered.len() as u64));
+            }
             outs.extend(answered);
             match error {
                 None => return Ok(outs),
@@ -367,6 +445,9 @@ impl<'a> Session<'a> {
                         self.record_burst();
                     }
                     self.metrics.transient_retries += 1;
+                    if hdc_obs::enabled() {
+                        session_metrics().retries.inc();
+                    }
                     self.retry.pause_widened(attempt, self.queries, widen);
                     attempt += 1;
                 }
@@ -475,23 +556,37 @@ where
     run_crawl_configured(algorithm, db, oracle, observer, SessionConfig::default(), body)
 }
 
-/// [`run_crawl_observed`] with a [`SessionConfig`] — retry policy and
-/// cancellation token — threaded into the session. The fully general
-/// driver: every other `run_crawl*` entry point delegates here, and
-/// [`crate::Crawler::crawl_configured`] is how the orchestration layer
-/// reaches it for any algorithm.
+/// [`run_crawl_observed`] with a [`SessionConfig`] — retry policy,
+/// cancellation token, and event sink — threaded into the session. The
+/// fully general driver: every other `run_crawl*` entry point delegates
+/// here, and [`crate::Crawler::crawl_configured`] is how the
+/// orchestration layer reaches it for any algorithm.
+///
+/// When the config carries an [`EventSink`] and no direct observer is
+/// attached, the session is driven by a [`ChannelObserver`] proxy that
+/// streams its events into the sink — this is how per-shard sessions on
+/// pool worker threads reach the crawl's single observer live (see
+/// [`crate::events`]). A direct observer takes precedence: the sink is
+/// dropped, not teed.
 pub fn run_crawl_configured<'a, 'o: 'a, F>(
     algorithm: &'static str,
     db: &'a mut dyn HiddenDatabase,
     oracle: Option<&'a dyn ValidityOracle>,
     observer: Option<&'o mut dyn CrawlObserver>,
-    config: SessionConfig<'a>,
+    mut config: SessionConfig<'a>,
     body: F,
 ) -> Result<CrawlReport, CrawlError>
 where
     F: FnOnce(&mut Session<'_>) -> Result<(), Abort>,
 {
-    let observer = observer.map(|o| o as &mut dyn CrawlObserver);
+    let mut proxy = match &observer {
+        Some(_) => None,
+        None => config.events.take().map(ChannelObserver::new),
+    };
+    let observer: Option<&mut dyn CrawlObserver> = match observer {
+        Some(o) => Some(o as &mut dyn CrawlObserver),
+        None => proxy.as_mut().map(|p| p as &mut dyn CrawlObserver),
+    };
     let mut session = Session::new(algorithm, db, oracle, observer, config);
     match body(&mut session) {
         Ok(()) => Ok(session.finish()),
@@ -854,6 +949,7 @@ mod tests {
             retry: policy,
             cancel: None,
             fault_history: Some(&history),
+            events: None,
         };
         let mut db = ScriptedDb::new(vec![1]);
         run_crawl_configured("t", &mut db, None, None, config, |s| {

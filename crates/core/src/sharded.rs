@@ -73,9 +73,10 @@ use hdc_types::{AttrKind, DbError, HiddenDatabase, Predicate, Query, Schema};
 pub use workpool::{PoolStats, Source as TaskSource, Verdict, WorkerStats};
 
 use crate::categorical::slice_cover::{extended_dfs_from, DfsRoot, LeafMode, SliceTable};
+use crate::events::{EventSink, SessionEvent, EVENT_CHANNEL_CAPACITY};
 use crate::numeric::rank_shrink::RankShrink;
 use crate::orchestrate::{CancelToken, CrawlObserver, Flow, ShardEvent};
-use crate::report::{CrawlError, CrawlMetrics, CrawlReport};
+use crate::report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 use crate::repository::{CrawlCheckpoint, CrawlRepository, ShardSnapshot};
 use crate::retry::{FaultHistory, RetryPolicy};
 use crate::session::{run_crawl_configured, SessionConfig};
@@ -234,10 +235,26 @@ impl ShardSpec {
         schema: &Schema,
         config: SessionConfig<'_>,
     ) -> Result<CrawlReport, CrawlError> {
+        self.crawl_observed_configured(db, schema, config, None)
+    }
+
+    /// [`ShardSpec::crawl_configured`] with a direct [`CrawlObserver`]
+    /// on the shard's session — the path the sequential (solo
+    /// checkpointed) driver uses to stream within-shard events without a
+    /// channel. Pool workers instead stream through the config's
+    /// [`crate::EventSink`], which [`run_crawl_configured`] turns into a
+    /// proxy observer when this argument is `None`.
+    pub fn crawl_observed_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        config: SessionConfig<'_>,
+        observer: Option<&mut dyn CrawlObserver>,
+    ) -> Result<CrawlReport, CrawlError> {
         let cat_dims = schema.cat_indices();
         let num_dims = schema.num_indices();
         let rank = RankShrink::new();
-        run_crawl_configured("sharded-hybrid", db, None, None, config, |session| match self {
+        run_crawl_configured("sharded-hybrid", db, None, observer, config, |session| match self {
             ShardSpec::NumRange { attr, lo, hi } => {
                 if lo > hi {
                     return Ok(()); // empty shard
@@ -673,12 +690,16 @@ impl Sharded {
         self.crawl_observed(factory, shard_crawl, None)
     }
 
-    /// [`Sharded::crawl_with`] with a [`CrawlObserver`] attached to the
-    /// **merge path**: one [`ShardEvent`] fires per completed shard, in
-    /// deterministic plan order, as the shard's results are folded into
-    /// the merged report. (Per-shard sessions run on worker threads,
-    /// where a `&mut` observer cannot follow — within-shard query/tuple
-    /// events are a solo-crawl feature.)
+    /// [`Sharded::crawl_with`] with a [`CrawlObserver`] attached: one
+    /// [`ShardEvent`] fires per completed shard, in deterministic plan
+    /// order, as the shard's results are folded into the merged report.
+    /// (This entry point takes a *config-less* shard crawler that
+    /// manages its own sessions, so within-shard events cannot be
+    /// threaded inside it; crawlers that accept a [`SessionConfig`] —
+    /// the hybrid family via [`Sharded::crawl`], custom
+    /// [`crate::ShardCrawler`]s via the crawl builder — additionally
+    /// stream live `on_query`/`on_tuples`/`on_progress` events from the
+    /// worker threads through the bounded channel in [`crate::events`].)
     ///
     /// Returning [`Flow::Stop`] from `on_shard` stops the merge: the
     /// cost of every executed shard is still absorbed (partial reports
@@ -753,7 +774,7 @@ impl Sharded {
         G: Fn(&ShardSpec, &mut D, SessionConfig<'_>) -> Result<CrawlReport, CrawlError> + Sync,
     {
         let CrawlControls {
-            observer,
+            mut observer,
             cancel,
             mut repository,
         } = controls;
@@ -793,6 +814,15 @@ impl Sharded {
             .filter(|(i, _)| restored[*i].is_none())
             .map(|(i, spec)| (i, spec.clone()))
             .collect();
+        // Work already replayed from the checkpoint, so live progress
+        // events resume the crawl's totals instead of restarting at zero.
+        let restored_base = restored
+            .iter()
+            .flatten()
+            .fold(ProgressPoint::default(), |acc, snap| ProgressPoint {
+                queries: acc.queries + snap.queries,
+                tuples: acc.tuples + snap.tuples.len() as u64,
+            });
 
         // The halt flag: the caller's token when provided (so external
         // cancellation reaches every session), else an internal one (so
@@ -815,73 +845,103 @@ impl Sharded {
         let store_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
         let pool = workpool::Pool::new(self.sessions);
-        let (slots, pool_stats) = pool.run_cancellable(
-            tasks,
-            |w| (factory(w), 0u32, FaultHistory::new()),
-            |(db, strikes, history): &mut (D, u32, FaultHistory),
-             ctx,
-             (index, spec): (usize, ShardSpec)| {
-                let begun = Instant::now();
-                let config = SessionConfig {
-                    retry: self.retry.clone(),
-                    cancel: Some(halt),
-                    fault_history: Some(history),
-                };
-                let result = shard_crawl(&spec, db, config);
-                // Identity health. A permanent database failure means
-                // this identity is dead (quota exhausted, banned): retire
-                // the worker instead of burning one doomed query per
-                // remaining shard. A *transient* failure that survived
-                // the retry policy marks a strike — the identity is
-                // flaky, but only repeated consecutive strikes retire it.
-                // An unsolvable instance leaves the connection healthy,
-                // and a stopped shard halts the whole crawl instead.
-                let verdict = match &result {
-                    Ok(_) => {
-                        *strikes = 0;
-                        Verdict::Continue
-                    }
-                    Err(CrawlError::Db { error, .. }) if error.is_transient() => {
-                        *strikes += 1;
-                        if *strikes >= self.strikes {
-                            Verdict::Retire
-                        } else {
+        // The pool run, parameterized over the live event sink so the
+        // observed and unobserved paths share one task closure: with a
+        // sink, every shard session streams its events into the bounded
+        // channel ([`crate::events`]), tagged with its plan index.
+        let run_pool = |events: Option<EventSink>| {
+            pool.run_cancellable(
+                tasks,
+                |w| (factory(w), 0u32, FaultHistory::new()),
+                |(db, strikes, history): &mut (D, u32, FaultHistory),
+                 ctx,
+                 (index, spec): (usize, ShardSpec)| {
+                    let begun = Instant::now();
+                    let config = SessionConfig {
+                        retry: self.retry.clone(),
+                        cancel: Some(halt),
+                        fault_history: Some(history),
+                        events: events.as_ref().map(|sink| sink.for_shard(index)),
+                    };
+                    let result = shard_crawl(&spec, db, config);
+                    // Identity health. A permanent database failure means
+                    // this identity is dead (quota exhausted, banned): retire
+                    // the worker instead of burning one doomed query per
+                    // remaining shard. A *transient* failure that survived
+                    // the retry policy marks a strike — the identity is
+                    // flaky, but only repeated consecutive strikes retire it.
+                    // An unsolvable instance leaves the connection healthy,
+                    // and a stopped shard halts the whole crawl instead.
+                    let verdict = match &result {
+                        Ok(_) => {
+                            *strikes = 0;
                             Verdict::Continue
                         }
+                        Err(CrawlError::Db { error, .. }) if error.is_transient() => {
+                            *strikes += 1;
+                            if *strikes >= self.strikes {
+                                Verdict::Retire
+                            } else {
+                                Verdict::Continue
+                            }
+                        }
+                        Err(CrawlError::Db { .. }) => Verdict::Retire,
+                        Err(CrawlError::Stopped { .. }) => {
+                            halt.cancel();
+                            Verdict::Continue
+                        }
+                        Err(CrawlError::Unsolvable { .. }) => Verdict::Continue,
+                    };
+                    if let (Ok(report), Some(journal)) = (&result, journal.as_ref()) {
+                        let mut guard = journal.lock().expect("journal poisoned");
+                        let (repo, checkpoint) = &mut *guard;
+                        checkpoint.shards.push(snapshot_of(index, report));
+                        if let Err(e) = repo.store(checkpoint) {
+                            store_error
+                                .lock()
+                                .expect("store_error poisoned")
+                                .get_or_insert(e);
+                        }
                     }
-                    Err(CrawlError::Db { .. }) => Verdict::Retire,
-                    Err(CrawlError::Stopped { .. }) => {
-                        halt.cancel();
-                        Verdict::Continue
-                    }
-                    Err(CrawlError::Unsolvable { .. }) => Verdict::Continue,
-                };
-                if let (Ok(report), Some(journal)) = (&result, journal.as_ref()) {
-                    let mut guard = journal.lock().expect("journal poisoned");
-                    let (repo, checkpoint) = &mut *guard;
-                    checkpoint.shards.push(snapshot_of(index, report));
-                    if let Err(e) = repo.store(checkpoint) {
-                        store_error
-                            .lock()
-                            .expect("store_error poisoned")
-                            .get_or_insert(e);
-                    }
-                }
-                (
-                    PendingRun {
-                        index,
-                        spec,
-                        worker: ctx.worker,
-                        source: ctx.source,
-                        wall: begun.elapsed(),
-                        result,
-                        restored: false,
-                    },
-                    verdict,
-                )
-            },
-            Some(halt.flag()),
-        );
+                    (
+                        PendingRun {
+                            index,
+                            spec,
+                            worker: ctx.worker,
+                            source: ctx.source,
+                            wall: begun.elapsed(),
+                            result,
+                            restored: false,
+                        },
+                        verdict,
+                    )
+                },
+                Some(halt.flag()),
+            )
+        };
+        let (slots, pool_stats) = match observer.as_deref_mut() {
+            None => run_pool(None),
+            Some(obs) => {
+                // Live streaming: the pool runs on its own (scoped)
+                // thread while this one drains the event channel into the
+                // observer. The drain ends when the pool drops the last
+                // sender; an observer Stop trips the halt token, which
+                // every in-flight shard session checks before its next
+                // query — prefix-consistent partials, never torn ones.
+                let (tx, rx) = chan::bounded(EVENT_CHANNEL_CAPACITY);
+                let sink = EventSink::new(tx, 0);
+                std::thread::scope(|scope| {
+                    let pool_run = scope.spawn(move || run_pool(Some(sink)));
+                    let stopped = forward_events(&rx, obs, halt, plan.len(), restored_base);
+                    let (slots, mut stats) = pool_run.join().expect("pool thread panicked");
+                    // An observer Stop that lands as the pool drains its
+                    // last shard can post-date the pool's own sample of
+                    // the flag; the merge must still see it.
+                    stats.cancelled |= stopped;
+                    (slots, stats)
+                })
+            }
+        };
 
         // Reassemble plan order: live results land at their plan index,
         // snapshotted shards are replayed as pre-completed runs.
@@ -929,11 +989,12 @@ impl Sharded {
             &ShardSpec,
             &mut dyn HiddenDatabase,
             SessionConfig<'_>,
+            Option<&mut dyn CrawlObserver>,
         ) -> Result<CrawlReport, CrawlError>,
         controls: CrawlControls<'_>,
     ) -> Result<ShardedReport, CrawlError> {
         let CrawlControls {
-            observer,
+            mut observer,
             cancel,
             mut repository,
         } = controls;
@@ -994,6 +1055,17 @@ impl Sharded {
         }
         let mut strikes = 0u32;
         let history = FaultHistory::new();
+        // Crawl-wide (queries, tuples) completed so far — checkpointed
+        // work included — so within-shard progress events report crawl
+        // totals, not shard-local ones.
+        let mut base = full
+            .iter()
+            .flatten()
+            .filter_map(|run| run.result.as_ref().ok())
+            .fold(ProgressPoint::default(), |acc, report| ProgressPoint {
+                queries: acc.queries + report.queries,
+                tuples: acc.tuples + report.tuples.len() as u64,
+            });
         for (index, spec) in plan.iter().enumerate() {
             if full[index].is_some() {
                 continue; // replayed from the checkpoint
@@ -1006,8 +1078,28 @@ impl Sharded {
                 retry: self.retry.clone(),
                 cancel: Some(halt),
                 fault_history: Some(&history),
+                events: None,
             };
-            let result = shard_crawl(spec, db, config);
+            // One connection, one thread: the observer rides directly on
+            // the shard's session (no channel), re-based onto the crawl's
+            // running totals.
+            let mut forwarder = observer
+                .as_deref_mut()
+                .map(|inner| SoloForwarder { inner, base });
+            let result = shard_crawl(
+                spec,
+                db,
+                config,
+                forwarder.as_mut().map(|f| f as &mut dyn CrawlObserver),
+            );
+            {
+                let shard_report = match &result {
+                    Ok(report) => report,
+                    Err(e) => e.partial(),
+                };
+                base.queries += shard_report.queries;
+                base.tuples += shard_report.tuples.len() as u64;
+            }
             stats.busy += begun.elapsed();
             stats.executed += 1;
             if index == 0 {
@@ -1066,6 +1158,84 @@ impl Sharded {
             cancelled: halt.is_cancelled(),
         };
         merge_results(full, pool, 1, observer, store_error)
+    }
+}
+
+/// Drains the live event channel into the crawl's observer while the
+/// pool runs, until every sender is gone. Query and tuple events forward
+/// as-is (tagged per shard at the source); per-shard progress points are
+/// aggregated into crawl totals — `base` seeds them with
+/// checkpoint-restored work — and deduplicated, so the observer sees one
+/// monotone `(queries, tuples)` stream for the whole crawl.
+///
+/// Any [`Flow::Stop`] trips `halt` (stopping every in-flight shard at
+/// its next query) and silences forwarding, but the drain keeps
+/// consuming so producers blocked on the bounded channel wind down
+/// instead of deadlocking. Returns whether the observer stopped the
+/// crawl.
+fn forward_events(
+    rx: &chan::Receiver<SessionEvent>,
+    observer: &mut dyn CrawlObserver,
+    halt: &CancelToken,
+    plan_len: usize,
+    base: ProgressPoint,
+) -> bool {
+    let mut per_shard = vec![ProgressPoint::default(); plan_len];
+    let mut last: Option<ProgressPoint> = None;
+    let mut stopped = false;
+    while let Ok(event) = rx.recv() {
+        if stopped {
+            continue;
+        }
+        let flow = match event {
+            SessionEvent::Query { query, outcome, .. } => observer.on_query(&query, &outcome),
+            SessionEvent::Tuples { tuples, .. } => observer.on_tuples(&tuples),
+            SessionEvent::Progress { shard, point } => {
+                per_shard[shard] = point;
+                let total = per_shard.iter().fold(base, |acc, p| ProgressPoint {
+                    queries: acc.queries + p.queries,
+                    tuples: acc.tuples + p.tuples,
+                });
+                if last == Some(total) {
+                    Flow::Continue
+                } else {
+                    last = Some(total);
+                    observer.on_progress(total)
+                }
+            }
+        };
+        if flow == Flow::Stop {
+            halt.cancel();
+            stopped = true;
+        }
+    }
+    stopped
+}
+
+/// The sequential driver's within-shard event relay: passes query and
+/// tuple events straight through and re-bases the shard-local progress
+/// points onto the crawl's running totals, so a solo checkpointed crawl
+/// reports the same monotone crawl-wide curve the pool's drain thread
+/// produces.
+struct SoloForwarder<'o> {
+    inner: &'o mut dyn CrawlObserver,
+    base: ProgressPoint,
+}
+
+impl CrawlObserver for SoloForwarder<'_> {
+    fn on_query(&mut self, query: &Query, outcome: &hdc_types::QueryOutcome) -> Flow {
+        self.inner.on_query(query, outcome)
+    }
+
+    fn on_tuples(&mut self, tuples: &[hdc_types::Tuple]) -> Flow {
+        self.inner.on_tuples(tuples)
+    }
+
+    fn on_progress(&mut self, point: ProgressPoint) -> Flow {
+        self.inner.on_progress(ProgressPoint {
+            queries: self.base.queries + point.queries,
+            tuples: self.base.tuples + point.tuples,
+        })
     }
 }
 
@@ -1145,6 +1315,47 @@ fn absorb_counts(into: &mut CrawlReport, from: &CrawlReport) {
     into.metrics.merge_from(&from.metrics);
 }
 
+/// Records one crawl's scheduler counters into the process-wide
+/// telemetry registry ([`hdc_obs::registry`]): shards executed, steals,
+/// injector hits, retired identities, and a histogram of per-worker
+/// idle time. Once per crawl, off the hot path, and gated on
+/// [`hdc_obs::enabled`] like every other observation.
+fn record_pool_metrics(pool: &PoolStats) {
+    if !hdc_obs::enabled() {
+        return;
+    }
+    let r = hdc_obs::registry();
+    r.counter(
+        "hdc_pool_shards_executed_total",
+        "Shards executed by pool workers (excludes checkpoint-restored shards)",
+    )
+    .add(pool.executed());
+    r.counter(
+        "hdc_pool_steals_total",
+        "Shards stolen from peer worker deques",
+    )
+    .add(pool.steals());
+    r.counter(
+        "hdc_pool_injected_total",
+        "Shards taken from the shared injector queue",
+    )
+    .add(pool.injected());
+    r.counter(
+        "hdc_pool_retired_total",
+        "Worker identities retired mid-crawl (dead or repeatedly flaky)",
+    )
+    .add(pool.per_worker.iter().filter(|w| w.retired).count() as u64);
+    let idle = r.histogram(
+        "hdc_pool_worker_idle_seconds",
+        "Per-worker idle time (pool wall minus busy) per crawl",
+        hdc_obs::latency_bounds(),
+        hdc_obs::Unit::Nanos,
+    );
+    for w in 0..pool.per_worker.len() {
+        idle.observe_duration(pool.idle(w));
+    }
+}
+
 /// Merges per-shard outcomes into one report (or one failure carrying
 /// everything salvaged across all shards). Tuples are **moved** out of
 /// the shard reports into the merged bag — never cloned — in plan order.
@@ -1159,6 +1370,7 @@ fn merge_results(
     mut observer: Option<&mut dyn CrawlObserver>,
     store_error: Option<std::io::Error>,
 ) -> Result<ShardedReport, CrawlError> {
+    record_pool_metrics(&pool);
     let total = slots.len();
     let mut merged = blank_report("sharded-hybrid");
     let mut per_session: Vec<CrawlReport> =
@@ -1955,6 +2167,146 @@ mod tests {
             matches!(result, Err(CrawlError::Db { .. })),
             "expected the budget failure to win over the stop, got {result:?}"
         );
+    }
+
+    /// The tentpole property: a sharded crawl streams within-shard
+    /// `on_query`/`on_tuples`/`on_progress` events to the observer
+    /// *live* (they arrive through the bounded channel while the pool
+    /// runs and are all delivered by the time the crawl returns), the
+    /// progress stream aggregates to crawl-wide totals, and observing
+    /// changes nothing about the result.
+    #[test]
+    fn within_shard_events_stream_live_from_the_pool_and_are_inert() {
+        use crate::orchestrate::{CrawlObserver, Flow};
+
+        #[derive(Default)]
+        struct Tap {
+            queries: u64,
+            tuples: u64,
+            last_progress: Option<ProgressPoint>,
+        }
+
+        impl CrawlObserver for Tap {
+            fn on_query(&mut self, _q: &Query, _out: &hdc_types::QueryOutcome) -> Flow {
+                self.queries += 1;
+                Flow::Continue
+            }
+
+            fn on_tuples(&mut self, tuples: &[Tuple]) -> Flow {
+                self.tuples += tuples.len() as u64;
+                Flow::Continue
+            }
+
+            fn on_progress(&mut self, point: ProgressPoint) -> Flow {
+                if let Some(last) = self.last_progress {
+                    assert!(
+                        point.queries >= last.queries && point.tuples >= last.tuples,
+                        "aggregated progress must be monotone: {last:?} then {point:?}"
+                    );
+                }
+                self.last_progress = Some(point);
+                Flow::Continue
+            }
+        }
+
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        let make = factory(&schema, &tuples, 32);
+
+        let unobserved = Sharded::new(2).oversubscribed(3).crawl(&make).unwrap();
+        let mut tap = Tap::default();
+        let observed = Sharded::new(2)
+            .oversubscribed(3)
+            .crawl_controlled(
+                &make,
+                CrawlControls {
+                    observer: Some(&mut tap),
+                    ..CrawlControls::default()
+                },
+            )
+            .unwrap();
+
+        // Live events arrived: every charged query and every extracted
+        // tuple was streamed out of the worker threads.
+        assert_eq!(tap.queries, observed.merged.queries);
+        assert_eq!(tap.tuples, observed.merged.tuples.len() as u64);
+        assert_eq!(
+            tap.last_progress,
+            Some(ProgressPoint {
+                queries: observed.merged.queries,
+                tuples: observed.merged.tuples.len() as u64,
+            }),
+            "the aggregated progress stream must end at the crawl's totals"
+        );
+
+        // Telemetry is inert: observing changed nothing.
+        let a: TupleBag = observed.merged.tuples.iter().collect();
+        let b: TupleBag = unobserved.merged.tuples.iter().collect();
+        assert!(a.multiset_eq(&b));
+        assert_eq!(observed.merged.queries, unobserved.merged.queries);
+        for (x, y) in observed.shards.iter().zip(&unobserved.shards) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.report.queries, y.report.queries);
+        }
+    }
+
+    /// A `Flow::Stop` from a live within-shard event trips the crawl's
+    /// halt token: in-flight shards stop at their next query, the crawl
+    /// returns `Stopped`, and the partial is prefix-consistent (a
+    /// sub-bag of the truth that never over-reports).
+    #[test]
+    fn live_event_stop_halts_in_flight_shards() {
+        use crate::orchestrate::{CrawlObserver, Flow};
+
+        struct StopAfter {
+            tuples: u64,
+            threshold: u64,
+        }
+
+        impl CrawlObserver for StopAfter {
+            fn on_tuples(&mut self, tuples: &[Tuple]) -> Flow {
+                self.tuples += tuples.len() as u64;
+                if self.tuples >= self.threshold {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+        }
+
+        let schema = mixed_schema();
+        let tuples = mixed_tuples(2_000);
+        let make = factory(&schema, &tuples, 32);
+        let full = Sharded::new(2).oversubscribed(3).crawl(&make).unwrap();
+
+        let mut stopper = StopAfter {
+            tuples: 0,
+            threshold: 20,
+        };
+        let err = Sharded::new(2)
+            .oversubscribed(3)
+            .crawl_controlled(
+                &make,
+                CrawlControls {
+                    observer: Some(&mut stopper),
+                    ..CrawlControls::default()
+                },
+            )
+            .unwrap_err();
+        let CrawlError::Stopped { partial } = err else {
+            panic!("expected a live-event stop, got another failure");
+        };
+        assert!(partial.queries > 0, "the crawl had started");
+        assert!(
+            partial.queries < full.merged.queries,
+            "the stop must spare queries the full crawl would have spent"
+        );
+        // Paid-for work is kept and truthful: a sub-bag of the truth.
+        let truth: TupleBag = tuples.iter().collect();
+        let got: TupleBag = partial.tuples.iter().collect();
+        for (t, c) in got.iter() {
+            assert!(c <= truth.count(t), "partial over-reports {t}");
+        }
     }
 
     /// Plans must partition the space: pairwise-disjoint shard queries

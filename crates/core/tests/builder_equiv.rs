@@ -352,3 +352,104 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Telemetry inertness: subscribing an observer changes nothing.
+// ---------------------------------------------------------------------
+
+/// Subscribes to everything and always continues; the slow variant
+/// sleeps inside `on_tuples`, so in sharded runs the bounded event
+/// channel fills and pool workers block on `send` — the worst-case
+/// consumer the inertness contract must survive.
+struct SlowTap {
+    queries: u64,
+    tuples: u64,
+    stall: std::time::Duration,
+}
+
+impl CrawlObserver for SlowTap {
+    fn on_query(&mut self, _q: &Query, _out: &QueryOutcome) -> Flow {
+        self.queries += 1;
+        Flow::Continue
+    }
+
+    fn on_tuples(&mut self, tuples: &[Tuple]) -> Flow {
+        self.tuples += tuples.len() as u64;
+        if !self.stall.is_zero() {
+            std::thread::sleep(self.stall);
+        }
+        Flow::Continue
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Telemetry is provably inert: a subscribed observer — even one
+    /// slow enough to back-pressure the event channel — never changes
+    /// the bag, the charged cost, the tallies, or the per-shard
+    /// accounting, solo or sharded. The observer in turn sees every
+    /// charged query and every extracted tuple exactly once.
+    #[test]
+    fn subscribed_observers_are_inert(
+        inst in instance_strategy(),
+        sessions in 2usize..4,
+        slow in any::<bool>(),
+    ) {
+        prop_assume!(inst.solvable());
+        let stall = if slow {
+            std::time::Duration::from_micros(300)
+        } else {
+            std::time::Duration::ZERO
+        };
+
+        // Solo: full bit identity, success or failure.
+        let unobserved = Crawl::builder().run(&mut inst.server(41));
+        let mut tap = SlowTap { queries: 0, tuples: 0, stall };
+        let observed = Crawl::builder()
+            .observer(&mut tap)
+            .run(&mut inst.server(41));
+        assert_identical("solo observed vs unobserved", &unobserved, &observed)?;
+        if let Ok(report) = &observed {
+            prop_assert_eq!(tap.queries, report.queries,
+                "solo observer missed charged queries");
+            prop_assert_eq!(tap.tuples, report.tuples.len() as u64,
+                "solo observer missed tuples");
+        }
+
+        // Sharded: events stream live out of the pool workers through
+        // the bounded channel; a slow drain must stall the producers,
+        // never drop events or perturb the schedule's accounting.
+        let base = Crawl::builder()
+            .strategy(Strategy::Hybrid)
+            .sessions(sessions)
+            .oversubscribe(2)
+            .run_sharded(|_s| inst.server(41))
+            .unwrap();
+        let mut tap = SlowTap { queries: 0, tuples: 0, stall };
+        let observed = Crawl::builder()
+            .strategy(Strategy::Hybrid)
+            .sessions(sessions)
+            .oversubscribe(2)
+            .observer(&mut tap)
+            .run_sharded(|_s| inst.server(41))
+            .unwrap();
+
+        prop_assert_eq!(observed.merged.queries, base.merged.queries,
+            "observer changed the sharded charged cost");
+        prop_assert_eq!(&observed.merged.tuples, &base.merged.tuples,
+            "observer changed the merged bag");
+        prop_assert_eq!(observed.shards.len(), base.shards.len());
+        for (sa, sb) in base.shards.iter().zip(&observed.shards) {
+            prop_assert_eq!(&sa.spec, &sb.spec, "observer changed the shard plan");
+            prop_assert_eq!(sa.report.queries, sb.report.queries,
+                "observer changed a shard's charged cost");
+            prop_assert_eq!(sa.tuples, sb.tuples,
+                "observer changed a shard's tuple count");
+        }
+        prop_assert_eq!(tap.queries, observed.merged.queries,
+            "sharded observer missed charged queries");
+        prop_assert_eq!(tap.tuples, observed.merged.tuples.len() as u64,
+            "sharded observer missed tuples");
+    }
+}

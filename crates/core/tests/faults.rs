@@ -310,6 +310,76 @@ proptest! {
         prop_assert_eq!(restored, checkpointed,
             "every checkpointed shard is replayed, none re-crawled");
     }
+
+    /// Observer-initiated early stop (the kill is a `Flow::Stop`
+    /// streamed out of a pool worker, not a budget): the checkpointed
+    /// run halts with `Stopped`, retains its checkpoint, and a plain
+    /// resume against the same repository completes with the
+    /// uninterrupted bag and total cost. This is the contract behind
+    /// `hdc crawl --target` on sharded and checkpointed runs.
+    #[test]
+    fn early_stop_checkpoint_resume_completes_exactly(
+        inst in instance_strategy(),
+        stop_frac in 1u64..90,
+    ) {
+        prop_assume!(inst.solvable());
+        prop_assume!(Strategy::Auto.resolve(&inst.schema).supports_sharded(&inst.schema));
+
+        let uninterrupted = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .run_sharded(|_s| inst.server(5))
+            .unwrap();
+
+        struct StopAfter {
+            limit: u64,
+            seen: u64,
+        }
+        impl CrawlObserver for StopAfter {
+            fn on_query(&mut self, _q: &Query, _out: &QueryOutcome) -> Flow {
+                self.seen += 1;
+                if self.seen >= self.limit { Flow::Stop } else { Flow::Continue }
+            }
+        }
+
+        let stop_after = 1 + uninterrupted.merged.queries * stop_frac / 100;
+        prop_assume!(stop_after < uninterrupted.merged.queries);
+        let mut stopper = StopAfter { limit: stop_after, seen: 0 };
+        let mut repo = MemoryRepository::default();
+        let interrupted = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .observer(&mut stopper)
+            .repository(&mut repo)
+            .run_sharded(|_s| inst.server(5));
+        match interrupted {
+            // The stop latched only after the crawl's final query — no
+            // interruption happened, nothing to resume.
+            Ok(_) => return Ok(()),
+            Err(CrawlError::Stopped { .. }) => {}
+            Err(e) => {
+                prop_assert!(false, "early stop surfaced as {e}, not Stopped");
+            }
+        }
+        let checkpointed = repo.saved().map(|cp| cp.shards.len()).unwrap_or(0);
+
+        let resumed = Crawl::builder()
+            .sessions(2)
+            .oversubscribe(3)
+            .repository(&mut repo)
+            .run_sharded(|_s| inst.server(5))
+            .unwrap();
+
+        prop_assert!(
+            bag(&resumed.merged.tuples).multiset_eq(&bag(&uninterrupted.merged.tuples)),
+            "resume after an early stop must reconstruct the uninterrupted bag"
+        );
+        prop_assert_eq!(resumed.merged.queries, uninterrupted.merged.queries,
+            "resume after an early stop must converge on the uninterrupted cost");
+        let restored = resumed.shards.iter().filter(|s| s.restored).count();
+        prop_assert_eq!(restored, checkpointed,
+            "every shard checkpointed before the stop is replayed, none re-crawled");
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -38,7 +38,8 @@
 
 use std::io::{self, BufReader, ErrorKind};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use hdc_core::Connector;
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
@@ -46,6 +47,58 @@ use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema};
 use crate::bucket::RateLimiter;
 use crate::http::{self, Response};
 use crate::proto;
+
+/// Handles to the wire-client metrics, resolved once.
+struct ClientMetrics {
+    /// `hdc_wire_client_requests_total`: completed exchanges.
+    requests: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_client_request_seconds`: write-to-parse wall time.
+    request_wall: Arc<hdc_obs::Histogram>,
+    /// `hdc_wire_client_wire_failures_total`: dropped-stream failures.
+    wire_failures: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_client_timeouts_total`: failures that were timeouts.
+    timeouts: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_client_reconnects_total`: fresh TCP connections after
+    /// a previous one was dropped.
+    reconnects: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_client_retired_total`: identities failed permanently.
+    retired: Arc<hdc_obs::Counter>,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = hdc_obs::registry();
+        ClientMetrics {
+            requests: r.counter(
+                "hdc_wire_client_requests_total",
+                "Request/response exchanges completed by wire clients",
+            ),
+            request_wall: r.histogram(
+                "hdc_wire_client_request_seconds",
+                "Wall time of wire-client request/response exchanges",
+                hdc_obs::latency_bounds(),
+                hdc_obs::Unit::Nanos,
+            ),
+            wire_failures: r.counter(
+                "hdc_wire_client_wire_failures_total",
+                "Wire-client exchanges that dropped the stream (any io damage)",
+            ),
+            timeouts: r.counter(
+                "hdc_wire_client_timeouts_total",
+                "Wire-client exchanges that failed on a read/write timeout",
+            ),
+            reconnects: r.counter(
+                "hdc_wire_client_reconnects_total",
+                "Fresh TCP connections opened after a previous one dropped",
+            ),
+            retired: r.counter(
+                "hdc_wire_client_retired_total",
+                "Wire identities retired at the consecutive-failure threshold",
+            ),
+        }
+    })
+}
 
 /// Default client read/write timeout.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
@@ -135,6 +188,7 @@ impl Connector for HttpConnector {
             retire_after: self.retire_after,
             limiter: self.rate.map(|(rate, burst)| RateLimiter::new(rate, burst)),
             conn: None,
+            ever_connected: false,
             consecutive_failures: 0,
             retired: false,
             issued: 0,
@@ -186,6 +240,7 @@ pub struct HttpDb {
     retire_after: u32,
     limiter: Option<RateLimiter>,
     conn: Option<Conn>,
+    ever_connected: bool,
     consecutive_failures: u32,
     retired: bool,
     issued: u64,
@@ -213,6 +268,10 @@ impl HttpDb {
             stream.set_read_timeout(Some(self.timeout))?;
             stream.set_write_timeout(Some(self.timeout))?;
             stream.set_nodelay(true).ok();
+            if self.ever_connected && hdc_obs::enabled() {
+                client_metrics().reconnects.inc();
+            }
+            self.ever_connected = true;
             self.conn = Some(Conn {
                 reader: BufReader::new(stream.try_clone()?),
                 writer: stream,
@@ -224,15 +283,30 @@ impl HttpDb {
     /// One request/response exchange. Any io damage (timeout, reset,
     /// truncation) drops the stream so the next call reconnects fresh.
     fn exchange(&mut self, path: &str, body: &str) -> Result<Response, DbError> {
+        let timer = hdc_obs::enabled().then(Instant::now);
         let result = (|| {
             let conn = self.open()?;
             http::write_request(&mut &conn.writer, "POST", path, body.as_bytes())?;
             http::read_response(&mut conn.reader)
         })();
         match result {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => {
+                if let Some(start) = timer {
+                    let m = client_metrics();
+                    m.requests.inc();
+                    m.request_wall.observe_duration(start.elapsed());
+                }
+                Ok(resp)
+            }
             Err(e) => {
                 self.conn = None;
+                if hdc_obs::enabled() {
+                    let m = client_metrics();
+                    m.wire_failures.inc();
+                    if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+                        m.timeouts.inc();
+                    }
+                }
                 Err(DbError::Transient(format!(
                     "wire failure on {path}: {} ({e})",
                     kind_label(e.kind())
@@ -245,8 +319,11 @@ impl HttpDb {
     /// threshold. Transparent pass-through for the error.
     fn strike(&mut self, e: DbError) -> DbError {
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        if self.consecutive_failures >= self.retire_after {
+        if self.consecutive_failures >= self.retire_after && !self.retired {
             self.retired = true;
+            if hdc_obs::enabled() {
+                client_metrics().retired.inc();
+            }
         }
         e
     }

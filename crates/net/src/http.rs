@@ -36,6 +36,35 @@ pub struct Response {
     pub status: u16,
     /// Raw body.
     pub body: Vec<u8>,
+    /// `Content-Type` written with the response. Parsed responses
+    /// default to JSON (the protocol's native framing); the telemetry
+    /// endpoints answer Prometheus plain text instead.
+    pub content_type: &'static str,
+}
+
+/// The protocol's native body type.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// Prometheus text exposition (the `GET /metrics` answer).
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+impl Response {
+    /// A JSON response (every protocol endpoint).
+    pub fn json(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            body,
+            content_type: CONTENT_TYPE_JSON,
+        }
+    }
+
+    /// A Prometheus text response (`GET /metrics`).
+    pub fn prometheus(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type: CONTENT_TYPE_PROMETHEUS,
+        }
+    }
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -152,7 +181,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
         .map_err(|_| invalid("non-numeric status code"))?;
     let content_length = read_headers(r)?;
     let body = read_body(r, content_length)?;
-    Ok(Response { status, body })
+    Ok(Response::json(status, body))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -184,10 +213,11 @@ pub fn write_request<W: Write>(w: &mut W, method: &str, path: &str, body: &[u8])
 pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: application/json\r\n{}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nContent-Type: {}\r\n{}\r\n",
         resp.status,
         reason(resp.status),
         resp.body.len(),
+        resp.content_type,
         if close { "Connection: close\r\n" } else { "" }
     )?;
     w.write_all(&resp.body)?;
@@ -220,15 +250,7 @@ mod tests {
     #[test]
     fn response_round_trip() {
         let mut wire = Vec::new();
-        write_response(
-            &mut wire,
-            &Response {
-                status: 503,
-                body: b"{}".to_vec(),
-            },
-            true,
-        )
-        .unwrap();
+        write_response(&mut wire, &Response::json(503, b"{}".to_vec()), true).unwrap();
         let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(resp.status, 503);
         assert_eq!(resp.body, b"{}");

@@ -24,13 +24,21 @@
 //! client read timeouts are exercised too. Faults fire *before* the
 //! query reaches the engine: nothing is charged, which is what keeps
 //! retried wire crawls bit-identical to fault-free ones.
+//!
+//! # Telemetry
+//!
+//! `GET /metrics` (Prometheus text) and `GET /stats` (JSON) expose the
+//! process-wide [`hdc_obs`] registry from the same thread-per-connection
+//! loop as the protocol endpoints, so they stay answerable while crawls
+//! are in flight. The server also records its own request counters and
+//! a parse-to-flush latency histogram when the registry is enabled.
 
 use std::io::{self, BufRead, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hdc_core::CancelToken;
 use hdc_server::SharedServer;
@@ -61,6 +69,10 @@ pub struct ServeOptions {
     pub budget: Option<u64>,
     /// Fault injection plan. `None` = always healthy.
     pub faults: Option<FaultPlan>,
+    /// Log one summary line per drained connection to stderr
+    /// (identity, requests answered, queries charged, faults injected,
+    /// connection lifetime).
+    pub verbose: bool,
 }
 
 /// Counters reported by [`serve`] after shutdown.
@@ -79,6 +91,53 @@ struct Counters {
     connections: AtomicU64,
     requests: AtomicU64,
     faults: AtomicU64,
+}
+
+/// Per-connection tallies for the `--verbose` summary line.
+#[derive(Default)]
+struct ConnTally {
+    requests: u64,
+    faults: u64,
+}
+
+/// Handles to the wire-server metrics, resolved once (the registry
+/// lock is not on the per-request path).
+struct WireMetrics {
+    /// `hdc_wire_server_requests_total`.
+    requests: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_server_connections_total`.
+    connections: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_server_faults_injected_total`.
+    faults: Arc<hdc_obs::Counter>,
+    /// `hdc_wire_server_request_seconds`: parse-to-flush wall time.
+    request_wall: Arc<hdc_obs::Histogram>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = hdc_obs::registry();
+        WireMetrics {
+            requests: r.counter(
+                "hdc_wire_server_requests_total",
+                "Requests answered by the wire server (any status)",
+            ),
+            connections: r.counter(
+                "hdc_wire_server_connections_total",
+                "Connections accepted by the wire server",
+            ),
+            faults: r.counter(
+                "hdc_wire_server_faults_injected_total",
+                "Faults injected by the serve-side fault plan",
+            ),
+            request_wall: r.histogram(
+                "hdc_wire_server_request_seconds",
+                "Wall time from request parsed to response flushed",
+                hdc_obs::latency_bounds(),
+                hdc_obs::Unit::Nanos,
+            ),
+        }
+    })
 }
 
 /// How often a parked handler re-checks cancellation. Does not add
@@ -105,16 +164,19 @@ pub fn serve(
     let counters = Counters::default();
     let schema_body = proto::schema_body(shared.schema(), shared.k(), shared.n());
     let mut accept_error = None;
+    let opts = &opts;
     std::thread::scope(|scope| {
         let mut next_conn = 0u64;
         while !cancel.is_cancelled() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     counters.connections.fetch_add(1, Ordering::Relaxed);
+                    if hdc_obs::enabled() {
+                        wire_metrics().connections.inc();
+                    }
                     let conn_id = next_conn;
                     next_conn += 1;
                     let db = shared.connection_client(opts.budget);
-                    let faults = opts.faults.clone();
                     let (counters, schema_body) = (&counters, schema_body.as_str());
                     scope.spawn(move || {
                         // Handler errors mean the peer vanished or spoke
@@ -123,7 +185,7 @@ pub fn serve(
                             stream,
                             db,
                             schema_body,
-                            faults,
+                            opts,
                             conn_id,
                             counters,
                             cancel,
@@ -188,12 +250,48 @@ fn handle_connection(
     stream: TcpStream,
     mut db: Box<dyn HiddenDatabase + Send>,
     schema_body: &str,
-    faults: Option<FaultPlan>,
+    opts: &ServeOptions,
     conn_id: u64,
     counters: &Counters,
     cancel: &CancelToken,
 ) -> io::Result<()> {
+    let started = Instant::now();
+    let mut tally = ConnTally::default();
+    let result = serve_requests(
+        stream,
+        &mut *db,
+        schema_body,
+        opts,
+        conn_id,
+        counters,
+        cancel,
+        &mut tally,
+    );
+    if opts.verbose {
+        eprintln!(
+            "[conn {conn_id}] {} requests, {} queries charged, {} faults injected, {:.3}s",
+            tally.requests,
+            db.queries_issued(),
+            tally.faults,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)] // the one seam between accept loop and request loop
+fn serve_requests(
+    stream: TcpStream,
+    db: &mut dyn HiddenDatabase,
+    schema_body: &str,
+    opts: &ServeOptions,
+    conn_id: u64,
+    counters: &Counters,
+    cancel: &CancelToken,
+    tally: &mut ConnTally,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    let faults = &opts.faults;
     let mut dice = faults.as_ref().map(|plan| FaultDice::new(plan, conn_id));
     let stall = faults.as_ref().and_then(|plan| plan.stall);
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -224,16 +322,29 @@ fn handle_connection(
             Err(e) if e.kind() == ErrorKind::InvalidData => {
                 // Malformed request: answer 400 and hang up.
                 counters.requests.fetch_add(1, Ordering::Relaxed);
+                tally.requests += 1;
                 let _ = http::write_response(&mut &writer, &protocol_error(&e), true);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (resp, hangup) =
-            route(&req, &mut *db, schema_body, &mut dice, stall, cancel, counters);
+        tally.requests += 1;
+        let timer = hdc_obs::enabled().then(Instant::now);
+        let mut ctx = RequestCtx {
+            dice: &mut dice,
+            stall,
+            counters,
+            tally,
+        };
+        let (resp, hangup) = route(&req, db, schema_body, &mut ctx, cancel);
         let closing = hangup || cancel.is_cancelled();
         http::write_response(&mut &writer, &resp, closing)?;
+        if let Some(start) = timer {
+            let m = wire_metrics();
+            m.requests.inc();
+            m.request_wall.observe_duration(start.elapsed());
+        }
         if closing {
             // Drain semantics: the in-flight request was answered in
             // full; close instead of accepting more work.
@@ -243,28 +354,31 @@ fn handle_connection(
 }
 
 fn protocol_error(e: &dyn std::fmt::Display) -> Response {
-    Response {
-        status: 400,
-        body: format!(
+    Response::json(
+        400,
+        format!(
             "{{\"kind\":\"protocol\",\"error\":{}}}",
             crate::json::quote(&e.to_string())
         )
         .into_bytes(),
-    }
+    )
 }
 
 fn error_response(e: &DbError) -> Response {
-    Response {
-        status: e.wire_status(),
-        body: proto::error_body(e).into_bytes(),
-    }
+    Response::json(e.wire_status(), proto::error_body(e).into_bytes())
 }
 
 fn ok(body: String) -> Response {
-    Response {
-        status: 200,
-        body: body.into_bytes(),
-    }
+    Response::json(200, body.into_bytes())
+}
+
+/// Per-request routing state: fault dice, tallies, and counters — one
+/// bundle so the request loop and [`route`] share a single seam.
+struct RequestCtx<'a> {
+    dice: &'a mut Option<FaultDice>,
+    stall: Option<Duration>,
+    counters: &'a Counters,
+    tally: &'a mut ConnTally,
 }
 
 /// Routes one request. Returns the response and whether the connection
@@ -273,20 +387,26 @@ fn route(
     req: &Request,
     db: &mut dyn HiddenDatabase,
     schema_body: &str,
-    dice: &mut Option<FaultDice>,
-    stall: Option<Duration>,
+    ctx: &mut RequestCtx<'_>,
     cancel: &CancelToken,
-    counters: &Counters,
 ) -> (Response, bool) {
     let body = String::from_utf8_lossy(&req.body);
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/schema") => (ok(schema_body.to_string()), false),
+        // The telemetry registry is process-wide: counters here cover
+        // every connection of this server (plus anything else the
+        // process instruments), not just the asking connection.
+        ("GET", "/metrics") => (
+            Response::prometheus(200, hdc_obs::registry().render_prometheus()),
+            false,
+        ),
+        ("GET", "/stats") => (ok(hdc_obs::registry().render_json()), false),
         ("POST", "/shutdown") => {
             cancel.cancel();
             (ok("{\"ok\":true}".to_string()), true)
         }
         ("POST", "/query") => {
-            if let Some(resp) = injected_fault(dice, stall, counters) {
+            if let Some(resp) = injected_fault(ctx) {
                 return (resp, false);
             }
             match proto::parse_query_body(&body) {
@@ -298,7 +418,7 @@ fn route(
             }
         }
         ("POST", "/query_batch") => {
-            if let Some(resp) = injected_fault(dice, stall, counters) {
+            if let Some(resp) = injected_fault(ctx) {
                 return (resp, false);
             }
             match proto::parse_batch_body(&body) {
@@ -310,17 +430,17 @@ fn route(
             }
         }
         ("GET" | "POST", _) => (
-            Response {
-                status: 404,
-                body: b"{\"kind\":\"protocol\",\"error\":\"no such endpoint\"}".to_vec(),
-            },
+            Response::json(
+                404,
+                b"{\"kind\":\"protocol\",\"error\":\"no such endpoint\"}".to_vec(),
+            ),
             false,
         ),
         _ => (
-            Response {
-                status: 405,
-                body: b"{\"kind\":\"protocol\",\"error\":\"method not allowed\"}".to_vec(),
-            },
+            Response::json(
+                405,
+                b"{\"kind\":\"protocol\",\"error\":\"method not allowed\"}".to_vec(),
+            ),
             false,
         ),
     }
@@ -329,17 +449,17 @@ fn route(
 /// Rolls the fault dice for a query endpoint. A fault stalls (when
 /// configured) and answers 503 *without* touching the engine — nothing
 /// is charged, so a retried crawl converges on the fault-free outcome.
-fn injected_fault(
-    dice: &mut Option<FaultDice>,
-    stall: Option<Duration>,
-    counters: &Counters,
-) -> Option<Response> {
-    let dice = dice.as_mut()?;
+fn injected_fault(ctx: &mut RequestCtx<'_>) -> Option<Response> {
+    let dice = ctx.dice.as_mut()?;
     if !dice.fault() {
         return None;
     }
-    counters.faults.fetch_add(1, Ordering::Relaxed);
-    if let Some(stall) = stall {
+    ctx.counters.faults.fetch_add(1, Ordering::Relaxed);
+    ctx.tally.faults += 1;
+    if hdc_obs::enabled() {
+        wire_metrics().faults.inc();
+    }
+    if let Some(stall) = ctx.stall {
         std::thread::sleep(stall);
     }
     Some(error_response(&DbError::Transient(

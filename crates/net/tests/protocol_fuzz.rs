@@ -189,15 +189,8 @@ fn fake_server(payload: Vec<u8>) -> (SocketAddr, std::thread::JoinHandle<()>) {
         let shared = fixture();
         let body = proto::schema_body(shared.schema(), shared.k(), 200);
         let mut buf = Vec::new();
-        http::write_response(
-            &mut buf,
-            &http::Response {
-                status: 200,
-                body: body.into_bytes(),
-            },
-            false,
-        )
-        .unwrap();
+        http::write_response(&mut buf, &http::Response::json(200, body.into_bytes()), false)
+            .unwrap();
         buf
     };
     let handle = std::thread::spawn(move || {
@@ -310,15 +303,8 @@ fn client_times_out_cleanly_when_the_response_never_comes() {
         let shared = fixture();
         let body = proto::schema_body(shared.schema(), shared.k(), 200);
         let mut buf = Vec::new();
-        http::write_response(
-            &mut buf,
-            &http::Response {
-                status: 200,
-                body: body.into_bytes(),
-            },
-            false,
-        )
-        .unwrap();
+        http::write_response(&mut buf, &http::Response::json(200, body.into_bytes()), false)
+            .unwrap();
         buf
     };
     let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();

@@ -23,10 +23,10 @@
 
 use std::time::Duration;
 
-use hdc_core::{Crawl, CrawlError, MemoryRepository, RetryPolicy};
-use hdc_net::{FaultPlan, HttpConnector, ServeOptions, WireServer};
+use hdc_core::{Crawl, CrawlError, CrawlObserver, Flow, MemoryRepository, RetryPolicy};
+use hdc_net::{http, FaultPlan, HttpConnector, ServeOptions, WireServer};
 use hdc_server::{ServerConfig, SharedServer};
-use hdc_types::{DbError, HiddenDatabase, Query, Tuple, TupleBag};
+use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Tuple, TupleBag};
 
 fn bag(tuples: &[Tuple]) -> TupleBag {
     TupleBag::from_tuples(tuples.iter().cloned())
@@ -137,6 +137,7 @@ fn wire_faults_with_retry_equal_fault_free() {
                 seed: 0xfa57,
                 stall: None,
             }),
+            ..ServeOptions::default()
         },
     );
     let wire = Crawl::builder()
@@ -177,6 +178,7 @@ fn stalled_server_trips_client_read_timeout_as_transient() {
                 seed: 7,
                 stall: Some(Duration::from_millis(600)),
             }),
+            ..ServeOptions::default()
         },
     );
     let mut db = connector(&server)
@@ -211,6 +213,7 @@ fn stall_faults_with_retry_still_match_fault_free_bit_identically() {
                 seed: 0x57a11,
                 stall: Some(Duration::from_millis(150)),
             }),
+            ..ServeOptions::default()
         },
     );
     let wire = Crawl::builder()
@@ -237,6 +240,7 @@ fn per_connection_budget_round_trips_field_exactly() {
         ServeOptions {
             budget: Some(2),
             faults: None,
+            ..ServeOptions::default()
         },
     );
     let conn = connector(&server);
@@ -297,6 +301,7 @@ fn graceful_shutdown_answers_the_in_flight_request_in_full() {
                 seed: 3,
                 stall: Some(Duration::from_millis(400)),
             }),
+            ..ServeOptions::default()
         },
     );
     let conn = connector(&server).timeout(Duration::from_secs(5));
@@ -335,6 +340,7 @@ fn wire_checkpoint_kill_resume_completes_exactly() {
         ServeOptions {
             budget: Some(uninterrupted.merged.queries / 2),
             faults: None,
+            ..ServeOptions::default()
         },
     );
     let mut repo = MemoryRepository::default();
@@ -371,4 +377,110 @@ fn wire_checkpoint_kill_resume_completes_exactly() {
     assert_eq!(resumed.merged.queries, uninterrupted.merged.queries);
     let restored = resumed.shards.iter().filter(|s| s.restored).count();
     assert_eq!(restored, checkpointed, "checkpointed shards replay, not re-crawl");
+}
+
+/// One raw `GET` against the wire server, outside any crawl session.
+fn scrape(addr: &str, path: &str) -> http::Response {
+    use std::io::BufReader;
+    let stream = std::net::TcpStream::connect(addr).expect("connect for scrape");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    http::write_request(&mut &stream, "GET", path, b"").expect("write scrape");
+    http::read_response(&mut reader).expect("read scrape")
+}
+
+/// Telemetry is inert over the wire too: subscribing a slow observer to
+/// a loopback crawl changes neither the bag, the charged cost, nor the
+/// per-shard accounting — while `GET /metrics` and `GET /stats` answer
+/// well-formed registry snapshots from the same server mid-crawl.
+#[test]
+fn observed_wire_crawl_is_bit_identical_and_metrics_answer_mid_crawl() {
+    struct SlowTap {
+        queries: u64,
+        tuples: u64,
+    }
+    impl CrawlObserver for SlowTap {
+        fn on_query(&mut self, _q: &Query, _out: &QueryOutcome) -> Flow {
+            self.queries += 1;
+            Flow::Continue
+        }
+        fn on_tuples(&mut self, tuples: &[Tuple]) -> Flow {
+            self.tuples += tuples.len() as u64;
+            // Slow consumer: back-pressures the event channel without
+            // being allowed to change anything about the crawl.
+            std::thread::sleep(Duration::from_micros(200));
+            Flow::Continue
+        }
+    }
+
+    let shared = fixture(1_500, 128, 29);
+    let server = start(&shared, ServeOptions::default());
+    let addr = server.addr().to_string();
+
+    let reference = Crawl::builder()
+        .sessions(3)
+        .run_sharded(connector(&server))
+        .unwrap();
+
+    hdc_obs::set_enabled(true);
+    let conn = connector(&server);
+    let crawl = std::thread::spawn(move || {
+        let mut tap = SlowTap { queries: 0, tuples: 0 };
+        let report = Crawl::builder()
+            .sessions(3)
+            .observer(&mut tap)
+            .run_sharded(|identity| conn.db(identity))
+            .unwrap();
+        (report, tap.queries, tap.tuples)
+    });
+
+    // Scrape the same server the observed crawl is hammering.
+    let mut prometheus_ok = false;
+    let mut stats_ok = false;
+    while !(crawl.is_finished() && prometheus_ok && stats_ok) {
+        let metrics = scrape(&addr, "/metrics");
+        assert_eq!(metrics.status, 200, "/metrics must answer mid-crawl");
+        let body = String::from_utf8_lossy(&metrics.body).into_owned();
+        assert!(
+            body.contains("# TYPE hdc_wire_server_requests_total counter"),
+            "/metrics is not Prometheus text:\n{body}"
+        );
+        prometheus_ok = true;
+        let stats = scrape(&addr, "/stats");
+        assert_eq!(stats.status, 200, "/stats must answer mid-crawl");
+        assert!(
+            stats.body.starts_with(b"{\"counters\":["),
+            "/stats is not the JSON registry dump"
+        );
+        stats_ok = true;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (observed, tap_queries, tap_tuples) = crawl.join().expect("observed crawl thread");
+    hdc_obs::set_enabled(false);
+    server.shutdown().unwrap();
+
+    assert!(
+        bag(&observed.merged.tuples).multiset_eq(&bag(&reference.merged.tuples)),
+        "subscribing an observer changed the wire crawl's bag"
+    );
+    assert_eq!(
+        observed.merged.queries, reference.merged.queries,
+        "subscribing an observer changed the wire crawl's charged cost"
+    );
+    assert_eq!(observed.shards.len(), reference.shards.len());
+    for (sa, sb) in reference.shards.iter().zip(&observed.shards) {
+        assert_eq!(sa.spec, sb.spec, "observer changed the shard plan");
+        assert_eq!(
+            sa.report.queries, sb.report.queries,
+            "observer changed a shard's charged cost over the wire"
+        );
+    }
+    assert_eq!(tap_queries, observed.merged.queries, "observer missed charged queries");
+    assert_eq!(
+        tap_tuples,
+        observed.merged.tuples.len() as u64,
+        "observer missed tuples"
+    );
 }

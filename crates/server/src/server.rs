@@ -14,7 +14,8 @@
 //! original single-owner `&mut` API; [`crate::SharedServer`] hands out
 //! any number of sessions over the same core.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use hdc_types::{DbError, HiddenDatabase, Query, QueryOutcome, Schema, SchemaError, Tuple};
 use rand::seq::SliceRandom;
@@ -23,6 +24,65 @@ use rand::SeedableRng;
 use crate::engine::{Engine, Scratch, Strategy};
 use crate::eval::LegacyEvaluator;
 use crate::stats::ServerStats;
+
+/// Handles to the engine metrics, resolved once. The evaluate
+/// histogram is labelled by the planner's chosen strategy (inferred
+/// from the [`ServerStats`] plan counters around the call, so the
+/// engine itself stays untouched); whole batches are labelled
+/// `plan="batch"` since one batch may mix strategies.
+struct EngineMetrics {
+    /// `hdc_engine_queries_total`.
+    queries: Arc<hdc_obs::Counter>,
+    /// `hdc_engine_evaluate_seconds{plan="scan|probe|intersect"}`.
+    scan: Arc<hdc_obs::Histogram>,
+    probe: Arc<hdc_obs::Histogram>,
+    intersect: Arc<hdc_obs::Histogram>,
+    /// `hdc_engine_evaluate_seconds{plan="batch"}`: whole-batch passes.
+    batch: Arc<hdc_obs::Histogram>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = hdc_obs::registry();
+        let evaluate = |plan: &str| {
+            r.histogram_with(
+                "hdc_engine_evaluate_seconds",
+                Some(("plan", plan)),
+                "Engine evaluation wall time by planned strategy",
+                hdc_obs::latency_bounds(),
+                hdc_obs::Unit::Nanos,
+            )
+        };
+        EngineMetrics {
+            queries: r.counter(
+                "hdc_engine_queries_total",
+                "Queries evaluated by the columnar engine",
+            ),
+            scan: evaluate("scan"),
+            probe: evaluate("probe"),
+            intersect: evaluate("intersect"),
+            batch: evaluate("batch"),
+        }
+    })
+}
+
+impl EngineMetrics {
+    /// The evaluate histogram for whatever plan counter moved between
+    /// `before` and the session's current [`ServerStats`]. An empty
+    /// result evaluates no list, is accounted as a probe by
+    /// [`ServerStats::record_plan`], and lands there too.
+    fn by_plan_delta(&self, stats: &ServerStats, before: (u64, u64, u64)) -> &hdc_obs::Histogram {
+        let (scan, probe, _intersect) = before;
+        if stats.scan_evals > scan {
+            &self.scan
+        } else if stats.probe_evals > probe {
+            &self.probe
+        } else {
+            &self.intersect
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Copy, Debug)]
@@ -174,9 +234,21 @@ impl ServerCore {
         session: &mut ClientSession,
     ) -> Result<QueryOutcome, DbError> {
         q.validate(&self.schema)?;
+        let timer = hdc_obs::enabled().then(Instant::now);
+        let before = (
+            session.stats.scan_evals,
+            session.stats.probe_evals,
+            session.stats.intersect_evals,
+        );
         let out = self
             .engine
             .evaluate(&self.rows, self.k, q, &mut session.stats, &mut session.scratch);
+        if let Some(start) = timer {
+            let m = engine_metrics();
+            m.queries.inc();
+            m.by_plan_delta(&session.stats, before)
+                .observe_duration(start.elapsed());
+        }
         session.stats.record_outcome(out.len(), out.overflow);
         Ok(out)
     }
@@ -192,6 +264,7 @@ impl ServerCore {
         for q in queries {
             q.validate(&self.schema)?;
         }
+        let timer = hdc_obs::enabled().then(Instant::now);
         let outs = self.engine.evaluate_batch(
             &self.rows,
             self.k,
@@ -199,6 +272,11 @@ impl ServerCore {
             &mut session.stats,
             &mut session.scratch,
         );
+        if let Some(start) = timer {
+            let m = engine_metrics();
+            m.queries.add(queries.len() as u64);
+            m.batch.observe_duration(start.elapsed());
+        }
         for out in &outs {
             session.stats.record_outcome(out.len(), out.overflow);
         }

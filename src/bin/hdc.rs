@@ -24,22 +24,36 @@ use std::time::Duration;
 use hidden_db_crawler::core::theory;
 use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
 use hidden_db_crawler::net::http;
+use hidden_db_crawler::obs;
 use hidden_db_crawler::prelude::*;
 
 /// Live crawl feedback on stderr: a progress line repainted in place
 /// (every [`PROGRESS_STRIDE`] queries), an optional tuple-coverage
 /// target that stops the crawl early, and one line per merged shard of
-/// a multi-session crawl.
+/// a multi-session crawl. With `--live`, the plain progress line is
+/// replaced by a throttled telemetry line fed from the metrics
+/// registry (rates, charged cost, batch p99).
 struct CliObserver {
     target: Option<u64>,
     last_paint: u64,
     dirty: bool,
     stopping: bool,
+    live: Option<LiveStatus>,
+}
+
+/// State for the `--live` telemetry line: wall-clock anchors for rate
+/// computation plus a repaint throttle.
+struct LiveStatus {
+    started: std::time::Instant,
+    last: std::time::Instant,
 }
 
 /// Queries between progress-line repaints (keeps stderr readable on
 /// crawls issuing 10⁵+ queries).
 const PROGRESS_STRIDE: u64 = 64;
+
+/// Minimum wall time between `--live` repaints.
+const LIVE_INTERVAL: Duration = Duration::from_millis(250);
 
 impl CliObserver {
     fn new(target: Option<u64>) -> Self {
@@ -48,13 +62,69 @@ impl CliObserver {
             last_paint: 0,
             dirty: false,
             stopping: false,
+            live: None,
         }
+    }
+
+    /// Switches this observer to the `--live` telemetry line. Enables
+    /// the process-wide metrics registry so the session layer starts
+    /// recording the counters the line renders.
+    fn live(mut self) -> Self {
+        obs::set_enabled(true);
+        let now = std::time::Instant::now();
+        self.live = Some(LiveStatus {
+            started: now,
+            last: now - LIVE_INTERVAL,
+        });
+        self
     }
 
     fn paint(&mut self, point: ProgressPoint) {
         eprint!("\r  {:>8} queries  {:>8} tuples", point.queries, point.tuples);
         let _ = std::io::stderr().flush();
         self.dirty = true;
+    }
+
+    /// Repaints the `--live` telemetry line if live mode is on and the
+    /// throttle window has elapsed. Returns `true` when live mode owns
+    /// the progress line (so the stride-based paint should not run).
+    fn live_paint(&mut self, point: ProgressPoint) -> bool {
+        let Some(live) = &mut self.live else {
+            return false;
+        };
+        if live.last.elapsed() < LIVE_INTERVAL {
+            return true;
+        }
+        live.last = std::time::Instant::now();
+        let elapsed = live.started.elapsed().as_secs_f64().max(1e-9);
+        let r = obs::registry();
+        let charged = r
+            .counter(
+                "hdc_session_queries_charged_total",
+                "Queries charged to crawl sessions by the hidden database",
+            )
+            .get();
+        let p99_ms = r
+            .histogram(
+                "hdc_session_batch_seconds",
+                "Wall time of database round trips issued by crawl sessions",
+                obs::latency_bounds(),
+                obs::Unit::Nanos,
+            )
+            .quantile(0.99)
+            / 1e6;
+        eprint!(
+            "\r  {:>8} q ({:>6.0} q/s)  {:>8} t ({:>6.0} t/s)  charged {:>8}  batch p99 {:>7.2} ms",
+            point.queries,
+            point.queries as f64 / elapsed,
+            point.tuples,
+            point.tuples as f64 / elapsed,
+            charged,
+            p99_ms,
+        );
+        let _ = std::io::stderr().flush();
+        self.dirty = true;
+        true
     }
 
     /// Terminates an in-place progress line so normal output continues
@@ -79,6 +149,9 @@ impl CrawlObserver for CliObserver {
                 }
                 return Flow::Stop;
             }
+        }
+        if self.live_paint(point) {
+            return Flow::Continue;
         }
         if point.queries >= self.last_paint + PROGRESS_STRIDE {
             self.last_paint = point.queries;
@@ -155,26 +228,34 @@ fn print_usage() {
          \u{20}      Print the evaluation datasets (the paper's Figure 9 table).\n\
          \u{20}  hdc crawl --dataset <name> --algo <algo> [--k N] [--seed N]\n\
          \u{20}            [--scale PCT] [--sessions N] [--oversubscribe N]\n\
-         \u{20}            [--oracle] [--budget N] [--target TUPLES]\n\
+         \u{20}            [--oracle] [--budget N] [--target TUPLES] [--live]\n\
          \u{20}            [--retries N] [--checkpoint FILE | --resume FILE]\n\
          \u{20}      Crawl one dataset and report cost, metrics, and progress\n\
          \u{20}      (live progress line on stderr; --target stops early at a\n\
-         \u{20}      tuple-coverage goal; --budget with --sessions is a\n\
-         \u{20}      per-identity quota; --retries N reissues transient query\n\
-         \u{20}      failures up to N attempts; --checkpoint saves every\n\
-         \u{20}      completed shard to FILE and resumes from it if present —\n\
-         \u{20}      --resume is the same but requires FILE to exist).\n\
+         \u{20}      tuple-coverage goal, including sharded and checkpointed\n\
+         \u{20}      runs; --live upgrades the progress line to a throttled\n\
+         \u{20}      telemetry line with q/s, t/s, charged cost, and batch\n\
+         \u{20}      p99; --budget with --sessions is a per-identity quota;\n\
+         \u{20}      --retries N reissues transient query failures up to N\n\
+         \u{20}      attempts; --checkpoint saves every completed shard to\n\
+         \u{20}      FILE and resumes from it if present — --resume is the\n\
+         \u{20}      same but requires FILE to exist).\n\
          \u{20}  hdc barrier --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
-         \u{20}            [--sessions N] [--oversubscribe N]\n\
+         \u{20}            [--sessions N] [--oversubscribe N] [--live]\n\
          \u{20}      Top-k-barrier crawl (second paper): recover the tuples\n\
          \u{20}      below the k-visible frontier and report discovery depths.\n\
          \u{20}  hdc serve --dataset <name> [--k N] [--seed N] [--scale PCT]\n\
          \u{20}            [--addr HOST:PORT] [--budget N] [--fault-rate P]\n\
-         \u{20}            [--fault-seed N] [--fault-stall-ms N]\n\
+         \u{20}            [--fault-seed N] [--fault-stall-ms N] [--verbose]\n\
+         \u{20}            [--metrics-log FILE [--metrics-interval-ms N]]\n\
          \u{20}      Serve the dataset over loopback HTTP/1.1 (one isolated\n\
          \u{20}      client identity per connection; --budget is a per-\n\
          \u{20}      connection quota; --fault-rate injects deterministic 503s\n\
          \u{20}      seeded by --fault-seed, stalling --fault-stall-ms first).\n\
+         \u{20}      GET /metrics (Prometheus text) and GET /stats (JSON)\n\
+         \u{20}      expose the live telemetry registry; --verbose logs one\n\
+         \u{20}      summary line per drained connection; --metrics-log\n\
+         \u{20}      appends JSONL registry snapshots to FILE.\n\
          \u{20}      Stops gracefully on `hdc stop`, draining live requests.\n\
          \u{20}  hdc stop --connect URL\n\
          \u{20}      Ask a running `hdc serve` to drain and exit.\n\
@@ -202,7 +283,8 @@ fn print_usage() {
 
 // ---------------------------------------------------------------- flags --
 
-/// Parsed `--flag value` pairs (plus boolean `--oracle`).
+/// Parsed `--flag value` pairs (plus boolean `--oracle`, `--live`,
+/// `--verbose`).
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -214,7 +296,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected --flag, found {arg:?}"));
         };
-        if name == "oracle" {
+        if matches!(name, "oracle" | "live" | "verbose") {
             pairs.push((name.to_string(), "true".to_string()));
             continue;
         }
@@ -318,6 +400,18 @@ fn cmd_datasets() -> Result<(), String> {
     Ok(())
 }
 
+/// After an interrupted checkpointed run: point at the retained file —
+/// or say plainly that nothing was written. Checkpoints are
+/// shard-granular, so a stop that lands before the first shard
+/// completes leaves no file to resume from.
+fn checkpoint_hint(path: &str) {
+    if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
+        checkpoint_hint(path);
+    } else {
+        println!("no checkpoint written — stopped before the first shard completed");
+    }
+}
+
 /// Maps a CLI algorithm name to a builder [`Strategy`].
 fn strategy_for(algo: &str) -> Result<Strategy<'static>, String> {
     Ok(match algo {
@@ -387,6 +481,9 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
         println!("auto strategy: {resolved:?}");
     }
     let mut observer = CliObserver::new((target > 0).then_some(target));
+    if flags.get("live").is_some() {
+        observer = observer.live();
+    }
 
     // An over-partitioned plan is meaningful even on one session (finer
     // progress granularity, and the plan a fleet of identities would
@@ -394,9 +491,6 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     if sessions > 1 || oversubscribe > 1 {
         if use_oracle {
             return Err("--sessions/--oversubscribe cannot be combined with --oracle".into());
-        }
-        if target > 0 {
-            return Err("--target applies to single-session crawls".into());
         }
         // One support matrix: the builder's own (it panics on violation;
         // the CLI asks first to return a friendly error instead).
@@ -436,6 +530,19 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
         observer.finish();
         let report = match result {
             Ok(report) => report,
+            Err(CrawlError::Stopped { partial }) => {
+                println!(
+                    "stopped at coverage target: {} tuples in {} queries \
+                     ({:.1}% of the dataset)",
+                    partial.tuples.len(),
+                    partial.queries,
+                    100.0 * partial.tuples.len() as f64 / ds.n().max(1) as f64
+                );
+                if let Some(path) = &checkpoint {
+                    checkpoint_hint(path);
+                }
+                return Ok(());
+            }
             Err(CrawlError::Db { error, partial }) => {
                 println!(
                     "stopped: {error} — {} tuples salvaged in {} queries",
@@ -443,7 +550,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                     partial.queries
                 );
                 if let Some(path) = &checkpoint {
-                    println!("checkpoint retained — rerun with --resume {path}");
+                    checkpoint_hint(path);
                 }
                 return Ok(());
             }
@@ -478,11 +585,6 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
     if checkpoint.is_some() {
         if use_oracle {
             return Err("--checkpoint cannot be combined with --oracle".into());
-        }
-        if target > 0 {
-            return Err("--target applies to plain single-session crawls \
-                        (checkpointed runs report per shard)"
-                .into());
         }
         // Checkpointing runs the (sequential) sharded plan, so it needs a
         // strategy with a sharded execution — same matrix as --sessions.
@@ -560,6 +662,9 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                 partial.queries,
                 100.0 * partial.tuples.len() as f64 / ds.n().max(1) as f64
             );
+            if let Some(path) = &checkpoint {
+                checkpoint_hint(path);
+            }
             Ok(())
         }
         Err(CrawlError::Unsolvable { witness, partial }) => {
@@ -578,7 +683,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                 partial.queries
             );
             if let Some(path) = &checkpoint {
-                println!("checkpoint retained — rerun with --resume {path}");
+                checkpoint_hint(path);
             }
             Ok(())
         }
@@ -611,6 +716,9 @@ fn cmd_barrier(flags: &Flags) -> Result<(), String> {
     );
     let crawler = BarrierCrawler::new();
     let mut observer = CliObserver::new(None);
+    if flags.get("live").is_some() {
+        observer = observer.live();
+    }
 
     if sessions > 1 || oversubscribe > 1 {
         // As in `hdc crawl`: the fleet shares one store via clients.
@@ -818,7 +926,7 @@ fn cmd_crawl_connect(flags: &Flags) -> Result<(), String> {
                 partial.queries
             );
             if let Some(path) = &checkpoint {
-                println!("checkpoint retained — rerun with --resume {path}");
+                checkpoint_hint(path);
             }
             return Ok(());
         }
@@ -903,6 +1011,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let fault_rate: f64 = flags.parse("fault-rate", 0.0)?;
     let fault_seed: u64 = flags.parse("fault-seed", 0)?;
     let stall_ms: u64 = flags.parse("fault-stall-ms", 0)?;
+    let verbose = flags.get("verbose").is_some();
+    let metrics_log = flags.get("metrics-log").map(str::to_string);
+    let metrics_interval_ms: u64 = flags.parse("metrics-interval-ms", 1_000)?;
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err("--fault-rate must be within 0..=1".into());
     }
@@ -916,7 +1027,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             seed: fault_seed,
             stall: (stall_ms > 0).then(|| Duration::from_millis(stall_ms)),
         }),
+        verbose,
     };
+    // The served registry backs `GET /metrics` and `GET /stats`; a
+    // server that never records would answer with all-zero counters.
+    obs::set_enabled(true);
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
@@ -926,8 +1041,54 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         ds.n()
     );
     let _ = std::io::stdout().flush();
+
+    // `--metrics-log`: a sampler thread appends one JSONL registry
+    // snapshot per interval until the listener drains.
+    let log_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let logger = match &metrics_log {
+        None => None,
+        Some(path) => {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("--metrics-log {path}: {e}"))?;
+            let stop = std::sync::Arc::clone(&log_stop);
+            let interval = Duration::from_millis(metrics_interval_ms.max(50));
+            let started = std::time::Instant::now();
+            Some(std::thread::spawn(move || {
+                loop {
+                    let line = format!(
+                        "{{\"elapsed_ms\":{},\"metrics\":{}}}",
+                        started.elapsed().as_millis(),
+                        obs::registry().render_json()
+                    );
+                    if writeln!(file, "{line}").is_err() {
+                        return;
+                    }
+                    if stop.load(std::sync::atomic::Ordering::Acquire) {
+                        return;
+                    }
+                    // Sliced sleep: notice a drain quickly (and write one
+                    // final snapshot) even with a long interval.
+                    let mut waited = Duration::ZERO;
+                    while waited < interval && !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let step = (interval - waited).min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                }
+            }))
+        }
+    };
+
     let cancel = CancelToken::new();
-    let stats = serve(listener, shared, opts, &cancel).map_err(|e| e.to_string())?;
+    let result = serve(listener, shared, opts, &cancel);
+    log_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(handle) = logger {
+        let _ = handle.join();
+    }
+    let stats = result.map_err(|e| e.to_string())?;
     println!(
         "drained: {} requests over {} connections ({} faults injected)",
         stats.requests, stats.connections, stats.faults_injected

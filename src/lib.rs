@@ -72,6 +72,7 @@ pub use hdc_barrier as barrier;
 pub use hdc_core as core;
 pub use hdc_data as data;
 pub use hdc_net as net;
+pub use hdc_obs as obs;
 pub use hdc_server as server;
 pub use hdc_types as types;
 
