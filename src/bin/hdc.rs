@@ -45,7 +45,10 @@ struct CliObserver {
 /// computation plus a repaint throttle.
 struct LiveStatus {
     started: std::time::Instant,
-    last: std::time::Instant,
+    /// Previous repaint (instant + the point it showed), so rates are
+    /// deltas over the last window, not lifetime averages. `None`
+    /// until the first repaint, which fires immediately.
+    last: Option<(std::time::Instant, ProgressPoint)>,
 }
 
 /// Queries between progress-line repaints (keeps stderr readable on
@@ -71,10 +74,9 @@ impl CliObserver {
     /// recording the counters the line renders.
     fn live(mut self) -> Self {
         obs::set_enabled(true);
-        let now = std::time::Instant::now();
         self.live = Some(LiveStatus {
-            started: now,
-            last: now - LIVE_INTERVAL,
+            started: std::time::Instant::now(),
+            last: None,
         });
         self
     }
@@ -92,11 +94,20 @@ impl CliObserver {
         let Some(live) = &mut self.live else {
             return false;
         };
-        if live.last.elapsed() < LIVE_INTERVAL {
-            return true;
+        let now = std::time::Instant::now();
+        if let Some((at, _)) = live.last {
+            if now.duration_since(at) < LIVE_INTERVAL {
+                return true;
+            }
         }
-        live.last = std::time::Instant::now();
-        let elapsed = live.started.elapsed().as_secs_f64().max(1e-9);
+        // Rates are deltas over the window since the previous repaint;
+        // the first repaint's window starts at crawl start.
+        let (since, prev) = match live.last {
+            Some((at, prev)) => (at, prev),
+            None => (live.started, ProgressPoint::default()),
+        };
+        live.last = Some((now, point));
+        let elapsed = now.duration_since(since).as_secs_f64().max(1e-9);
         let r = obs::registry();
         let charged = r
             .counter(
@@ -116,9 +127,9 @@ impl CliObserver {
         eprint!(
             "\r  {:>8} q ({:>6.0} q/s)  {:>8} t ({:>6.0} t/s)  charged {:>8}  batch p99 {:>7.2} ms",
             point.queries,
-            point.queries as f64 / elapsed,
+            point.queries.saturating_sub(prev.queries) as f64 / elapsed,
             point.tuples,
-            point.tuples as f64 / elapsed,
+            point.tuples.saturating_sub(prev.tuples) as f64 / elapsed,
             charged,
             p99_ms,
         );
@@ -406,7 +417,7 @@ fn cmd_datasets() -> Result<(), String> {
 /// completes leaves no file to resume from.
 fn checkpoint_hint(path: &str) {
     if std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false) {
-        checkpoint_hint(path);
+        println!("checkpoint retained — rerun with --resume {path}");
     } else {
         println!("no checkpoint written — stopped before the first shard completed");
     }
