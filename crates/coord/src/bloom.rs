@@ -1,0 +1,357 @@
+//! Cross-restart tuple dedup: an exact key set or a seeded double-hash
+//! Bloom filter, both persistable to a small text file beside the
+//! checkpoint.
+//!
+//! Dedup answers one question for repeated or incremental crawls: *of
+//! the tuples this shard just delivered, how many had never been seen
+//! across any previous run?* The answer is an **annotation** — the
+//! crawled bag stays exact in the checkpoint regardless of mode, so a
+//! Bloom false positive can only under-count the "new" tally, never
+//! drop a tuple from the result (the `fleet_equiv` suite cross-checks
+//! Bloom against exact mode).
+//!
+//! The filter is dependency-free: double hashing (`h1 + i·h2` over `k`
+//! probes, Kirsch–Mitzenmacher) on top of two seeded FNV-1a streams.
+//! Seeding makes runs reproducible and lets tests pick adversarial
+//! seeds.
+
+use std::collections::HashSet;
+use std::io;
+
+use hdc_types::{Tuple, Value};
+
+/// Bits reserved per expected item — ~0.8% false-positive rate at the
+/// matching probe count ([`BLOOM_PROBES`]).
+const BLOOM_BITS_PER_ITEM: u64 = 10;
+/// Number of double-hash probes per key (`k ≈ m/n · ln 2`).
+const BLOOM_PROBES: u32 = 7;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Seeded FNV-1a over `key`, with the seed folded into the offset basis.
+fn fnv1a(seed: u64, key: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 tail) — FNV alone clusters on short,
+    // similar keys like encoded tuples.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A seeded double-hash Bloom filter over byte keys.
+///
+/// No false negatives ever: a key that was inserted is always reported
+/// present. False positives happen at a rate set by the bits-per-item
+/// sizing (~0.8% at the defaults).
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// Filter width in bits (`bits.len() * 64`).
+    m: u64,
+    probes: u32,
+    seed: u64,
+    items: u64,
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected` items at ~0.8% false positives.
+    /// `seed` perturbs both hash streams, so distinct seeds give
+    /// independent filters over the same keys.
+    pub fn with_capacity(expected: u64, seed: u64) -> Self {
+        let m = (expected.max(1) * BLOOM_BITS_PER_ITEM).next_multiple_of(64);
+        BloomFilter {
+            bits: vec![0; (m / 64) as usize],
+            m,
+            probes: BLOOM_PROBES,
+            seed,
+            items: 0,
+        }
+    }
+
+    fn probe_bits(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let h1 = fnv1a(self.seed, key);
+        // `| 1` keeps the stride odd so probes never collapse onto one
+        // bit even when h2 divides m.
+        let h2 = fnv1a(self.seed.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15, key) | 1;
+        let m = self.m;
+        (0..u64::from(self.probes)).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % m)
+    }
+
+    /// Whether `key` is *possibly* present (definitely absent on
+    /// `false`).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.probe_bits(key)
+            .all(|b| self.bits[(b / 64) as usize] & (1 << (b % 64)) != 0)
+    }
+
+    /// Inserts `key`; returns `true` when it was (possibly) new — i.e.
+    /// at least one probe bit was previously unset.
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let mut fresh = false;
+        let probes: Vec<u64> = self.probe_bits(key).collect();
+        for b in probes {
+            let word = &mut self.bits[(b / 64) as usize];
+            let mask = 1 << (b % 64);
+            if *word & mask == 0 {
+                fresh = true;
+                *word |= mask;
+            }
+        }
+        if fresh {
+            self.items += 1;
+        }
+        fresh
+    }
+
+    /// Distinct keys inserted (first sightings only).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+}
+
+/// New-vs-seen tallies accumulated by a [`TupleDedup`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Tuples never seen before across any absorbed run.
+    pub new: u64,
+    /// Tuples recognized from an earlier sighting (including earlier in
+    /// the same run — bag multiplicity counts here too).
+    pub seen: u64,
+}
+
+/// Cross-restart tuple dedup in one of two modes: an exact key set
+/// (ground truth, memory ∝ distinct tuples) or a [`BloomFilter`]
+/// (constant memory, small false-positive rate that can only
+/// *under*-count "new").
+#[derive(Clone, Debug)]
+pub enum TupleDedup {
+    /// Exact mode: every distinct tuple key retained.
+    Exact(HashSet<String>),
+    /// Bloom mode: constant-space approximate membership.
+    Bloom(BloomFilter),
+}
+
+impl TupleDedup {
+    /// Exact-mode dedup (the fallback when memory allows).
+    pub fn exact() -> Self {
+        TupleDedup::Exact(HashSet::new())
+    }
+
+    /// Bloom-mode dedup sized for `expected` distinct tuples.
+    pub fn bloom(expected: u64, seed: u64) -> Self {
+        TupleDedup::Bloom(BloomFilter::with_capacity(expected, seed))
+    }
+
+    /// The canonical persistence key for a tuple: value-kind-tagged
+    /// decimal fields, `;`-joined — unambiguous, newline-free, and
+    /// stable across runs.
+    pub fn key(tuple: &Tuple) -> String {
+        let mut s = String::new();
+        for v in tuple.values() {
+            match v {
+                Value::Cat(c) => {
+                    s.push('c');
+                    s.push_str(&c.to_string());
+                }
+                Value::Int(i) => {
+                    s.push('i');
+                    s.push_str(&i.to_string());
+                }
+            }
+            s.push(';');
+        }
+        s
+    }
+
+    /// Inserts a tuple; `true` when it was new (never seen before).
+    pub fn insert(&mut self, tuple: &Tuple) -> bool {
+        let key = TupleDedup::key(tuple);
+        match self {
+            TupleDedup::Exact(set) => set.insert(key),
+            TupleDedup::Bloom(filter) => filter.insert(key.as_bytes()),
+        }
+    }
+
+    /// Whether the tuple has (possibly) been seen.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        let key = TupleDedup::key(tuple);
+        match self {
+            TupleDedup::Exact(set) => set.contains(&key),
+            TupleDedup::Bloom(filter) => filter.contains(key.as_bytes()),
+        }
+    }
+
+    /// Distinct tuples recorded (first sightings).
+    pub fn items(&self) -> u64 {
+        match self {
+            TupleDedup::Exact(set) => set.len() as u64,
+            TupleDedup::Bloom(filter) => filter.items(),
+        }
+    }
+
+    /// Serializes to the `.seen` sidecar format (plain text, one header
+    /// line then mode-specific payload).
+    pub fn to_text(&self) -> String {
+        match self {
+            TupleDedup::Exact(set) => {
+                let mut keys: Vec<&str> = set.iter().map(String::as_str).collect();
+                keys.sort_unstable(); // deterministic files for identical state
+                let mut out = format!("hdc-seen v1 exact {}\n", keys.len());
+                for k in keys {
+                    out.push_str(k);
+                    out.push('\n');
+                }
+                out
+            }
+            TupleDedup::Bloom(f) => {
+                let mut out = format!(
+                    "hdc-seen v1 bloom {} {} {} {}\n",
+                    f.m, f.probes, f.seed, f.items
+                );
+                for w in &f.bits {
+                    out.push_str(&format!("{w:016x}\n"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses the `.seen` sidecar format. Errors on anything malformed
+    /// — a corrupt sidecar must not silently reset dedup state.
+    pub fn from_text(text: &str) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("seen file: {msg}"));
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| bad("empty"))?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() < 3 || fields[0] != "hdc-seen" || fields[1] != "v1" {
+            return Err(bad("bad header"));
+        }
+        match fields[2] {
+            "exact" => {
+                let n: usize = fields
+                    .get(3)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad exact count"))?;
+                let set: HashSet<String> = lines.map(str::to_string).collect();
+                if set.len() != n {
+                    return Err(bad("exact count mismatch"));
+                }
+                Ok(TupleDedup::Exact(set))
+            }
+            "bloom" => {
+                if fields.len() != 7 {
+                    return Err(bad("bad bloom header"));
+                }
+                let m: u64 = fields[3].parse().map_err(|_| bad("bad m"))?;
+                let probes: u32 = fields[4].parse().map_err(|_| bad("bad probes"))?;
+                let seed: u64 = fields[5].parse().map_err(|_| bad("bad seed"))?;
+                let items: u64 = fields[6].parse().map_err(|_| bad("bad items"))?;
+                if m == 0 || !m.is_multiple_of(64) || probes == 0 {
+                    return Err(bad("bad bloom geometry"));
+                }
+                let bits: Vec<u64> = lines
+                    .map(|l| u64::from_str_radix(l.trim(), 16).map_err(|_| bad("bad word")))
+                    .collect::<io::Result<_>>()?;
+                if bits.len() as u64 != m / 64 {
+                    return Err(bad("bloom word count mismatch"));
+                }
+                Ok(TupleDedup::Bloom(BloomFilter {
+                    bits,
+                    m,
+                    probes,
+                    seed,
+                    items,
+                }))
+            }
+            other => Err(bad(&format!("unknown mode {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_types::tuple::{cat_tuple, int_tuple};
+
+    fn keys(n: u64, salt: u64) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("key-{salt}-{i}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        for seed in [0, 1, 7, u64::MAX] {
+            let mut f = BloomFilter::with_capacity(500, seed);
+            let ks = keys(500, seed);
+            for k in &ks {
+                f.insert(k);
+            }
+            for k in &ks {
+                assert!(f.contains(k), "inserted key missing (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_modest() {
+        let mut f = BloomFilter::with_capacity(1000, 42);
+        for k in keys(1000, 1) {
+            f.insert(&k);
+        }
+        let fp = keys(10_000, 2).iter().filter(|k| f.contains(k)).count();
+        // ~0.8% expected; generous ceiling to keep the test stable.
+        assert!(fp < 300, "false-positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn dedup_counts_and_persists_both_modes() {
+        let tuples = [
+            int_tuple(&[1, -5]),
+            cat_tuple(&[0, 3]),
+            int_tuple(&[1, -5]), // duplicate
+        ];
+        for mut d in [TupleDedup::exact(), TupleDedup::bloom(100, 9)] {
+            assert!(d.insert(&tuples[0]));
+            assert!(d.insert(&tuples[1]));
+            assert!(!d.insert(&tuples[2]), "duplicate must read as seen");
+            assert_eq!(d.items(), 2);
+            let restored = TupleDedup::from_text(&d.to_text()).unwrap();
+            assert_eq!(restored.items(), 2);
+            assert!(restored.contains(&tuples[0]));
+            assert!(restored.contains(&tuples[1]));
+        }
+    }
+
+    #[test]
+    fn keys_are_injective_across_kinds_and_digit_splits() {
+        // `c1` + `i2` must not collide with `c12` + `i...` etc.
+        let a = TupleDedup::key(&Tuple::new(vec![Value::Cat(1), Value::Int(23)]));
+        let b = TupleDedup::key(&Tuple::new(vec![Value::Cat(12), Value::Int(3)]));
+        let c = TupleDedup::key(&Tuple::new(vec![Value::Int(1), Value::Int(23)]));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corrupt_seen_files_error_cleanly() {
+        for text in [
+            "",
+            "garbage",
+            "hdc-seen v2 exact 0\n",
+            "hdc-seen v1 exact 3\nonly-one\n",
+            "hdc-seen v1 bloom 64 7 0\n", // short header
+            "hdc-seen v1 bloom 64 7 0 0\nnot-hex\n",
+            "hdc-seen v1 bloom 63 7 0 0\n", // m not multiple of 64
+        ] {
+            assert!(TupleDedup::from_text(text).is_err(), "{text:?} must fail");
+        }
+    }
+}

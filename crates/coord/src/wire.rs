@@ -1,0 +1,214 @@
+//! The worker-side wire client for the coordination protocol: a
+//! [`LeaseRepository`] that speaks HTTP to a [`crate::Coordinator`]
+//! mounted on `hdc serve --coordinate`.
+//!
+//! One short-lived TCP connection per verb (the `hdc stop` idiom):
+//! lease traffic is rare — once per shard plus one heartbeat per root
+//! value — so connection reuse buys nothing and statelessness keeps
+//! worker crash behavior trivial.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hdc_core::{CrawlCheckpoint, CrawlRepository, ShardSnapshot};
+use hdc_net::http;
+
+use crate::lease::{LeaseDecision, LeaseGrant, LeaseRepository};
+
+/// Per-request socket timeout: a coordinator that stalls longer than
+/// this counts as unreachable.
+const WIRE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A [`LeaseRepository`] over HTTP. Construction fetches the plan from
+/// `GET /plan`, so a connected client always knows every shard
+/// signature and the lease TTL.
+#[derive(Clone, Debug)]
+pub struct WireLeaseRepository {
+    addr: String,
+    plan: Vec<String>,
+    ttl_ms: u64,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl WireLeaseRepository {
+    /// Connects to a coordinator at `url` (`http://host:port`, scheme
+    /// optional) and fetches its plan.
+    pub fn connect(url: &str) -> io::Result<Self> {
+        let addr = url
+            .trim()
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_string();
+        let mut client = WireLeaseRepository {
+            addr,
+            plan: Vec::new(),
+            ttl_ms: 0,
+        };
+        let body = client.call("GET", "/plan", b"")?;
+        let mut lines = body.lines();
+        let header = lines.next().unwrap_or("");
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 5 || fields[0] != "hdc-coord" || fields[1] != "v1" {
+            return Err(invalid(format!(
+                "not a coordinator (bad /plan header {header:?}) — is the server running with --coordinate?"
+            )));
+        }
+        client.ttl_ms = fields[2]
+            .parse()
+            .map_err(|_| invalid(format!("bad ttl in {header:?}")))?;
+        let total: usize = fields[3]
+            .parse()
+            .map_err(|_| invalid(format!("bad shard count in {header:?}")))?;
+        client.plan = lines.map(str::to_string).collect();
+        if client.plan.len() != total {
+            return Err(invalid(format!(
+                "plan advertised {total} shards but sent {}",
+                client.plan.len()
+            )));
+        }
+        Ok(client)
+    }
+
+    /// The lease TTL the coordinator advertises.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// One request/response round trip on a fresh connection. Non-2xx
+    /// responses become errors carrying the server's message (so the
+    /// `409 mismatch: …` plan hint reaches the operator verbatim).
+    fn call(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<String> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(WIRE_TIMEOUT))?;
+        stream.set_write_timeout(Some(WIRE_TIMEOUT))?;
+        http::write_request(&mut stream, method, path, body)?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let resp = http::read_response(&mut reader)?;
+        let text = String::from_utf8_lossy(&resp.body).into_owned();
+        if resp.status / 100 != 2 {
+            return Err(invalid(format!(
+                "coordinator answered {} on {path}: {}",
+                resp.status,
+                text.trim()
+            )));
+        }
+        Ok(text)
+    }
+
+    /// A one-snapshot checkpoint payload carrying the full plan (the
+    /// coordinator re-verifies the fingerprint on every message).
+    fn snapshot_payload(&self, snapshot: &ShardSnapshot) -> String {
+        let mut cp = CrawlCheckpoint::new(self.plan.clone());
+        cp.shards.push(snapshot.clone());
+        cp.to_json()
+    }
+}
+
+impl CrawlRepository for WireLeaseRepository {
+    fn load(&mut self) -> io::Result<Option<CrawlCheckpoint>> {
+        let body = self.call("GET", "/checkpoint", b"")?;
+        Ok(Some(CrawlCheckpoint::from_json(&body)?))
+    }
+
+    fn store(&mut self, _checkpoint: &CrawlCheckpoint) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "wire lease clients report work via complete(), not store()",
+        ))
+    }
+}
+
+impl LeaseRepository for WireLeaseRepository {
+    fn plan(&mut self) -> io::Result<Vec<String>> {
+        Ok(self.plan.clone())
+    }
+
+    fn lease(&mut self, worker: &str) -> io::Result<LeaseDecision> {
+        let body = self.call("POST", "/lease", worker.as_bytes())?;
+        let (head, rest) = match body.split_once('\n') {
+            Some((h, r)) => (h, r.trim()),
+            None => (body.trim(), ""),
+        };
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        match fields.first().copied() {
+            Some("grant") if fields.len() == 4 => {
+                let index: usize = fields[1]
+                    .parse()
+                    .map_err(|_| invalid(format!("bad grant index {head:?}")))?;
+                let lease: u64 = fields[2]
+                    .parse()
+                    .map_err(|_| invalid(format!("bad grant lease {head:?}")))?;
+                let ttl_ms: u64 = fields[3]
+                    .parse()
+                    .map_err(|_| invalid(format!("bad grant ttl {head:?}")))?;
+                let signature = self
+                    .plan
+                    .get(index)
+                    .cloned()
+                    .ok_or_else(|| invalid(format!("grant index {index} beyond plan")))?;
+                let partial = if rest.is_empty() {
+                    None
+                } else {
+                    let cp = CrawlCheckpoint::from_json(rest)?;
+                    cp.shards.into_iter().next()
+                };
+                Ok(LeaseDecision::Grant(Box::new(LeaseGrant {
+                    index,
+                    signature,
+                    lease,
+                    ttl_ms,
+                    partial,
+                })))
+            }
+            Some("wait") if fields.len() == 2 => {
+                let retry_ms = fields[1]
+                    .parse()
+                    .map_err(|_| invalid(format!("bad wait {head:?}")))?;
+                Ok(LeaseDecision::Wait { retry_ms })
+            }
+            Some("drained") => Ok(LeaseDecision::Drained),
+            _ => Err(invalid(format!("unrecognized lease answer {head:?}"))),
+        }
+    }
+
+    fn heartbeat(
+        &mut self,
+        index: usize,
+        lease: u64,
+        partial: Option<&ShardSnapshot>,
+    ) -> io::Result<bool> {
+        let mut body = format!("{index} {lease}\n");
+        if let Some(p) = partial {
+            body.push_str(&self.snapshot_payload(p));
+        }
+        let answer = self.call("POST", "/heartbeat", body.as_bytes())?;
+        match answer.trim() {
+            "ok" => Ok(true),
+            "lost" => Ok(false),
+            other => Err(invalid(format!("unrecognized heartbeat answer {other:?}"))),
+        }
+    }
+
+    fn complete(
+        &mut self,
+        index: usize,
+        lease: u64,
+        snapshot: ShardSnapshot,
+    ) -> io::Result<Option<u64>> {
+        let body = format!("{index} {lease}\n{}", self.snapshot_payload(&snapshot));
+        let answer = self.call("POST", "/complete", body.as_bytes())?;
+        let answer = answer.trim();
+        if answer == "lost" {
+            return Ok(None);
+        }
+        match answer.strip_prefix("ok ").and_then(|n| n.parse().ok()) {
+            Some(new) => Ok(Some(new)),
+            None => Err(invalid(format!("unrecognized complete answer {answer:?}"))),
+        }
+    }
+}

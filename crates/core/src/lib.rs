@@ -86,13 +86,15 @@ pub use orchestrate::{
 };
 pub use report::{CrawlError, CrawlMetrics, CrawlReport, ProgressPoint};
 pub use repository::{
-    CrawlCheckpoint, CrawlRepository, JsonFileRepository, MemoryRepository, ShardSnapshot,
+    CrawlCheckpoint, CrawlRepository, JsonFileRepository, MemoryRepository, RepositoryError,
+    ShardSnapshot,
 };
 pub use retry::{FaultHistory, RetryPolicy};
 pub use session::{
     run_crawl, run_crawl_configured, run_crawl_observed, Abort, Session, SessionConfig, MAX_BATCH,
 };
 pub use sharded::{
-    CrawlControls, PoolStats, ShardRun, ShardSpec, Sharded, ShardedReport, TaskSource, WorkerStats,
+    snapshot_of_report, CrawlControls, PoolStats, ResumableShard, ShardRun, ShardSpec, Sharded,
+    ShardedReport, TaskSource, WorkerStats,
 };
 pub use validate::verify_complete;

@@ -22,8 +22,21 @@
 //! The checkpoint embeds the plan's [`ShardSpec`
 //! signatures](crate::ShardSpec::signature): resuming against a
 //! different schema, session count, or oversubscription factor is a
-//! logic error (the shards would not partition the same space) and
-//! panics rather than silently merging mismatched bags.
+//! plan mismatch (the shards would not partition the same space) and
+//! surfaces as a typed [`RepositoryError::PlanMismatch`] — see
+//! [`CrawlCheckpoint::verify_plan`] — rather than silently merging
+//! mismatched bags. Drivers turn it into a clean [`crate::CrawlError`]
+//! so a worker joining a fleet with a stale plan retires gracefully
+//! instead of aborting the process.
+//!
+//! Since the distributed-coordination work a snapshot may also be
+//! **partial**: [`ShardSnapshot::frontier`] carries a crawler-specific
+//! resume cursor (the number of completed root values of a resumable
+//! shard — see [`crate::ResumableShard`]). Partial snapshots exist so a
+//! crash mid-heavy-shard replays only the un-checkpointed suffix; the
+//! single-process drivers ignore them on restore (they re-crawl the
+//! whole shard, which is always correct) while the `hdc-coord` lease
+//! coordinator hands them to the salvaging peer.
 
 use std::fmt::Write as _;
 use std::io;
@@ -51,11 +64,73 @@ pub struct ShardSnapshot {
     pub overflowed: u64,
     /// Oracle-pruned queries (answered locally, never charged).
     pub pruned: u64,
+    /// In-progress resume cursor: `None` for a *complete* shard,
+    /// `Some(c)` for a partial snapshot covering the shard's first `c`
+    /// root values (the crawler-specific boundary exposed by
+    /// [`crate::ResumableShard`]). The accounting and tuples of a
+    /// partial snapshot describe exactly that prefix; a salvaging peer
+    /// crawls the suffix and merges. Absent from checkpoints written
+    /// before this field existed, which parse as complete.
+    pub frontier: Option<u64>,
     /// Per-mechanism counters.
     pub metrics: CrawlMetrics,
     /// The tuples the shard extracted, in extraction order.
     pub tuples: Vec<Tuple>,
 }
+
+impl ShardSnapshot {
+    /// Whether this snapshot describes a finished shard (no in-progress
+    /// frontier).
+    pub fn is_complete(&self) -> bool {
+        self.frontier.is_none()
+    }
+}
+
+/// A typed checkpoint-compatibility failure: the durable state cannot be
+/// merged into the crawl being resumed. Distinct from I/O or parse
+/// errors — the file is intact; it just describes a *different* crawl.
+#[derive(Debug)]
+pub enum RepositoryError {
+    /// The checkpoint was taken for a different plan (schema, session
+    /// count, or oversubscription changed): resuming would merge shards
+    /// that do not partition the same data space.
+    PlanMismatch {
+        /// The plan the resuming crawl computed.
+        expected: Vec<String>,
+        /// The plan embedded in the checkpoint.
+        found: Vec<String>,
+    },
+    /// A snapshot's plan index exceeds the plan it claims to belong to —
+    /// an internally inconsistent checkpoint.
+    SnapshotOutOfPlan {
+        /// The offending snapshot's plan index.
+        index: usize,
+        /// The plan's shard count.
+        plan_len: usize,
+    },
+}
+
+impl std::fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepositoryError::PlanMismatch { expected, found } => write!(
+                f,
+                "checkpoint plan mismatch: the checkpoint was taken for a \
+                 different plan (schema, sessions, or oversubscription \
+                 changed) — expected {} shard(s), found {}; resuming would \
+                 merge mismatched shards",
+                expected.len(),
+                found.len()
+            ),
+            RepositoryError::SnapshotOutOfPlan { index, plan_len } => write!(
+                f,
+                "checkpoint snapshot index {index} out of plan ({plan_len} shard(s))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
 
 /// A resumable crawl's durable state: the plan it was cut into and the
 /// shards finished so far.
@@ -82,6 +157,29 @@ impl CrawlCheckpoint {
         self.shards.iter().any(|s| s.index == index)
     }
 
+    /// Verifies this checkpoint can be merged into a crawl whose plan is
+    /// `plan`: the embedded signatures must match exactly and every
+    /// snapshot index must lie inside the plan. The typed error lets
+    /// drivers retire cleanly (print the hint, keep the fleet alive)
+    /// instead of panicking on a stale checkpoint.
+    pub fn verify_plan(&self, plan: &[String]) -> Result<(), RepositoryError> {
+        if self.plan != plan {
+            return Err(RepositoryError::PlanMismatch {
+                expected: plan.to_vec(),
+                found: self.plan.clone(),
+            });
+        }
+        for s in &self.shards {
+            if s.index >= plan.len() {
+                return Err(RepositoryError::SnapshotOutOfPlan {
+                    index: s.index,
+                    plan_len: plan.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to the `hdc-crawl-checkpoint` JSON format (version 1).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -103,12 +201,17 @@ impl CrawlCheckpoint {
             let _ = write!(
                 out,
                 "{{\"index\": {}, \"queries\": {}, \"resolved\": {}, \
-                 \"overflowed\": {}, \"pruned\": {}, \"metrics\": {}, \"tuples\": [",
-                s.index,
-                s.queries,
-                s.resolved,
-                s.overflowed,
-                s.pruned,
+                 \"overflowed\": {}, \"pruned\": {}, ",
+                s.index, s.queries, s.resolved, s.overflowed, s.pruned,
+            );
+            if let Some(frontier) = s.frontier {
+                // Emitted only for partial snapshots, so complete
+                // checkpoints stay byte-compatible with old readers.
+                let _ = write!(out, "\"frontier\": {frontier}, ");
+            }
+            let _ = write!(
+                out,
+                "\"metrics\": {}, \"tuples\": [",
                 metrics_json(&s.metrics),
             );
             for (j, t) in s.tuples.iter().enumerate() {
@@ -187,6 +290,8 @@ impl CrawlCheckpoint {
                 resolved: int_field(s, "resolved")?,
                 overflowed: int_field(s, "overflowed")?,
                 pruned: int_field(s, "pruned")?,
+                // Absent in pre-frontier checkpoints: a complete shard.
+                frontier: opt_int_field(s, "frontier")?,
                 metrics: parse_metrics(get(s, "metrics")?)?,
                 tuples,
             });
@@ -268,6 +373,16 @@ fn int_field(obj: &[(String, json::Json)], key: &str) -> io::Result<u64> {
         .ok_or_else(|| invalid(format!("field {key:?} must be a non-negative integer")))
 }
 
+/// Like [`int_field`] but tolerates a missing key (`None`); a *present*
+/// key must still be a well-formed non-negative integer.
+fn opt_int_field(obj: &[(String, json::Json)], key: &str) -> io::Result<Option<u64>> {
+    if obj.iter().any(|(k, _)| k == key) {
+        int_field(obj, key).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
 /// Where a resumable crawl keeps its checkpoint.
 ///
 /// `Send` because the sharded crawl stores checkpoints from worker
@@ -318,10 +433,12 @@ impl CrawlRepository for MemoryRepository {
     }
 }
 
-/// A [`CrawlRepository`] backed by one JSON file, written **atomically**:
-/// the checkpoint is serialized to `<path>.tmp` and renamed over the
-/// target, so a crash mid-store leaves the previous checkpoint intact —
-/// the file is always either absent or a complete, parseable checkpoint.
+/// A [`CrawlRepository`] backed by one JSON file, written **atomically
+/// and durably**: the checkpoint is serialized to `<path>.tmp`, fsynced,
+/// renamed over the target, and the parent directory is fsynced so the
+/// rename itself survives power loss — not just a process crash. A
+/// failure at any point leaves the previous checkpoint intact: the file
+/// is always either absent or a complete, parseable checkpoint.
 #[derive(Clone, Debug)]
 pub struct JsonFileRepository {
     path: PathBuf,
@@ -350,11 +467,29 @@ impl CrawlRepository for JsonFileRepository {
     }
 
     fn store(&mut self, checkpoint: &CrawlCheckpoint) -> io::Result<()> {
+        use std::io::Write as _;
         let mut tmp = self.path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, checkpoint.to_json())?;
-        std::fs::rename(&tmp, &self.path)
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(checkpoint.to_json().as_bytes())?;
+        // The tmp file's *contents* must be on disk before the rename
+        // publishes it, or a power cut could promote an empty file.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &self.path)?;
+        // And the rename itself must be durable: fsync the directory
+        // entry, or power loss after "successful" store could resurrect
+        // the previous checkpoint (silent progress rollback).
+        #[cfg(unix)]
+        {
+            let parent = match self.path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
     }
 }
 
@@ -540,6 +675,7 @@ mod tests {
                 resolved: 30,
                 overflowed: 12,
                 pruned: 3,
+                frontier: None,
                 metrics: CrawlMetrics {
                     two_way_splits: 1,
                     three_way_splits: 2,
@@ -574,6 +710,47 @@ mod tests {
         let parsed = CrawlCheckpoint::from_json(&checkpoint.to_json()).unwrap();
         assert_eq!(parsed, checkpoint);
         assert!(!checkpoint.has_shard(0));
+    }
+
+    #[test]
+    fn partial_snapshot_frontier_roundtrips() {
+        let mut checkpoint = sample();
+        checkpoint.shards[0].frontier = Some(3);
+        assert!(!checkpoint.shards[0].is_complete());
+        let text = checkpoint.to_json();
+        assert!(text.contains("\"frontier\": 3"));
+        let parsed = CrawlCheckpoint::from_json(&text).unwrap();
+        assert_eq!(parsed, checkpoint);
+        // Complete snapshots omit the key entirely, so old readers (and
+        // old files) interoperate.
+        let complete = sample();
+        assert!(!complete.to_json().contains("frontier"));
+        assert!(complete.shards[0].is_complete());
+    }
+
+    #[test]
+    fn verify_plan_catches_mismatch_and_bad_indices() {
+        let checkpoint = sample();
+        let plan = checkpoint.plan.clone();
+        assert!(checkpoint.verify_plan(&plan).is_ok());
+        let err = checkpoint.verify_plan(&["num:0=[0,9]".to_owned()]).unwrap_err();
+        assert!(matches!(err, RepositoryError::PlanMismatch { .. }));
+        assert!(err.to_string().contains("plan mismatch"));
+        let short = &plan[..1];
+        let err = checkpoint.verify_plan(short).unwrap_err();
+        // shards[0].index == 1, plan of 1 shard: both mismatch and
+        // out-of-plan apply; the plan check fires first.
+        assert!(matches!(err, RepositoryError::PlanMismatch { .. }));
+        let mut inconsistent = sample();
+        inconsistent.plan.truncate(1);
+        inconsistent.plan[0] = "cat:0=[0,2]".to_owned();
+        let err = inconsistent
+            .verify_plan(&["cat:0=[0,2]".to_owned()])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RepositoryError::SnapshotOutOfPlan { index: 1, plan_len: 1 }
+        ));
     }
 
     #[test]

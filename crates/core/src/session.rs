@@ -227,6 +227,26 @@ impl<'a> Session<'a> {
         &mut self.metrics
     }
 
+    /// A point-in-time copy of the session's full accounting and output —
+    /// what `Session::finish` would return if the crawl ended right
+    /// now. This is the substrate of within-shard partial snapshots: a
+    /// resumable crawler calls it at each resume boundary so a
+    /// checkpoint can bank the completed prefix without ending the
+    /// session. Clones the output bag; call at coarse boundaries, not
+    /// per query.
+    pub fn interim_report(&self) -> CrawlReport {
+        CrawlReport {
+            algorithm: self.algorithm,
+            tuples: self.output.clone(),
+            queries: self.queries,
+            resolved: self.resolved,
+            overflowed: self.overflowed,
+            pruned: self.pruned,
+            metrics: self.metrics,
+            progress: self.recorder.points().to_vec(),
+        }
+    }
+
     /// Delivers one event to the external observer (if any), latching a
     /// [`Flow::Stop`] into the session's stopped flag. A free function
     /// over the two fields so callers can hold disjoint borrows of the

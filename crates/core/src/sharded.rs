@@ -206,6 +206,72 @@ impl ShardSpec {
         }
     }
 
+    /// Parses a [`ShardSpec::signature`] back into the spec — the wire
+    /// half of the distributed protocol: a lease coordinator hands out
+    /// shards *by signature* (the canonical name is the only thing that
+    /// crosses the wire), and the worker reconstructs the spec to crawl
+    /// it. Round-trips exactly: `parse_signature(&s.signature()) ==
+    /// Some(s)` for every spec. Returns `None` on anything that is not a
+    /// well-formed signature.
+    pub fn parse_signature(sig: &str) -> Option<ShardSpec> {
+        fn values(s: &str) -> Option<Vec<u32>> {
+            let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+            if inner.trim().is_empty() {
+                return Some(Vec::new());
+            }
+            inner
+                .split(',')
+                .map(|tok| tok.trim().parse::<u32>().ok())
+                .collect()
+        }
+        fn range(s: &str) -> Option<(i64, i64)> {
+            let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+            let (lo, hi) = inner.split_once(',')?;
+            Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+        }
+        if let Some(rest) = sig.strip_prefix("cat:") {
+            let (attr, vals) = rest.split_once('=')?;
+            return Some(ShardSpec::CatValues {
+                attr: attr.parse().ok()?,
+                values: values(vals)?,
+            });
+        }
+        if let Some(rest) = sig.strip_prefix("catsub:") {
+            let (first, second) = rest.split_once(':')?;
+            let (attr, value) = first.split_once('=')?;
+            let (sub_attr, sub_vals) = second.split_once('=')?;
+            return Some(ShardSpec::CatSub {
+                attr: attr.parse().ok()?,
+                value: value.parse().ok()?,
+                sub_attr: sub_attr.parse().ok()?,
+                sub_values: values(sub_vals)?,
+            });
+        }
+        if let Some(rest) = sig.strip_prefix("catnum:") {
+            let (first, second) = rest.split_once(':')?;
+            let (attr, value) = first.split_once('=')?;
+            let (num_attr, bounds) = second.split_once('=')?;
+            let (lo, hi) = range(bounds)?;
+            return Some(ShardSpec::CatNumRange {
+                attr: attr.parse().ok()?,
+                value: value.parse().ok()?,
+                num_attr: num_attr.parse().ok()?,
+                lo,
+                hi,
+            });
+        }
+        if let Some(rest) = sig.strip_prefix("num:") {
+            let (attr, bounds) = rest.split_once('=')?;
+            let (lo, hi) = range(bounds)?;
+            return Some(ShardSpec::NumRange {
+                attr: attr.parse().ok()?,
+                lo,
+                hi,
+            });
+        }
+        None
+    }
+
     /// Crawls this shard on `db`, which must view the same logical
     /// database the plan was made for.
     ///
@@ -345,6 +411,192 @@ impl ShardSpec {
                 )
             }
         })
+    }
+
+    /// [`ShardSpec::crawl_configured`] with a **resume boundary
+    /// callback**: for the extended-DFS shard kinds ([`CatValues`] /
+    /// [`CatSub`], the ones [`ResumableShard`] reports resumable) the
+    /// shard's root values are crawled one at a time on a *shared* slice
+    /// table and session, and `on_root(done, interim)` fires after each
+    /// completed root with the session's point-in-time report. A caller
+    /// banks those interims as partial [`ShardSnapshot`]s
+    /// (`frontier = done`): a crash mid-shard then replays only the
+    /// suffix `resume_suffix(done)` instead of the whole shard.
+    ///
+    /// Equivalence: a root-level child of these shard kinds is always a
+    /// slice query — fetched once through the (shared, memoizing) slice
+    /// table whether the roots are expanded in one call or one at a
+    /// time. The charged query multiset, total cost, tallies, metrics,
+    /// and extracted **bag** (as a multiset) are therefore exactly the
+    /// one-call crawl's; only database batch grouping and the
+    /// interleaving of resolved root slices with sibling subtrees can
+    /// differ, neither of which the cost model or the bag observes. The
+    /// `resumable_equiv` differential test pins this.
+    ///
+    /// Non-resumable specs (the numeric kinds) run the ordinary crawl;
+    /// `on_root` never fires.
+    ///
+    /// [`CatValues`]: ShardSpec::CatValues
+    /// [`CatSub`]: ShardSpec::CatSub
+    pub fn crawl_resumable_configured(
+        &self,
+        db: &mut dyn HiddenDatabase,
+        schema: &Schema,
+        config: SessionConfig<'_>,
+        mut on_root: impl FnMut(u64, &CrawlReport),
+    ) -> Result<CrawlReport, CrawlError> {
+        let cat_dims = schema.cat_indices();
+        let num_dims = schema.num_indices();
+        let rank = RankShrink::new();
+        match self {
+            ShardSpec::CatValues { attr, values } => {
+                run_crawl_configured("sharded-hybrid", db, None, None, config, |session| {
+                    if values.is_empty() {
+                        return Ok(());
+                    }
+                    let mut level_order = vec![*attr];
+                    level_order.extend(cat_dims.iter().copied().filter(|a| a != attr));
+                    let mut table = SliceTable::new(schema, &level_order);
+                    if !num_dims.is_empty() && level_order.len() == 1 {
+                        // Same leaf-window caching rule as the one-call
+                        // path, so costs stay aligned with solo Hybrid.
+                        table.cache_leaf_windows();
+                    }
+                    let leaf = leaf_mode(&rank, &num_dims);
+                    for (done, v) in values.iter().enumerate() {
+                        extended_dfs_from(
+                            session,
+                            &mut table,
+                            &leaf,
+                            DfsRoot {
+                                query: Query::any(schema.arity()),
+                                level: 0,
+                                filter: Some(std::slice::from_ref(v)),
+                            },
+                        )?;
+                        on_root(done as u64 + 1, &session.interim_report());
+                    }
+                    Ok(())
+                })
+            }
+            ShardSpec::CatSub {
+                attr,
+                value,
+                sub_attr,
+                sub_values,
+            } => {
+                run_crawl_configured("sharded-hybrid", db, None, None, config, |session| {
+                    if sub_values.is_empty() {
+                        return Ok(());
+                    }
+                    let mut level_order = vec![*attr, *sub_attr];
+                    level_order.extend(
+                        cat_dims
+                            .iter()
+                            .copied()
+                            .filter(|a| a != attr && a != sub_attr),
+                    );
+                    let mut table = SliceTable::new(schema, &level_order);
+                    let leaf = leaf_mode(&rank, &num_dims);
+                    for (done, w) in sub_values.iter().enumerate() {
+                        extended_dfs_from(
+                            session,
+                            &mut table,
+                            &leaf,
+                            DfsRoot {
+                                query: Query::any(schema.arity())
+                                    .with_pred(*attr, Predicate::Eq(*value)),
+                                level: 1,
+                                filter: Some(std::slice::from_ref(w)),
+                            },
+                        )?;
+                        on_root(done as u64 + 1, &session.interim_report());
+                    }
+                    Ok(())
+                })
+            }
+            // Numeric shards have no crawler-defined resume boundary:
+            // rank-shrink's split tree is adaptive, so the only safe
+            // checkpoint is the whole shard.
+            _ => self.crawl_observed_configured(db, schema, config, None),
+        }
+    }
+}
+
+/// Shards that can checkpoint **mid-flight** at crawler-defined
+/// boundaries, so a crash replays only the un-checkpointed suffix.
+///
+/// The boundary for the extended-DFS shard kinds is a *root value*: the
+/// owned values of [`ShardSpec::CatValues`] (resp. the owned secondary
+/// values of [`ShardSpec::CatSub`]) partition the shard's bag, and the
+/// crawl visits them in order — so "the first `c` roots are done" is a
+/// complete description of a prefix, and the remaining work is exactly
+/// the shard made of the remaining roots. Numeric shards (rank-shrink)
+/// have no such static boundary and report themselves non-resumable.
+///
+/// The contract tying this to [`ShardSnapshot::frontier`]
+/// (`frontier = Some(c)`):
+///
+/// * the partial snapshot's tuples and accounting describe exactly the
+///   first `c` roots (what [`ShardSpec::crawl_resumable_configured`]'s
+///   callback observed);
+/// * `resume_suffix(c)` is a spec whose crawl produces exactly the
+///   rest: prefix + suffix tuples concatenated = the whole shard's bag
+///   as a multiset. Cost is *nearly* additive: the suffix crawl's fresh
+///   slice table may re-fetch slices the prefix shared with it, but it
+///   never re-pays a prefix root's own slice, so resuming always
+///   charges strictly fewer queries than redoing the whole shard (the
+///   `fleet_equiv` suite enforces both properties).
+pub trait ResumableShard {
+    /// How many resume boundaries (root values) this shard has, or
+    /// `None` if it cannot checkpoint mid-flight.
+    fn resume_points(&self) -> Option<usize>;
+
+    /// The shard covering everything after the first `cursor` completed
+    /// roots. `None` for non-resumable shards or an out-of-range cursor.
+    /// `resume_suffix(0)` is the whole shard (modulo being a fresh
+    /// value).
+    fn resume_suffix(&self, cursor: usize) -> Option<ShardSpec>;
+}
+
+impl ResumableShard for ShardSpec {
+    fn resume_points(&self) -> Option<usize> {
+        match self {
+            ShardSpec::CatValues { values, .. } => Some(values.len()),
+            ShardSpec::CatSub { sub_values, .. } => Some(sub_values.len()),
+            ShardSpec::CatNumRange { .. } | ShardSpec::NumRange { .. } => None,
+        }
+    }
+
+    fn resume_suffix(&self, cursor: usize) -> Option<ShardSpec> {
+        match self {
+            ShardSpec::CatValues { attr, values } => {
+                if cursor > values.len() {
+                    return None;
+                }
+                Some(ShardSpec::CatValues {
+                    attr: *attr,
+                    values: values[cursor..].to_vec(),
+                })
+            }
+            ShardSpec::CatSub {
+                attr,
+                value,
+                sub_attr,
+                sub_values,
+            } => {
+                if cursor > sub_values.len() {
+                    return None;
+                }
+                Some(ShardSpec::CatSub {
+                    attr: *attr,
+                    value: *value,
+                    sub_attr: *sub_attr,
+                    sub_values: sub_values[cursor..].to_vec(),
+                })
+            }
+            ShardSpec::CatNumRange { .. } | ShardSpec::NumRange { .. } => None,
+        }
     }
 }
 
@@ -788,14 +1040,23 @@ impl Sharded {
             match repo.load() {
                 Ok(None) => {}
                 Ok(Some(checkpoint)) => {
-                    assert_eq!(
-                        checkpoint.plan, signatures,
-                        "checkpoint was taken for a different plan (schema, \
-                         sessions, or oversubscription changed) — resuming \
-                         would merge mismatched shards"
-                    );
+                    // A stale checkpoint is a typed, recoverable error —
+                    // the caller prints the hint and exits cleanly — not
+                    // a panic that would take a whole fleet down.
+                    if let Err(e) = checkpoint.verify_plan(&signatures) {
+                        return Err(CrawlError::Db {
+                            error: DbError::Backend(e.to_string()),
+                            partial: Box::new(blank_report("sharded-hybrid")),
+                        });
+                    }
                     for snap in checkpoint.shards {
-                        assert!(snap.index < plan.len(), "snapshot index out of plan");
+                        // Partial (frontier-bearing) snapshots belong to
+                        // the lease coordinator's salvage path; whole-plan
+                        // resume re-crawls such shards from scratch, which
+                        // is always correct.
+                        if !snap.is_complete() {
+                            continue;
+                        }
                         let index = snap.index;
                         restored[index] = Some(snap);
                     }
@@ -1006,14 +1267,18 @@ impl Sharded {
             match repo.load() {
                 Ok(None) => {}
                 Ok(Some(checkpoint)) => {
-                    assert_eq!(
-                        checkpoint.plan, signatures,
-                        "checkpoint was taken for a different plan (schema or \
-                         granularity changed) — resuming would merge \
-                         mismatched shards"
-                    );
+                    // Same typed stale-checkpoint handling as the pool
+                    // driver: surface, don't panic.
+                    if let Err(e) = checkpoint.verify_plan(&signatures) {
+                        return Err(CrawlError::Db {
+                            error: DbError::Backend(e.to_string()),
+                            partial: Box::new(blank_report("sharded-hybrid")),
+                        });
+                    }
                     for snap in checkpoint.shards {
-                        assert!(snap.index < plan.len(), "snapshot index out of plan");
+                        if !snap.is_complete() {
+                            continue; // salvage-path partials: re-crawl whole
+                        }
                         let index = snap.index;
                         restored[index] = Some(snap);
                     }
@@ -1239,17 +1504,29 @@ impl CrawlObserver for SoloForwarder<'_> {
     }
 }
 
-/// The durable snapshot of a completed shard's report.
-fn snapshot_of(index: usize, report: &CrawlReport) -> ShardSnapshot {
+/// The durable snapshot of a shard's report: complete when `frontier`
+/// is `None`, a resumable prefix otherwise (see
+/// [`ShardSnapshot::frontier`]).
+pub fn snapshot_of_report(
+    index: usize,
+    report: &CrawlReport,
+    frontier: Option<u64>,
+) -> ShardSnapshot {
     ShardSnapshot {
         index,
         queries: report.queries,
         resolved: report.resolved,
         overflowed: report.overflowed,
         pruned: report.pruned,
+        frontier,
         metrics: report.metrics,
         tuples: report.tuples.clone(),
     }
+}
+
+/// The durable snapshot of a completed shard's report.
+fn snapshot_of(index: usize, report: &CrawlReport) -> ShardSnapshot {
+    snapshot_of_report(index, report, None)
 }
 
 /// Rehydrates a snapshot into a shard report. The progress curve is not

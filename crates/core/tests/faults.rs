@@ -552,9 +552,11 @@ fn budget_exhaustion_wins_against_retry() {
 }
 
 /// A checkpoint taken under one plan refuses to resume under another —
-/// silently merging mismatched shards would corrupt the bag.
+/// silently merging mismatched shards would corrupt the bag. The refusal
+/// is a *typed, recoverable error* (a worker joining a fleet with a
+/// stale plan must retire cleanly, not abort the process), and it
+/// refuses before charging a single query.
 #[test]
-#[should_panic(expected = "different plan")]
 fn plan_mismatch_refuses_to_resume() {
     let inst = yahoo_like();
     let mut repo = MemoryRepository::default();
@@ -564,10 +566,21 @@ fn plan_mismatch_refuses_to_resume() {
         .run(&mut inst.server(5))
         .unwrap();
     // Different oversubscription ⇒ different plan ⇒ different signatures.
-    let _ = Crawl::builder()
+    let mut server = inst.server(5);
+    let err = Crawl::builder()
         .oversubscribe(8)
         .repository(&mut repo)
-        .run(&mut inst.server(5));
+        .run(&mut server)
+        .unwrap_err();
+    let CrawlError::Db { error, partial } = err else {
+        panic!("expected a typed mismatch error, got {err:?}");
+    };
+    assert!(
+        error.to_string().contains("plan mismatch"),
+        "got {error:?}"
+    );
+    assert_eq!(partial.queries, 0, "refused before spending");
+    assert_eq!(server.queries_issued(), 0);
 }
 
 /// Re-running a *completed* checkpointed crawl replays everything from

@@ -31,6 +31,7 @@ fn sample_checkpoint() -> CrawlCheckpoint {
         resolved: 12,
         overflowed: 5,
         pruned: 1,
+        frontier: None,
         metrics: Default::default(),
         tuples: vec![
             Tuple::new(vec![Value::Cat(3), Value::Int(-44)]),
@@ -43,6 +44,7 @@ fn sample_checkpoint() -> CrawlCheckpoint {
         resolved: 5,
         overflowed: 0,
         pruned: 0,
+        frontier: None,
         metrics: Default::default(),
         tuples: vec![],
     });
@@ -254,6 +256,7 @@ proptest! {
                 resolved: next() % 50,
                 overflowed: next() % 50,
                 pruned: next() % 10,
+                frontier: if next().is_multiple_of(3) { Some(next()) } else { None },
                 metrics: Default::default(),
                 tuples: (0..next() % 4)
                     .map(|_| Tuple::new(vec![Value::Int((next() % 100) as i64 - 50)]))

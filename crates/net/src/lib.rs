@@ -34,7 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod json;
+pub mod json;
 
 pub mod bucket;
 pub mod client;
@@ -44,4 +44,4 @@ pub mod server;
 
 pub use bucket::{RateLimiter, TokenBucket};
 pub use client::{HttpConnector, HttpDb};
-pub use server::{serve, FaultPlan, ServeOptions, ServeStats, WireServer};
+pub use server::{serve, FaultPlan, RouteExt, ServeOptions, ServeStats, WireServer};

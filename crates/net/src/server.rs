@@ -61,8 +61,23 @@ pub struct FaultPlan {
     pub stall: Option<Duration>,
 }
 
+/// An auxiliary endpoint handler mounted *next to* the built-in data
+/// endpoints: a request no built-in route claims is offered to the
+/// extension before the 404 fallthrough. This is how the `hdc-coord`
+/// lease coordinator serves `POST /lease` / `POST /heartbeat` /
+/// `POST /complete` / `GET /plan` from the same listener as the data
+/// plane. Extensions are shared across every connection handler thread
+/// (hence `Send + Sync`) and are never consulted for the built-in paths,
+/// so they cannot shadow the data protocol; the server-side fault plan
+/// also does not apply to them (they are control plane, not charged
+/// queries).
+pub trait RouteExt: Send + Sync {
+    /// Handles `req`, or returns `None` to let the server 404 it.
+    fn handle(&self, req: &Request) -> Option<Response>;
+}
+
 /// Serving knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ServeOptions {
     /// Per-connection query budget (each connection gets its own quota,
     /// like [`SharedServer::client_with_budget`]). `None` = unmetered.
@@ -73,6 +88,19 @@ pub struct ServeOptions {
     /// (identity, requests answered, queries charged, faults injected,
     /// connection lifetime).
     pub verbose: bool,
+    /// Extra endpoints served next to the data plane (see [`RouteExt`]).
+    pub extension: Option<Arc<dyn RouteExt>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("budget", &self.budget)
+            .field("faults", &self.faults)
+            .field("verbose", &self.verbose)
+            .field("extension", &self.extension.as_ref().map(|_| "RouteExt"))
+            .finish()
+    }
 }
 
 /// Counters reported by [`serve`] after shutdown.
@@ -337,7 +365,14 @@ fn serve_requests(
             counters,
             tally,
         };
-        let (resp, hangup) = route(&req, db, schema_body, &mut ctx, cancel);
+        let (resp, hangup) = route(
+            &req,
+            db,
+            schema_body,
+            &mut ctx,
+            cancel,
+            opts.extension.as_deref(),
+        );
         let closing = hangup || cancel.is_cancelled();
         http::write_response(&mut &writer, &resp, closing)?;
         if let Some(start) = timer {
@@ -389,6 +424,7 @@ fn route(
     schema_body: &str,
     ctx: &mut RequestCtx<'_>,
     cancel: &CancelToken,
+    extension: Option<&dyn RouteExt>,
 ) -> (Response, bool) {
     let body = String::from_utf8_lossy(&req.body);
     match (req.method.as_str(), req.path.as_str()) {
@@ -429,13 +465,20 @@ fn route(
                 Err(e) => (protocol_error(&e), false),
             }
         }
-        ("GET" | "POST", _) => (
-            Response::json(
-                404,
-                b"{\"kind\":\"protocol\",\"error\":\"no such endpoint\"}".to_vec(),
-            ),
-            false,
-        ),
+        ("GET" | "POST", _) => {
+            // Built-ins stay authoritative: only a path none of them
+            // claimed reaches the extension.
+            if let Some(resp) = extension.and_then(|ext| ext.handle(req)) {
+                return (resp, false);
+            }
+            (
+                Response::json(
+                    404,
+                    b"{\"kind\":\"protocol\",\"error\":\"no such endpoint\"}".to_vec(),
+                ),
+                false,
+            )
+        }
         _ => (
             Response::json(
                 405,

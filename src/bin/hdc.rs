@@ -21,7 +21,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hidden_db_crawler::core::theory;
+use hidden_db_crawler::core::{theory, ShardSpec};
 use hidden_db_crawler::data::{adult, hard, nsf, ops, yahoo, Dataset};
 use hidden_db_crawler::net::http;
 use hidden_db_crawler::obs;
@@ -223,6 +223,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("crawl") => cmd_crawl(&parse_flags(&args[1..])?),
         Some("barrier") => cmd_barrier(&parse_flags(&args[1..])?),
         Some("serve") => cmd_serve(&parse_flags(&args[1..])?),
+        Some("work") => cmd_work(&parse_flags(&args[1..])?),
         Some("stop") => cmd_stop(&parse_flags(&args[1..])?),
         Some("sweep") => cmd_sweep(&parse_flags(&args[1..])?),
         Some("hard") => cmd_hard(&args[1..]),
@@ -268,6 +269,24 @@ fn print_usage() {
          \u{20}      summary line per drained connection; --metrics-log\n\
          \u{20}      appends JSONL registry snapshots to FILE.\n\
          \u{20}      Stops gracefully on `hdc stop`, draining live requests.\n\
+         \u{20}      With --coordinate, also mounts a shard-lease coordinator\n\
+         \u{20}      on the same listener ([--sessions N] [--oversubscribe N]\n\
+         \u{20}      size the shard plan; [--lease-ttl-ms N] bounds worker\n\
+         \u{20}      silence; [--checkpoint FILE] persists fleet progress and\n\
+         \u{20}      resumes from it; [--dedup exact|bloom] tracks new-vs-seen\n\
+         \u{20}      tuples across restarts in FILE.seen). The process exits\n\
+         \u{20}      by itself once every shard completes, after verifying the\n\
+         \u{20}      merged bag against the generated ground truth.\n\
+         \u{20}  hdc work --join URL [--name NAME] [--retries N]\n\
+         \u{20}           [--timeout-ms N] [--qps F [--burst F]]\n\
+         \u{20}           [--retire-after N]\n\
+         \u{20}      Join a fleet: lease shards from a `hdc serve --coordinate`\n\
+         \u{20}      coordinator at URL, crawl them over the same server's data\n\
+         \u{20}      plane, heartbeat per completed root value, and report\n\
+         \u{20}      results until the plan drains. Kill a worker mid-shard and\n\
+         \u{20}      its lease lapses; a peer resumes from the last banked\n\
+         \u{20}      partial snapshot, replaying only the un-checkpointed\n\
+         \u{20}      suffix.\n\
          \u{20}  hdc stop --connect URL\n\
          \u{20}      Ask a running `hdc serve` to drain and exit.\n\
          \u{20}  hdc crawl --connect URL ... / hdc barrier --connect URL ...\n\
@@ -295,7 +314,7 @@ fn print_usage() {
 // ---------------------------------------------------------------- flags --
 
 /// Parsed `--flag value` pairs (plus boolean `--oracle`, `--live`,
-/// `--verbose`).
+/// `--verbose`, `--coordinate`).
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -307,7 +326,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("expected --flag, found {arg:?}"));
         };
-        if matches!(name, "oracle" | "live" | "verbose") {
+        if matches!(name, "oracle" | "live" | "verbose" | "coordinate") {
             pairs.push((name.to_string(), "true".to_string()));
             continue;
         }
@@ -409,6 +428,21 @@ fn cmd_datasets() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Remediation line for a checkpoint taken under a different shard
+/// plan (the typed `RepositoryError::PlanMismatch`, surfaced through
+/// the crawl as a backend error). The run already stopped cleanly —
+/// this tells the operator how to reconcile instead of leaving them
+/// with a bare error.
+fn plan_mismatch_hint(error: &DbError) {
+    if error.to_string().contains("plan mismatch") {
+        println!(
+            "hint: resume with the original --dataset/--scale/--sessions/\
+             --oversubscribe flags, or point --checkpoint at a new file \
+             (the existing checkpoint is preserved)"
+        );
+    }
 }
 
 /// After an interrupted checkpointed run: point at the retained file —
@@ -560,6 +594,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                     partial.tuples.len(),
                     partial.queries
                 );
+                plan_mismatch_hint(&error);
                 if let Some(path) = &checkpoint {
                     checkpoint_hint(path);
                 }
@@ -693,6 +728,7 @@ fn cmd_crawl(flags: &Flags) -> Result<(), String> {
                 partial.tuples.len(),
                 partial.queries
             );
+            plan_mismatch_hint(&error);
             if let Some(path) = &checkpoint {
                 checkpoint_hint(path);
             }
@@ -936,6 +972,7 @@ fn cmd_crawl_connect(flags: &Flags) -> Result<(), String> {
                 partial.tuples.len(),
                 partial.queries
             );
+            plan_mismatch_hint(&error);
             if let Some(path) = &checkpoint {
                 checkpoint_hint(path);
             }
@@ -1025,12 +1062,85 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let verbose = flags.get("verbose").is_some();
     let metrics_log = flags.get("metrics-log").map(str::to_string);
     let metrics_interval_ms: u64 = flags.parse("metrics-interval-ms", 1_000)?;
+    let coordinate = flags.get("coordinate").is_some();
+    let sessions: usize = flags.parse("sessions", 2)?;
+    let oversubscribe: usize = flags.parse("oversubscribe", 2)?;
+    let lease_ttl_ms: u64 = flags.parse("lease-ttl-ms", 30_000)?;
+    let checkpoint = flags.get("checkpoint").map(str::to_string);
+    let dedup_mode = flags.get("dedup").map(str::to_string);
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err("--fault-rate must be within 0..=1".into());
+    }
+    if !coordinate {
+        for (flag, present) in [
+            ("--lease-ttl-ms", flags.get("lease-ttl-ms").is_some()),
+            ("--checkpoint", checkpoint.is_some()),
+            ("--dedup", dedup_mode.is_some()),
+        ] {
+            if present {
+                return Err(format!("{flag} requires --coordinate"));
+            }
+        }
     }
     let ds = load_dataset(&dataset, scale, seed)?;
     let shared = SharedServer::new(ds.schema.clone(), ds.tuples.clone(), ServerConfig { k, seed })
         .expect("valid dataset");
+
+    // `--coordinate`: mount the shard-lease coordinator next to the
+    // data plane. The plan is the same oversubscribed partition a
+    // local `--sessions/--oversubscribe` crawl would use — leases and
+    // heartbeats are control traffic, so the fleet's charged query
+    // total is exactly the solo crawl's.
+    let coordinator = if coordinate {
+        if sessions == 0 || oversubscribe == 0 {
+            return Err("--sessions/--oversubscribe must be ≥ 1".into());
+        }
+        if lease_ttl_ms == 0 {
+            return Err("--lease-ttl-ms must be ≥ 1".into());
+        }
+        let dedup = match dedup_mode.as_deref() {
+            None => None,
+            Some("exact") => Some(TupleDedup::exact()),
+            Some("bloom") => Some(TupleDedup::bloom((ds.n() as u64).max(1), seed)),
+            Some(other) => return Err(format!("--dedup must be exact or bloom, got {other:?}")),
+        };
+        if dedup.is_some() && checkpoint.is_none() {
+            return Err("--dedup needs --checkpoint (the seen-set lives at FILE.seen)".into());
+        }
+        let plan: Vec<String> = Sharded::plan_oversubscribed(&ds.schema, sessions, oversubscribe)
+            .iter()
+            .map(ShardSpec::signature)
+            .collect();
+        let cfg = CoordinatorConfig {
+            ttl: Duration::from_millis(lease_ttl_ms),
+            checkpoint: checkpoint.as_ref().map(std::path::PathBuf::from),
+            dedup,
+            verbose,
+        };
+        let (coordinator, restore) = Coordinator::new(plan, cfg)
+            .map_err(|e| format!("--coordinate: {e}"))?;
+        match restore {
+            Restore::Fresh => {}
+            Restore::Resumed { complete } => {
+                println!("resumed fleet checkpoint: {complete} shard(s) already complete")
+            }
+            // A foreign checkpoint never aborts the fleet: start fresh,
+            // keep the file intact, tell the operator how to reconcile.
+            Restore::Mismatch { message } => {
+                println!("warning: {message}");
+                println!(
+                    "starting fresh with persistence disabled — the existing \
+                     checkpoint is preserved; rerun with the original \
+                     --dataset/--sessions/--oversubscribe to resume it, or \
+                     point --checkpoint at a new file"
+                );
+            }
+        }
+        Some(std::sync::Arc::new(coordinator))
+    } else {
+        None
+    };
+
     let opts = ServeOptions {
         budget: (budget > 0).then_some(budget),
         faults: (fault_rate > 0.0).then(|| FaultPlan {
@@ -1039,6 +1149,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             stall: (stall_ms > 0).then(|| Duration::from_millis(stall_ms)),
         }),
         verbose,
+        extension: coordinator
+            .as_ref()
+            .map(|c| std::sync::Arc::clone(c) as std::sync::Arc<dyn RouteExt>),
     };
     // The served registry backs `GET /metrics` and `GET /stats`; a
     // server that never records would answer with all-zero counters.
@@ -1051,6 +1164,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         ds.name,
         ds.n()
     );
+    if let Some(c) = &coordinator {
+        let (done, total) = c.outcome().shards;
+        println!(
+            "coordinating {total} shard(s) ({done} already complete, lease \
+             ttl {lease_ttl_ms} ms) — join workers with: hdc work --join http://{local}"
+        );
+    }
     let _ = std::io::stdout().flush();
 
     // `--metrics-log`: a sampler thread appends one JSONL registry
@@ -1093,8 +1213,32 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
     };
 
-    let cancel = CancelToken::new();
-    let result = serve(listener, shared, opts, &cancel);
+    // A coordinating server drains itself, but not the instant the last
+    // shard completes: workers still need to poll `/lease` once more to
+    // hear `drained` and exit cleanly, so a watcher thread lingers
+    // briefly between the coordinator tripping its token and the accept
+    // loop closing. `POST /shutdown` (hdc stop) still cancels
+    // immediately.
+    let own_cancel = std::sync::Arc::new(CancelToken::new());
+    let watcher = coordinator.as_ref().map(|c| {
+        let fleet_drained = c.drained_token();
+        let own = std::sync::Arc::clone(&own_cancel);
+        std::thread::spawn(move || {
+            while !fleet_drained.is_cancelled() && !own.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            if !own.is_cancelled() {
+                // Workers poll at least every `wait_cap_ms` (200 ms
+                // default); one second comfortably covers a final poll.
+                std::thread::sleep(Duration::from_secs(1));
+                own.cancel();
+            }
+        })
+    });
+    let result = serve(listener, shared, opts, &own_cancel);
+    if let Some(handle) = watcher {
+        let _ = handle.join();
+    }
     log_stop.store(true, std::sync::atomic::Ordering::Release);
     if let Some(handle) = logger {
         let _ = handle.join();
@@ -1103,6 +1247,146 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     println!(
         "drained: {} requests over {} connections ({} faults injected)",
         stats.requests, stats.connections, stats.faults_injected
+    );
+    if let Some(c) = &coordinator {
+        report_fleet(c, &ds.tuples, checkpoint.as_deref())?;
+    }
+    Ok(())
+}
+
+/// The coordinator's exit line: on a drained plan, verify the merged
+/// bag against the generated ground truth and print the totals the CI
+/// fleet job greps for; on an early stop, report progress and where
+/// the checkpoint (if any) lives.
+fn report_fleet(
+    c: &hidden_db_crawler::coord::Coordinator,
+    expected: &[Tuple],
+    checkpoint: Option<&str>,
+) -> Result<(), String> {
+    let outcome = c.outcome();
+    if let Some(e) = &outcome.persist_error {
+        println!("warning: fleet checkpoint persistence degraded: {e}");
+    }
+    if outcome.expired_leases > 0 {
+        println!(
+            "salvage: {} lease(s) expired and were reclaimed, {} grant(s) \
+             resumed from a banked partial snapshot",
+            outcome.expired_leases, outcome.salvaged_grants
+        );
+    }
+    let (done, total) = outcome.shards;
+    if !c.is_drained() {
+        println!("fleet stopped early: {done}/{total} shard(s) complete");
+        if let Some(path) = checkpoint {
+            checkpoint_hint(path);
+        }
+        return Ok(());
+    }
+    // Merge the complete shards into one report so the fleet's result
+    // gets the same multiset-completeness check a solo crawl gets.
+    let mut merged = CrawlReport {
+        algorithm: "fleet",
+        tuples: Vec::new(),
+        queries: 0,
+        resolved: 0,
+        overflowed: 0,
+        pruned: 0,
+        metrics: CrawlMetrics::default(),
+        progress: Vec::new(),
+    };
+    for shard in c.checkpoint().shards.iter().filter(|s| s.is_complete()) {
+        merged.tuples.extend(shard.tuples.iter().cloned());
+        merged.queries += shard.queries;
+        merged.resolved += shard.resolved;
+        merged.overflowed += shard.overflowed;
+        merged.pruned += shard.pruned;
+        merged.metrics.merge_from(&shard.metrics);
+    }
+    verify_complete(expected, &merged).map_err(|e| e.to_string())?;
+    println!(
+        "fleet complete: verified {} tuples in {} queries ({total} shards)",
+        merged.tuples.len(),
+        merged.queries
+    );
+    if outcome.dedup.new + outcome.dedup.seen > 0 {
+        println!(
+            "dedup: {} new tuple(s), {} seen before",
+            outcome.dedup.new, outcome.dedup.seen
+        );
+    }
+    Ok(())
+}
+
+/// `hdc work --join URL`: one fleet worker. Leases shards from the
+/// coordinator at URL (control plane), crawls them over the same
+/// server's top-k interface (data plane), heartbeats after every
+/// completed root value, and repeats until the plan drains.
+fn cmd_work(flags: &Flags) -> Result<(), String> {
+    let url = flags.require("join")?.to_string();
+    let name = flags.get("name").unwrap_or("worker").to_string();
+    let retries: u32 = flags.parse("retries", 1)?;
+    if retries == 0 {
+        return Err("--retries must be ≥ 1 (1 = no retries)".into());
+    }
+    let timeout_ms: u64 = flags.parse("timeout-ms", 5_000)?;
+    let retire: u32 = flags.parse("retire-after", 8)?;
+    let qps: f64 = flags.parse("qps", 0.0)?;
+
+    let mut lease =
+        WireLeaseRepository::connect(&url).map_err(|e| format!("--join {url}: {e}"))?;
+    let mut connector = HttpConnector::new(&url)
+        .map_err(|e| format!("--join {url}: {e}"))?
+        .timeout(Duration::from_millis(timeout_ms.max(1)))
+        .retire_after(retire);
+    if qps > 0.0 {
+        let burst: f64 = flags.parse("burst", qps.max(1.0))?;
+        connector = connector.rate_limit(qps, burst);
+    }
+    let info = connector.info().clone();
+    println!(
+        "{name}: joined fleet at {} — n = {}, k = {}, lease ttl {} ms",
+        connector.addr(),
+        info.n,
+        info.k,
+        lease.ttl_ms()
+    );
+    let mut db = connector.db(0);
+    let cfg = WorkerConfig {
+        name: name.clone(),
+        retry: RetryPolicy::new(retries),
+        ..WorkerConfig::default()
+    };
+    let report = drive_worker(&mut lease, &mut db, &info.schema, &cfg).map_err(|e| {
+        let msg = e.to_string();
+        if msg.contains("mismatch") {
+            // The coordinator re-verifies the plan fingerprint on every
+            // carried snapshot; a 409 here means the plan changed under
+            // this worker (server restarted with different flags).
+            format!(
+                "{msg}\nhint: the coordinator's shard plan changed — \
+                 restart this worker so it re-fetches the plan"
+            )
+        } else if msg.contains("coordination:") {
+            format!(
+                "{msg}\nhint: the coordinator is unreachable — shards this \
+                 worker already completed are safely reported; rerun \
+                 `hdc work` once the coordinator is back"
+            )
+        } else {
+            msg
+        }
+    })?;
+    println!(
+        "{name}: plan drained — {} shard(s) completed ({} resumed from a \
+         peer's partial, {} lost to peers), {} queries, {} tuples, \
+         {} heartbeat(s), {} wait(s)",
+        report.shards_completed,
+        report.shards_resumed,
+        report.shards_lost,
+        report.queries,
+        report.tuples,
+        report.heartbeats,
+        report.waits
     );
     Ok(())
 }

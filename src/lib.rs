@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub use hdc_barrier as barrier;
+pub use hdc_coord as coord;
 pub use hdc_core as core;
 pub use hdc_data as data;
 pub use hdc_net as net;
@@ -79,6 +80,11 @@ pub use hdc_types as types;
 /// One-line import for applications and examples.
 pub mod prelude {
     pub use hdc_barrier::{BarrierCrawler, BarrierReport, Discovery, ShardedBarrierReport};
+    pub use hdc_coord::{
+        drive_worker, Coordinator, CoordinatorConfig, FleetOutcome, LeaseRepository,
+        MemoryLeaseRepository, Restore, TupleDedup, WireLeaseRepository, WorkerConfig,
+        WorkerReport,
+    };
     pub use hdc_core::{
         verify_complete, BinaryShrink, CancelToken, Connector, Crawl, CrawlBuilder,
         CrawlCheckpoint, CrawlControls, CrawlError, CrawlMetrics, CrawlObserver, CrawlReport,
@@ -88,7 +94,7 @@ pub mod prelude {
         ShardedReport, SliceCover, Strategy, TaskSource, ValidityOracle,
     };
     pub use hdc_data::{Dataset, DatasetStats};
-    pub use hdc_net::{serve, FaultPlan, HttpConnector, HttpDb, ServeOptions, WireServer};
+    pub use hdc_net::{serve, FaultPlan, HttpConnector, HttpDb, RouteExt, ServeOptions, WireServer};
     pub use hdc_server::{Budgeted, HiddenDbServer, ServerClient, ServerConfig, SharedServer};
     pub use hdc_types::{
         AttrKind, DbError, FaultConfig, FaultyDb, HiddenDatabase, Predicate, Query, QueryOutcome,
